@@ -1,0 +1,27 @@
+.PHONY: all build test bench experiments figures examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- bench
+
+experiments:
+	dune exec bench/main.exe -- all
+
+figures:
+	dune exec bin/futurenet_cli.exe -- figures
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/topology_demo.exe
+	dune exec examples/election_demo.exe
+	dune exec examples/global_function_demo.exe
+
+clean:
+	dune clean

@@ -1,0 +1,130 @@
+(* The experiment harness.
+
+   - `main.exe`            : regenerate every experiment table (E1-E9)
+                             and run the bechamel timing suite.
+   - `main.exe e4 e6 ...`  : regenerate the named experiments only.
+   - `main.exe figures`    : render the paper's Figures 1-5.
+   - `main.exe bench`      : the bechamel timing suite only.
+
+   The tables reproduce the paper's claims (see DESIGN.md section 3 and
+   EXPERIMENTS.md); the bechamel suite times the implementations
+   themselves - one Test.make per experiment family. *)
+
+open Bechamel
+
+let bench_tests =
+  let rng = Sim.Rng.create ~seed:42 in
+  let g64 = Netgraph.Builders.random_connected rng ~n:64 ~extra_edges:32 in
+  let ring64 = Netgraph.Builders.ring 64 in
+  let tree_for_labels = Netgraph.Spanning.bfs_tree g64 ~root:0 in
+  let fib_model = { Core.Optimal_tree.c = 1.0; p = 1.0 } in
+  let shape = Core.Optimal_tree.optimal_tree fib_model ~n:64 in
+  let spec = Core.Sensitive.sum_mod 97 in
+  let binary10 =
+    Netgraph.Spanning.bfs_tree
+      (Netgraph.Builders.complete_binary_tree ~depth:10)
+      ~root:0
+  in
+  [
+    (* E1: per-broadcast costs *)
+    Test.make ~name:"e1/branching-paths-broadcast-n64"
+      (Staged.stage (fun () -> Core.Branching_paths.run ~graph:g64 ~root:0 ()));
+    Test.make ~name:"e1/flooding-broadcast-n64"
+      (Staged.stage (fun () -> Core.Flooding.run ~graph:g64 ~root:0 ()));
+    Test.make ~name:"e1/dfs-broadcast-n64"
+      (Staged.stage (fun () -> Core.Dfs_broadcast.run ~graph:g64 ~root:0 ()));
+    (* E2: labelling *)
+    Test.make ~name:"e2/labels-n64"
+      (Staged.stage (fun () -> Core.Labels.compute tree_for_labels));
+    (* E3: lower-bound simulator *)
+    Test.make ~name:"e3/one-way-schedule-binary-depth10"
+      (Staged.stage (fun () ->
+           Core.Lower_bound.simulate ~tree:binary10
+             ~strategy:Core.Lower_bound.eager_single_edge_strategy
+             ~max_rounds:100));
+    (* E4/E5: a maintenance round *)
+    Test.make ~name:"e5/maintenance-2-rounds-n24"
+      (Staged.stage (fun () ->
+           let params =
+             { (Core.Topo_maintenance.default_params ()) with max_rounds = 2 }
+           in
+           let g =
+             Netgraph.Builders.random_connected (Sim.Rng.create ~seed:1)
+               ~n:24 ~extra_edges:12
+           in
+           Core.Topo_maintenance.run ~params ~graph:g ~events:[] ()));
+    (* E6: elections *)
+    Test.make ~name:"e6/election-ring64"
+      (Staged.stage (fun () -> Core.Election.run ~graph:ring64 ()));
+    Test.make ~name:"e6/hirschberg-sinclair-ring64"
+      (Staged.stage (fun () ->
+           Core.Election_baselines.run_hirschberg_sinclair ~n:64 ()));
+    (* E7/E8: the recursion *)
+    Test.make ~name:"e7/s-of-t-fib-n4096"
+      (Staged.stage (fun () ->
+           Core.Optimal_tree.optimal_time fib_model ~n:4096));
+    Test.make ~name:"e8/optimal-tree-n256"
+      (Staged.stage (fun () ->
+           Core.Optimal_tree.optimal_tree { Core.Optimal_tree.c = 4.0; p = 1.0 }
+             ~n:256));
+    (* E9: convergecast on hardware *)
+    Test.make ~name:"e9/convergecast-n64"
+      (Staged.stage (fun () ->
+           Core.Convergecast.run ~params:fib_model ~shape ~spec ()));
+    (* A1: the multicast ablation *)
+    Test.make ~name:"a1/bpaths-no-multicast-star64"
+      (Staged.stage (fun () ->
+           Core.Branching_paths.run ~multicast:false
+             ~graph:(Netgraph.Builders.star 64) ~root:0 ()));
+    (* A4: general-graph aggregation *)
+    Test.make ~name:"a4/aggregate-grid8x8"
+      (Staged.stage (fun () ->
+           Core.Aggregate.run ~c:1.0 ~p:1.0
+             ~graph:(Netgraph.Builders.grid ~rows:8 ~cols:8) ~spec ()));
+  ]
+
+let run_bechamel () =
+  print_endline "\n###### bechamel timing suite ######";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"futurenet" bench_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "%-45s %15s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 61 '-');
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-45s %15.0f\n" name est
+      | _ -> Printf.printf "%-45s %15s\n" name "n/a")
+    rows
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ([ _ ] | _ :: _ as args) when args <> [] ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | "figures" -> Experiments.figures ()
+          | "bench" -> run_bechamel ()
+          | "all" -> Experiments.run_all ()
+          | id -> (
+              match Experiments.find id with
+              | Some (_, description, run) ->
+                  Printf.printf "\n###### %s - %s ######\n"
+                    (String.uppercase_ascii id) description;
+                  run ()
+              | None ->
+                  Printf.eprintf
+                    "unknown experiment %S (known: e1..e9, figures, bench, all)\n"
+                    arg;
+                  exit 2))
+        args
+  | _ ->
+      Experiments.run_all ();
+      run_bechamel ()

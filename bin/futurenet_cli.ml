@@ -1,0 +1,246 @@
+(* futurenet - command-line driver.
+
+   Subcommands:
+     experiment  regenerate the paper's tables (e1..e9, or all)
+     figures     render the paper's Figures 1-5 as ASCII
+     broadcast   run one topology broadcast and report its costs
+     election    run one leader election and report its costs
+     tree        print the optimal computation tree for given C, P, n *)
+
+open Cmdliner
+
+(* -- shared topology argument ----------------------------------------- *)
+
+let build_graph topology n seed =
+  let rng = Sim.Rng.create ~seed in
+  match topology with
+  | "path" -> Netgraph.Builders.path n
+  | "ring" -> Netgraph.Builders.ring n
+  | "star" -> Netgraph.Builders.star n
+  | "complete" -> Netgraph.Builders.complete n
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Netgraph.Builders.grid ~rows:side ~cols:((n + side - 1) / side)
+  | "hypercube" ->
+      let rec dim d = if 1 lsl d >= n then d else dim (d + 1) in
+      Netgraph.Builders.hypercube (dim 0)
+  | "binary" ->
+      let rec depth d =
+        if Netgraph.Builders.binary_tree_nodes ~depth:d >= n then d
+        else depth (d + 1)
+      in
+      Netgraph.Builders.complete_binary_tree ~depth:(depth 0)
+  | "random" -> Netgraph.Builders.random_connected rng ~n ~extra_edges:(n / 2)
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let topology_arg =
+  let doc =
+    "Topology family: path, ring, star, complete, grid, hypercube, binary, \
+     random.  grid/hypercube/binary round n up to the nearest valid size."
+  in
+  Arg.(value & opt string "random" & info [ "t"; "topology" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* -- experiment -------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (e1..e9) or 'all'.")
+  in
+  let run ids =
+    List.iter
+      (fun id ->
+        if id = "all" then Experiments.run_all ()
+        else
+          match Experiments.find id with
+          | Some (_, description, run) ->
+              Printf.printf "\n###### %s - %s ######\n"
+                (String.uppercase_ascii id) description;
+              run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S\n" id;
+              exit 2)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation tables.")
+    Term.(const run $ ids)
+
+(* -- figures ------------------------------------------------------------ *)
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Render the paper's Figures 1-5 as ASCII.")
+    Term.(const Experiments.figures $ const ())
+
+(* -- timeline ------------------------------------------------------------ *)
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Render per-node ASCII timelines of a branching-paths vs flooding           broadcast, making the system-call cost model visible.")
+    Term.(const Experiments.timeline $ const ())
+
+(* -- broadcast ----------------------------------------------------------- *)
+
+let broadcast_cmd =
+  let algo_arg =
+    Arg.(value & opt string "bpaths"
+           & info [ "a"; "algorithm" ] ~docv:"ALGO"
+               ~doc:"bpaths, flood, dfs, direct or layered.")
+  in
+  let root_arg =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
+  in
+  let run topology n seed algo root =
+    let graph = build_graph topology n seed in
+    let result =
+      match algo with
+      | "bpaths" -> Core.Branching_paths.run ~graph ~root ()
+      | "flood" -> Core.Flooding.run ~graph ~root ()
+      | "dfs" -> Core.Dfs_broadcast.run ~graph ~root ()
+      | "direct" -> Core.Direct_broadcast.run ~graph ~root ()
+      | "layered" -> Core.Layered_broadcast.run ~graph ~root ()
+      | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+    in
+    Printf.printf
+      "%s on %s (n=%d, m=%d) from node %d:\n\
+      \  reached    : %d/%d\n\
+      \  syscalls   : %d\n\
+      \  hops       : %d\n\
+      \  time       : %g\n\
+      \  max header : %d elements\n"
+      algo topology (Netgraph.Graph.n graph) (Netgraph.Graph.m graph) root
+      (Core.Broadcast.coverage result)
+      (Netgraph.Graph.n graph)
+      result.Core.Broadcast.syscalls result.hops result.time result.max_header
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Run one topology broadcast.")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ algo_arg $ root_arg)
+
+(* -- election ------------------------------------------------------------ *)
+
+let election_cmd =
+  let run topology n seed =
+    let graph = build_graph topology n seed in
+    let o = Core.Election.run ~graph () in
+    let n = Netgraph.Graph.n graph in
+    Printf.printf
+      "election on %s (n=%d):\n\
+      \  leader            : %d\n\
+      \  election syscalls : %d  (Theorem 5 bound: %d)\n\
+      \  announce syscalls : %d\n\
+      \  tours / captures  : %d / %d\n\
+      \  time              : %g\n\
+      \  everyone informed : %b\n"
+      topology n o.Core.Election.leader o.election_syscalls (6 * n)
+      o.announce_syscalls o.tours o.captures o.time
+      (Array.for_all (fun b -> b = Some o.Core.Election.leader) o.believed_leader)
+  in
+  Cmd.v
+    (Cmd.info "election" ~doc:"Run one leader election.")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg)
+
+(* -- maintenance ----------------------------------------------------------- *)
+
+let maintenance_cmd =
+  let method_arg =
+    Arg.(value & opt string "bpaths"
+           & info [ "m"; "method" ] ~docv:"METHOD"
+               ~doc:"bpaths, flood or dfs.")
+  in
+  let failures_arg =
+    Arg.(value & opt int 2
+           & info [ "f"; "failures" ] ~docv:"K"
+               ~doc:"Number of random links to fail mid-run.")
+  in
+  let run topology n seed method_name failures =
+    let graph = build_graph topology n seed in
+    let rng = Sim.Rng.create ~seed:(seed + 1) in
+    let edges = Array.of_list (Netgraph.Graph.edges graph) in
+    Sim.Rng.shuffle_array_in_place rng edges;
+    let events =
+      List.init
+        (min failures (Array.length edges))
+        (fun i ->
+          {
+            Core.Topo_maintenance.at = 10.0 +. (5.0 *. float_of_int i);
+            edge = edges.(i);
+            up = false;
+          })
+    in
+    let method_ =
+      match method_name with
+      | "bpaths" -> Core.Topo_maintenance.Branching
+      | "flood" -> Core.Topo_maintenance.Flood
+      | "dfs" -> Core.Topo_maintenance.Dfs_token
+      | other -> failwith (Printf.sprintf "unknown method %S" other)
+    in
+    let params =
+      { (Core.Topo_maintenance.default_params ()) with method_; preseed = true }
+    in
+    let o = Core.Topo_maintenance.run ~params ~graph ~events () in
+    Printf.printf
+      "topology maintenance (%s) on %s (n=%d), %d link failures:\n\
+      \  converged : %b after %d rounds\n\
+      \  syscalls  : %d, hops %d\n\
+      \  consistent nodes per round: %s\n"
+      method_name topology (Netgraph.Graph.n graph) (List.length events)
+      o.Core.Topo_maintenance.converged o.rounds o.syscalls o.hops
+      (String.concat " " (List.map string_of_int o.correct_per_round))
+  in
+  Cmd.v
+    (Cmd.info "maintenance" ~doc:"Run the topology-maintenance protocol.")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ method_arg $ failures_arg)
+
+(* -- tree ----------------------------------------------------------------- *)
+
+let tree_cmd =
+  let c_arg =
+    Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc:"Hardware delay bound.")
+  in
+  let p_arg =
+    Arg.(value & opt float 1.0 & info [ "p" ] ~docv:"P" ~doc:"Software delay bound.")
+  in
+  let run c p n =
+    let params = { Core.Optimal_tree.c; p } in
+    match Core.Optimal_tree.optimal_tree params ~n with
+    | tree ->
+        Printf.printf "optimal tree for n=%d, C=%g, P=%g (t_opt = %g):\n" n c p
+          (Core.Optimal_tree.optimal_time params ~n);
+        Format.printf "%a@." Netgraph.Tree.pp
+          (Core.Optimal_tree.to_netgraph_tree tree);
+        Printf.printf "depth %d, root degree %d, profile %s\n"
+          (Core.Optimal_tree.depth tree)
+          (Core.Optimal_tree.root_degree tree)
+          (String.concat ","
+             (List.map string_of_int (Core.Optimal_tree.nodes_per_depth tree)))
+    | exception Core.Optimal_tree.Unbounded ->
+        print_endline
+          "P = 0 is the traditional model: a star computes any n in constant time"
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print the optimal computation tree (Section 5).")
+    Term.(const run $ c_arg $ p_arg $ n_arg)
+
+let () =
+  let doc =
+    "Reproduction of Cidon, Gopal and Kutten, 'New Models and Algorithms for \
+     Future Networks' (PODC 1988)."
+  in
+  let info = Cmd.info "futurenet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
+            election_cmd; maintenance_cmd; tree_cmd;
+          ]))

@@ -1,0 +1,64 @@
+(* Leader election (Section 4).
+
+   Elections on several topologies, the 6n bound of Theorem 5, the
+   effect of who starts, and the comparison against traditional
+   techniques.
+
+   Run with: dune exec examples/election_demo.exe *)
+
+module E = Core.Election
+module EB = Core.Election_baselines
+module B = Netgraph.Builders
+
+let show name g o =
+  let n = Netgraph.Graph.n g in
+  Printf.printf
+    "%-18s n=%-4d leader=%-4d syscalls=%-5d (6n=%-5d) tours=%-4d time=%-6g all-informed=%b\n"
+    name n o.E.leader o.election_syscalls (6 * n) o.tours o.time
+    (Array.for_all (fun b -> b = Some o.E.leader) o.believed_leader)
+
+let () =
+  print_endline "== leader election demo ==\n";
+  print_endline "every node starts as its own candidate; domains absorb each";
+  print_endline "other through phase-limited tours until one remains.\n";
+  List.iter
+    (fun (name, g) -> show name g (E.run ~graph:g ()))
+    [
+      ("ring 24", B.ring 24);
+      ("path 40", B.path 40);
+      ("grid 7x7", B.grid ~rows:7 ~cols:7);
+      ("complete 32", B.complete 32);
+      ("binary tree 63", B.complete_binary_tree ~depth:5);
+      ("random 100", B.random_connected (Sim.Rng.create ~seed:31) ~n:100 ~extra_edges:60);
+    ];
+
+  print_endline "\n-- who starts matters for nothing but the schedule --\n";
+  let g = B.grid ~rows:6 ~cols:6 in
+  List.iter
+    (fun (name, starters) -> show name g (E.run ~starters ~graph:g ()))
+    [
+      ("all start", List.init 36 Fun.id);
+      ("corner starts", [ 0 ]);
+      ("two corners", [ 0; 35 ]);
+    ];
+
+  print_endline "\n-- against traditional techniques (ring of 128) --\n";
+  let n = 128 in
+  let paper = E.run ~graph:(B.ring n) () in
+  Printf.printf "paper algorithm      : %5d system calls (%.2f per node)\n"
+    paper.E.election_syscalls
+    (float_of_int paper.E.election_syscalls /. float_of_int n);
+  let hs =
+    EB.run_hirschberg_sinclair ~priorities:(EB.bit_reversal_priorities ~n) ~n ()
+  in
+  Printf.printf "Hirschberg-Sinclair  : %5d system calls (%.2f per node)\n"
+    hs.EB.syscalls
+    (float_of_int hs.EB.syscalls /. float_of_int n);
+  let naive = EB.run_notify_supporters ~graph:(B.ring n) () in
+  Printf.printf "notify-supporters    : %5d system calls (%.2f per node)\n"
+    naive.EB.syscalls
+    (float_of_int naive.EB.syscalls /. float_of_int n);
+  print_endline
+    "\nunder the new measure every relayed hop of a traditional algorithm\n\
+     costs a full software visit, so HS pays Theta(n log n); the paper's\n\
+     algorithm keeps every comparison down to O(1) direct messages."

@@ -1,0 +1,104 @@
+(* Globally sensitive functions and optimal trees (Section 5).
+
+   Even on a complete graph, where every node reaches every other in a
+   single hop, the structure of the optimal computation depends on the
+   ratio of hardware delay C to software delay P.
+
+   Run with: dune exec examples/global_function_demo.exe *)
+
+module OT = Core.Optimal_tree
+module CC = Core.Convergecast
+module S = Core.Sensitive
+
+let render_tree tree =
+  let nt = OT.to_netgraph_tree tree in
+  Format.asprintf "%a" Netgraph.Tree.pp nt
+
+let () =
+  print_endline "== globally sensitive functions demo ==\n";
+
+  (* which functions qualify? *)
+  print_endline "globally sensitive functions (assoc + comm + some vector";
+  print_endline "where every coordinate matters):";
+  List.iter
+    (fun (name, sensitive) -> Printf.printf "  %-22s %b\n" name sensitive)
+    [
+      ("sum mod 17", S.is_globally_sensitive (S.sum_mod 17) ~n:10);
+      ("xor (8 bits)", S.is_globally_sensitive (S.xor_spec ~bits:8) ~n:10);
+      ("max over 0..9", S.is_globally_sensitive (S.max_spec ~hi:9) ~n:10);
+      ("boolean and", S.is_globally_sensitive S.bool_and ~n:10);
+    ];
+
+  (* the shape of the optimum *)
+  print_endline "\noptimal 16-node computation trees as C/P varies:";
+  List.iter
+    (fun c ->
+      let params = { OT.c; p = 1.0 } in
+      let tree = OT.optimal_tree params ~n:16 in
+      Printf.printf "\n  C/P = %g  (t_opt = %g):\n" c
+        (OT.optimal_time params ~n:16);
+      print_string
+        (String.concat "\n"
+           (List.map (fun line -> "    " ^ line)
+              (String.split_on_char '\n' (render_tree tree))));
+      print_newline ())
+    [ 0.0; 1.0; 8.0 ];
+
+  (* the binomial / fibonacci / star trichotomy *)
+  print_endline "\nS(k): how many inputs fit in a deadline of k time units?";
+  Printf.printf "  %-4s %-12s %-12s %s\n" "k" "C=0,P=1" "C=1,P=1" "C=1,P=0";
+  for k = 1 to 10 do
+    let cell params =
+      match OT.s_of params (float_of_int k) with
+      | s -> string_of_int s
+      | exception OT.Unbounded -> "unbounded"
+    in
+    Printf.printf "  %-4d %-12s %-12s %s\n" k
+      (cell { OT.c = 0.0; p = 1.0 })
+      (cell { OT.c = 1.0; p = 1.0 })
+      (cell { OT.c = 1.0; p = 0.0 })
+  done;
+  print_endline "  (binomial doubling; Fibonacci; the traditional-model blow-up)";
+
+  (* live run on the simulated hardware *)
+  print_endline "\nconvergecast of gcd over 24 nodes (C = 2, P = 1):";
+  let params = { OT.c = 2.0; p = 1.0 } in
+  let shape = OT.optimal_tree params ~n:24 in
+  let spec = S.gcd_spec ~values:[ 12; 30; 42 ] in
+  let inputs = Array.init 24 (fun i -> List.nth [ 12; 30; 42 ] (i mod 3)) in
+  let r = CC.run ~inputs ~params ~shape ~spec () in
+  Printf.printf "  gcd = %d (expected %d); finished at t = %g = predicted %g\n"
+    r.CC.value r.CC.expected r.CC.time r.CC.predicted;
+  Printf.printf "  t_opt for 24 nodes at C/P = 2 is %g\n"
+    (OT.optimal_time params ~n:24);
+
+  (* general graphs: with C = 0 topology is invisible *)
+  print_endline "\nfolding 32 inputs on general graphs (Aggregate):";
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun c ->
+          let r = Core.Aggregate.run ~c ~p:1.0 ~graph:g ~spec:(S.sum_mod 101) () in
+          Printf.printf "  %-10s C=%g: time %5.1f vs K_n optimum %5.1f (ratio %.2f)\n"
+            name c r.Core.Aggregate.time r.t_opt_complete
+            (r.Core.Aggregate.time /. r.t_opt_complete))
+        [ 0.0; 2.0 ])
+    [
+      ("ring 32", Netgraph.Builders.ring 32);
+      ("grid 6x6", Netgraph.Builders.grid ~rows:6 ~cols:6);
+    ];
+  print_endline
+    "  (at C = 0 every connected topology achieves the complete-graph optimum)";
+
+  (* star vs binomial crossover *)
+  print_endline "\nwhere does the star overtake the binomial tree (n = 64)?";
+  List.iter
+    (fun c ->
+      let params = { OT.c; p = 1.0 } in
+      let star = OT.predicted_completion params (OT.star 64) in
+      let binom = OT.predicted_completion params (OT.binomial 6) in
+      let best = OT.predicted_completion params (OT.optimal_tree params ~n:64) in
+      Printf.printf "  C/P = %5.1f : star %6.1f  binomial %6.1f  optimal %6.1f  -> %s\n"
+        c star binom best
+        (if star < binom then "star side" else "binomial side"))
+    [ 0.0; 2.0; 8.0; 10.0; 12.0; 16.0; 64.0 ]

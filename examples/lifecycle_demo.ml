@@ -1,0 +1,87 @@
+(* The whole library in one scenario: a network boots, learns its
+   topology, suffers a partition, reorganises each side with a leader
+   election, and computes a global aggregate per partition.
+
+   This is the paper's storyline end to end: topology maintenance
+   (Section 3) keeps the views current, leader election (Section 4)
+   reorganises after faults, and the optimal-tree computation
+   (Section 5) runs the control-plane queries — all priced in system
+   calls on the simulated switching hardware.
+
+   Run with: dune exec examples/lifecycle_demo.exe *)
+
+module G = Netgraph.Graph
+module TM = Core.Topo_maintenance
+
+let banner title = Printf.printf "\n-- %s --\n\n" title
+
+let () =
+  print_endline "== network lifecycle demo ==";
+
+  (* a 4x8 grid; cutting column 3|4 splits it into two 4x4 halves *)
+  let rows = 4 and cols = 8 in
+  let g = Netgraph.Builders.grid ~rows ~cols in
+  let cut =
+    List.init rows (fun r -> ((r * cols) + 3, (r * cols) + 4))
+  in
+
+  banner "phase 1: boot - every node learns the topology";
+  let o = TM.run ~graph:g ~events:[] () in
+  Printf.printf
+    "cold start on the %dx%d grid: converged in %d rounds (diameter %d),\n\
+     %d system calls total\n"
+    rows cols o.TM.rounds (Netgraph.Paths.diameter g) o.TM.syscalls;
+
+  banner "phase 2: partition - the four column-crossing links fail";
+  let events = List.map (fun edge -> { TM.at = 10.0; edge; up = false }) cut in
+  let params = { (TM.default_params ()) with preseed = true; max_rounds = 30 } in
+  let o = TM.run ~params ~graph:g ~events () in
+  Printf.printf
+    "after the cut, maintenance reconverges in %d rounds: each half now\n\
+     knows exactly its own component\n"
+    o.TM.rounds;
+
+  banner "phase 3: reorganisation - each side elects a leader";
+  let remaining =
+    List.filter (fun e -> not (List.mem e cut)) (G.edges g)
+  in
+  let post = G.of_edges ~n:(rows * cols) remaining in
+  let components = Netgraph.Traversal.components post in
+  let leaders =
+    List.map
+      (fun comp ->
+        let sub, back = G.induced post comp in
+        let o = Core.Election.run ~graph:sub () in
+        let leader = back.(o.Core.Election.leader) in
+        Printf.printf
+          "component of %d nodes: leader %d elected with %d system calls\n\
+          \  (Theorem 5 bound %d); its INOUT tree spans the component\n"
+          (G.n sub) leader o.election_syscalls (6 * G.n sub);
+        (comp, sub, back, o))
+      components
+  in
+
+  banner "phase 4: control queries - each leader folds a global value";
+  List.iter
+    (fun (comp, sub, back, elec) ->
+      (* each node contributes its (original) id; the leader learns the
+         component-wide sum via the optimal computation tree *)
+      let spec = Core.Sensitive.sum_mod 10_000 in
+      let inputs = Array.map (fun v -> v) back in
+      let r =
+        Core.Aggregate.run ~inputs ~root:elec.Core.Election.leader ~c:0.0
+          ~p:1.0 ~graph:sub ~spec ()
+      in
+      Printf.printf
+        "component %s...: sum of ids = %d (expected %d), computed in %g time\n\
+        \  units - the complete-graph optimum for %d nodes (C = 0)\n"
+        (String.concat ","
+           (List.map string_of_int (List.filteri (fun i _ -> i < 4) comp)))
+        r.Core.Aggregate.value r.expected r.time (G.n sub))
+    leaders;
+
+  banner "epilogue";
+  print_endline
+    "maintenance kept every view consistent through the partition, the\n\
+     elections cost O(n) system calls per side, and the aggregates met the\n\
+     Section 5 optimum - the three results of the paper, composed."

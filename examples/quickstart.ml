@@ -1,0 +1,61 @@
+(* Quickstart: a five-minute tour of the library.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "== futurenet quickstart ==\n";
+
+  (* 1. Build a network graph. *)
+  let rng = Sim.Rng.create ~seed:2024 in
+  let graph = Netgraph.Builders.random_connected rng ~n:32 ~extra_edges:16 in
+  Printf.printf "network: %d nodes, %d links, diameter %d\n"
+    (Netgraph.Graph.n graph) (Netgraph.Graph.m graph)
+    (Netgraph.Paths.diameter graph);
+
+  (* 2. Broadcast with the paper's branching-paths scheme under the
+     new cost model (switching free, software costs P = 1). *)
+  let r = Core.Branching_paths.run ~graph ~root:0 () in
+  Printf.printf
+    "\nbranching-paths broadcast from node 0:\n\
+    \  system calls : %d   (exactly n)\n\
+    \  link hops    : %d   (exactly n-1)\n\
+    \  time         : %g   (<= 2 + log2 n = %.2f)\n"
+    r.Core.Broadcast.syscalls r.hops r.time
+    (2.0 +. Sim.Stats.log2 32.0);
+
+  (* ... against ARPANET flooding. *)
+  let f = Core.Flooding.run ~graph ~root:0 () in
+  Printf.printf "flooding needs %d system calls (Theta(m)) and time %g\n"
+    f.Core.Broadcast.syscalls f.time;
+
+  (* 3. Elect a leader (Section 4): at most 6n direct messages. *)
+  let o = Core.Election.run ~graph () in
+  Printf.printf
+    "\nleader election: node %d wins after %d captures,\n\
+    \  using %d system calls <= 6n = %d\n"
+    o.Core.Election.leader o.captures o.election_syscalls
+    (6 * Netgraph.Graph.n graph);
+
+  (* 4. Optimal computation trees (Section 5): what is the fastest way
+     to combine 32 inputs when a hop costs C and a syscall costs P? *)
+  print_endline "\noptimal time to fold 32 inputs on a complete graph:";
+  List.iter
+    (fun c ->
+      let params = { Core.Optimal_tree.c; p = 1.0 } in
+      let t = Core.Optimal_tree.optimal_time params ~n:32 in
+      let tree = Core.Optimal_tree.optimal_tree params ~n:32 in
+      Printf.printf "  C/P = %4.1f : t_opt = %5.2f  (tree depth %d, root degree %d)\n"
+        c t
+        (Core.Optimal_tree.depth tree)
+        (Core.Optimal_tree.root_degree tree))
+    [ 0.0; 1.0; 8.0 ];
+
+  (* 5. And run one such convergecast on the simulated hardware. *)
+  let params = { Core.Optimal_tree.c = 1.0; p = 1.0 } in
+  let shape = Core.Optimal_tree.optimal_tree params ~n:32 in
+  let spec = Core.Sensitive.sum_mod 1000 in
+  let cc = Core.Convergecast.run ~params ~shape ~spec () in
+  Printf.printf
+    "\nconvergecast of 'sum mod 1000' over 32 nodes: value %d (expected %d),\n\
+    \  finished at t = %g, exactly the analytic worst case %g\n"
+    cc.Core.Convergecast.value cc.expected cc.time cc.predicted

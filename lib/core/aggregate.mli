@@ -1,0 +1,46 @@
+(** Globally sensitive functions on {e general} graphs.
+
+    Section 5 develops the optimal computation theory on a complete
+    graph; Section 6 asks which other algorithms the new model
+    improves.  This module works out the direct consequence: with full
+    topology knowledge, ANR lets any node reach any other in one
+    system call, so a general connected graph behaves like a complete
+    graph whose "links" are multi-hop source routes.  In the limiting
+    model (C = 0) the underlying topology vanishes entirely — folding
+    n inputs costs exactly the complete-graph optimum regardless of
+    the graph; with C > 0 each tree edge pays C per physical hop of
+    its embedded route, so sparse or high-diameter graphs fall behind
+    the complete-graph bound by a factor the experiment measures.
+
+    The computation tree is the Section 5 optimal tree, embedded by
+    matching its breadth-first order with the graph's breadth-first
+    order from the chosen root (a heuristic that keeps routes short on
+    the families we sweep; optimal embedding is NP-hard in general). *)
+
+type result = {
+  value : int;
+  expected : int;
+  time : float;
+  syscalls : int;
+  hops : int;  (** total physical hops — the embedding overhead *)
+  messages : int;
+  t_opt_complete : float;
+      (** the complete-graph optimum for the same (C, P, n): a lower
+          bound, achieved exactly when C = 0 or the graph is complete *)
+  max_route : int;  (** longest embedded route, in hops *)
+}
+
+val run :
+  ?inputs:int array ->
+  ?root:int ->
+  c:float ->
+  p:float ->
+  graph:Netgraph.Graph.t ->
+  spec:int Sensitive.spec ->
+  unit ->
+  result
+(** Fold the inputs over the embedded optimal tree and report both
+    measures.  [root] defaults to node 0; [inputs] to a deterministic
+    pattern over the spec's alphabet.
+    @raise Invalid_argument if the graph is disconnected, the root is
+    out of range, or the inputs are invalid. *)

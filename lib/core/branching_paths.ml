@@ -1,0 +1,67 @@
+module Graph = Netgraph.Graph
+module Tree = Netgraph.Tree
+module Network = Hardware.Network
+
+type msg = { origin : int; tree_edges : (int * int) list }
+
+let tree_for ~view ~root = Netgraph.Spanning.bfs_tree view ~root
+
+let predicted_time_units tree = Labels.max_path_depth (Labels.compute tree)
+
+let tree_of_msg m =
+  Tree.of_parents ~root:m.origin ~parents:m.tree_edges
+
+let send_paths ~multicast ctx labelling m =
+  let self = Network.self ctx in
+  let send path =
+    Network.send_walk ~label:"bpaths" ~copy_at:(fun _ -> true) ctx ~walk:path m
+  in
+  match Labels.paths_from labelling self with
+  | [] -> ()
+  | paths when multicast ->
+      (* one activation ships every path: they leave through distinct
+         child links, which the PARIS primitive covers *)
+      List.iter send paths
+  | first :: rest ->
+      (* ablation: no multicast primitive - each further path needs its
+         own software activation *)
+      send first;
+      let rec drain = function
+        | [] -> ()
+        | path :: more ->
+            Network.set_timer ~label:"bpaths-extra" ctx ~delay:0.0 (fun () ->
+                send path;
+                drain more)
+      in
+      drain rest
+
+let spec ~multicast ~reached ~view v =
+  let relayed = ref false in
+  {
+    Network.on_start =
+      (fun ctx ->
+        let root = Network.self ctx in
+        let tree = tree_for ~view ~root in
+        let labelling = Labels.compute tree in
+        let m =
+          {
+            origin = root;
+            tree_edges =
+              List.map (fun (p, c) -> (c, p)) (Tree.edges tree);
+          }
+        in
+        send_paths ~multicast ctx labelling m);
+    on_message =
+      (fun ctx ~via:_ m ->
+        reached.(v) <- true;
+        if not !relayed then begin
+          relayed := true;
+          let labelling = Labels.compute (tree_of_msg m) in
+          send_paths ~multicast ctx labelling m
+        end);
+    on_link_change = (fun _ ~peer:_ ~up:_ -> ());
+  }
+
+let run ?(config = Broadcast.default_config ()) ?(multicast = true) ~graph
+    ~root () =
+  Broadcast.execute ~config ~graph ~root ~spec:(spec ~multicast) ()

@@ -1,0 +1,59 @@
+(** The branching-paths broadcast of Section 3.1.
+
+    The broadcaster computes a minimum-hop spanning tree of its
+    current view, labels it ({!Labels}), and decomposes it into
+    monochromatic paths.  It ships the message — which carries a
+    description of the tree — over every path that starts at itself,
+    with a selective copy at each path node; each node that heads
+    further paths relays the message onto them upon its (single)
+    copy.
+
+    Properties reproduced here (and checked in the test suite):
+    - exactly [n] system calls per broadcast on a failure-free network
+      (the root's trigger plus one copy per other node);
+    - completion within [1 + log2 n] path-generations (Theorem 2);
+    - one-way: every tree link is traversed only away from the root,
+      so a link failure silently truncates the affected paths and the
+      maintenance protocol converges (Theorem 1). *)
+
+type msg = {
+  origin : int;  (** the broadcasting node *)
+  tree_edges : (int * int) list;
+      (** the (child, parent) pairs of the broadcast tree — the "tree
+          description" the paper puts in the message so path heads
+          recognise themselves *)
+}
+
+val tree_for : view:Netgraph.Graph.t -> root:int -> Netgraph.Tree.t
+(** The minimum-hop (BFS) spanning tree of the root's component of its
+    view — step (1) of the periodic algorithm. *)
+
+val predicted_time_units : Netgraph.Tree.t -> int
+(** The number of path-generations the broadcast needs — Theorem 2
+    bounds this by [1 + log2 n].  Measured wall time is
+    [(1 + this) * P] under the deterministic C=0 model (the extra unit
+    is the root's own trigger activation). *)
+
+val spec :
+  multicast:bool ->
+  reached:bool array ->
+  view:Netgraph.Graph.t ->
+  int ->
+  msg Hardware.Network.handlers
+(** Low-level handler factory (one node's handlers), for embedding the
+    broadcast in custom harnesses — {!run} wraps it. *)
+
+val run :
+  ?config:Broadcast.config ->
+  ?multicast:bool ->
+  graph:Netgraph.Graph.t ->
+  root:int ->
+  unit ->
+  Broadcast.result
+(** [multicast] (default true) models the PARIS primitive that ships
+    one packet per outgoing link in a single activation — the paths
+    from one head go through distinct child links, so the whole relay
+    costs one time unit.  With [multicast:false] each path costs its
+    own activation (ablation A1): the broadcast stays at n deliveries
+    but its completion time degrades from O(log n) toward
+    O(log n * max-degree). *)

@@ -1,0 +1,68 @@
+module Graph = Netgraph.Graph
+module Cost_model = Hardware.Cost_model
+module Network = Hardware.Network
+module Metrics = Hardware.Metrics
+
+type result = {
+  time : float;
+  syscalls : int;
+  hops : int;
+  sends : int;
+  drops : int;
+  max_header : int;
+  reached : bool array;
+}
+
+let coverage r = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.reached
+let all_reached r = Array.for_all Fun.id r.reached
+
+type config = {
+  cost : Cost_model.t;
+  failed : (int * int) list;
+  dmax : int option;
+  view : Graph.t option;
+}
+
+let default_config () =
+  { cost = Cost_model.new_model (); failed = []; dmax = None; view = None }
+
+type 'msg spec =
+  reached:bool array -> view:Graph.t -> int -> 'msg Network.handlers
+
+let execute ~config ~graph ~root ~spec () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let view = Option.value ~default:graph config.view in
+  let reached = Array.make (Graph.n graph) false in
+  let net =
+    Network.create ~trace ?dmax:config.dmax ~engine ~cost:config.cost ~graph
+      ~handlers:(spec ~reached ~view) ()
+  in
+  List.iter (fun (u, v) -> Network.preset_link net u v ~up:false) config.failed;
+  reached.(root) <- true;
+  Network.start ~label:"broadcast-start" net root;
+  (match Sim.Engine.run engine with
+  | Sim.Engine.Quiescent -> ()
+  | Sim.Engine.Time_limit | Sim.Engine.Event_limit ->
+      (* unreachable: no horizon/budget given *)
+      assert false);
+  let m = Network.metrics net in
+  let time =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Sim.Trace.Receive { time; _ } | Sim.Trace.Syscall { time; _ } ->
+            Float.max acc time
+        | _ -> acc)
+      0.0
+      (Sim.Trace.events trace)
+  in
+  {
+    time;
+    syscalls = Metrics.syscalls m;
+    hops = Metrics.hops m;
+    sends = Metrics.sends m;
+    drops = Metrics.drops m;
+    max_header = Metrics.max_header m;
+    reached;
+  }

@@ -1,0 +1,59 @@
+(** Shared harness for one-shot broadcast experiments.
+
+    Section 3 compares several ways a node can broadcast its local
+    topology: flooding (ARPANET), one direct message per destination,
+    a single depth-first token, the layered-BFS walk of the footnote,
+    and the branching-paths scheme.  Each algorithm in this library
+    exposes a [run] function returning this common {!result}, measured
+    on the simulated hardware. *)
+
+type result = {
+  time : float;
+      (** completion time: the last NCU activation caused by the
+          broadcast (the initial activation of the root included) *)
+  syscalls : int;  (** total NCU activations, root's trigger included *)
+  hops : int;  (** total link traversals (traditional measure) *)
+  sends : int;  (** distinct packets injected *)
+  drops : int;  (** packets lost to inactive links or bad headers *)
+  max_header : int;  (** longest header used, in elements *)
+  reached : bool array;
+      (** [reached.(v)] iff [v]'s NCU received the payload (the root
+          counts as reached) *)
+}
+
+val coverage : result -> int
+(** Number of nodes reached. *)
+
+val all_reached : result -> bool
+
+type config = {
+  cost : Hardware.Cost_model.t;
+  failed : (int * int) list;
+      (** links inactive for the whole execution (the root's [view]
+          may or may not know about them) *)
+  dmax : int option;
+  view : Netgraph.Graph.t option;
+      (** the root's believed topology; defaults to the true graph *)
+}
+
+val default_config : unit -> config
+(** [new_model] cost (C=0, P=1), no failures, no [dmax], true view. *)
+
+(** {1 Internal executor used by the algorithm modules} *)
+
+type 'msg spec =
+  reached:bool array -> view:Netgraph.Graph.t -> int -> 'msg Hardware.Network.handlers
+(** Handler factory: [spec ~reached ~view v] returns node [v]'s
+    handlers; they mark [reached.(v)] on delivery of the payload. *)
+
+val execute :
+  config:config ->
+  graph:Netgraph.Graph.t ->
+  root:int ->
+  spec:'msg spec ->
+  unit ->
+  result
+(** Build a network, apply configured failures at time 0, start the
+    root, run to quiescence, and collect measurements.  [make_handlers]
+    receives the [reached] array to mark deliveries and the root's
+    [view]. *)

@@ -1,0 +1,80 @@
+type message = {
+  id : int;
+  src : int;
+  send_time : float;
+  dst : int;
+  recv_time : float;
+}
+
+let messages_of_trace trace =
+  let sends = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e with
+      | Sim.Trace.Send { node; time; msg_id; _ } ->
+          Hashtbl.replace sends msg_id (node, time)
+      | _ -> ())
+    (Sim.Trace.events trace);
+  List.filter_map
+    (fun e ->
+      match e with
+      | Sim.Trace.Receive { node; time; msg_id; _ } -> (
+          match Hashtbl.find_opt sends msg_id with
+          | Some (src, send_time) ->
+              Some { id = msg_id; src; send_time; dst = node; recv_time = time }
+          | None -> None)
+      | _ -> None)
+    (Sim.Trace.events trace)
+
+let causal_messages messages ~root ~t_end =
+  (* Fixpoint from the definition: received by the root before t_end,
+     or received before the receiver sends a causal message.  Iterate
+     until stable (messages are few; each pass is linear). *)
+  let causal = Hashtbl.create 64 in
+  let is_causal m = Hashtbl.mem causal m.id in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        if not (is_causal m) then begin
+          let qualifies =
+            (m.dst = root && m.recv_time <= t_end)
+            || List.exists
+                 (fun m' ->
+                   is_causal m' && m'.src = m.dst
+                   && m'.send_time >= m.recv_time)
+                 messages
+          in
+          if qualifies then begin
+            Hashtbl.replace causal m.id ();
+            changed := true
+          end
+        end)
+      messages
+  done;
+  List.filter is_causal messages
+
+let last_causal_tree messages ~root ~t_end ~n =
+  let causal = causal_messages messages ~root ~t_end in
+  let last_send = Array.make n None in
+  List.iter
+    (fun m ->
+      if m.src <> root && m.src < n then
+        match last_send.(m.src) with
+        | Some m' when m'.send_time >= m.send_time -> ()
+        | _ -> last_send.(m.src) <- Some m)
+    causal;
+  let complete = ref true in
+  let parents = ref [] in
+  for v = 0 to n - 1 do
+    if v <> root then
+      match last_send.(v) with
+      | Some m -> parents := (v, m.dst) :: !parents
+      | None -> complete := false
+  done;
+  if not !complete then None
+  else
+    match Netgraph.Tree.of_parents ~root ~parents:!parents with
+    | tree -> Some tree
+    | exception Invalid_argument _ -> None

@@ -1,0 +1,39 @@
+(** Causal-message analysis of executions (the paper's appendix).
+
+    A message is {e causal} if it is received by the root before the
+    algorithm terminates, or received by some node before that node
+    sends a causal message — i.e. it can influence the output through
+    Lamport's happened-before relation.  Theorem 6 rests on two facts
+    checked here on concrete traces:
+
+    - in an execution computing a globally sensitive function, every
+      node other than the root sends at least one causal message
+      (Lemma A.2);
+    - the {e last} causal message of each node defines a spanning tree
+      rooted at the output node (Lemma A.3), which is exactly the tree
+      a tree-based algorithm would use. *)
+
+type message = {
+  id : int;
+  src : int;
+  send_time : float;
+  dst : int;
+  recv_time : float;
+}
+
+val messages_of_trace : Sim.Trace.t -> message list
+(** Pair the [Send] and [Receive] events of a trace; a packet copied
+    to several NCUs yields one entry per delivery. *)
+
+val causal_messages :
+  message list -> root:int -> t_end:float -> message list
+(** The causal subset with respect to the root's termination at
+    [t_end]. *)
+
+val last_causal_tree :
+  message list -> root:int -> t_end:float -> n:int -> Netgraph.Tree.t option
+(** The tree of Lemma A.3: each node's parent is the destination of
+    its last causal send.  [None] when some non-root node in
+    [0..n-1] sent no causal message (the function then cannot have
+    been globally sensitive on this input) or the edges do not form a
+    tree. *)

@@ -1,0 +1,51 @@
+(** Tree-based computation of a globally sensitive function on the
+    simulated hardware (Section 5.2).
+
+    All nodes are triggered at time 0.  Leaves send their inputs to
+    their parents; every interior node folds the partial results of
+    its children as they arrive and forwards its subtree's value to
+    its parent; the root terminates with [f(I_1, ..., I_n)].
+
+    The network is the complete graph (every message is one direct
+    hop), the cost model is the general parameterised one with
+    arbitrary [C] and [P] — this is the experiment demonstrating that
+    the optimal structure depends on C/P even when every node can
+    reach every other in a single hop, i.e. that the new model does
+    not degenerate to the traditional one. *)
+
+type result = {
+  value : int;  (** the fold computed at the root *)
+  expected : int;  (** the same fold computed centrally *)
+  time : float;  (** the root's final activation time *)
+  predicted : float;
+      (** {!Optimal_tree.predicted_completion} for the same shape —
+          equal to [time] under deterministic worst-case delays *)
+  syscalls : int;
+  hops : int;
+  messages : int;
+}
+
+val run :
+  ?inputs:int array ->
+  ?random_delays:Sim.Rng.t ->
+  params:Optimal_tree.params ->
+  shape:Optimal_tree.t ->
+  spec:int Sensitive.spec ->
+  unit ->
+  result
+(** Execute one convergecast over [shape] (concretised with node 0 as
+    root).  [inputs] defaults to a deterministic pattern over the
+    spec's alphabet.  With [random_delays] the hardware samples
+    uniform delays in [(0,C] x (0,P]] instead of the worst case —
+    correctness must be unaffected, completion can only improve.
+    @raise Invalid_argument if [inputs] length differs from the shape
+    size or an input is outside the spec's alphabet. *)
+
+val trace_run :
+  params:Optimal_tree.params ->
+  shape:Optimal_tree.t ->
+  spec:int Sensitive.spec ->
+  unit ->
+  result * Sim.Trace.t * float
+(** Like {!run} but also returns the trace and the root's termination
+    time, for the causal analysis of the appendix. *)

@@ -1,0 +1,21 @@
+(** Single-token depth-first broadcast (Section 3.1).
+
+    One packet traverses the spanning tree in depth-first order and is
+    copied once by every node: n system calls and one time unit — but
+    the token dies at the first inactive link it meets, losing every
+    node after it in tour order.  The six-node example of Section 3
+    shows the resulting topology-maintenance deadlock; this module is
+    the baseline that exhibits it. *)
+
+type msg = { origin : int }
+
+val tour_for : view:Netgraph.Graph.t -> root:int -> int list
+(** The walk the token follows: the depth-first tour of the BFS tree
+    of the view, truncated after the last first-visit. *)
+
+val run :
+  ?config:Broadcast.config ->
+  graph:Netgraph.Graph.t ->
+  root:int ->
+  unit ->
+  Broadcast.result

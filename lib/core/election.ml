@@ -1,0 +1,316 @@
+module Graph = Netgraph.Graph
+module Network = Hardware.Network
+module Anr = Hardware.Anr
+
+type token = {
+  torigin : int;  (* the candidate's origin *)
+  tsize : int;  (* domain size at tour start: level = (tsize, torigin) *)
+  entry : int;  (* o, the OUT node through which the tour entered *)
+  home_walk : int list;  (* walk from [entry] back to [torigin] *)
+  hops_used : int;  (* direct messages spent on this tour *)
+}
+
+type verdict =
+  | Captured_domain of { victim : int; victim_inout : Inout.t; entry : int }
+  | Unsuccessful
+
+type msg =
+  | Tour of token
+  | Return of { to_origin : int; verdict : verdict }
+  | Announce of { leader : int }
+
+type origin_state = {
+  mutable cstatus : [ `Touring | `Inactive | `Leader ];
+  mutable inout : Inout.t;
+  mutable waiting : token option;
+}
+
+type captured_state = {
+  frozen : Inout.t;  (* the INOUT tree as of capture time *)
+  parent_walk : int list;  (* walk from this node to F's origin *)
+}
+
+type role = Unstarted | Origin of origin_state | Captured of captured_state
+
+type outcome = {
+  leader : int;
+  believed_leader : int option array;
+  election_syscalls : int;
+  start_syscalls : int;
+  announce_syscalls : int;
+  total_syscalls : int;
+  hops : int;
+  time : float;
+  tours : int;
+  captures : int;
+  max_route : int;
+  notify_syscalls : int;
+  spanning_tree : Netgraph.Tree.t;
+}
+
+(* floor(log2 size) for size >= 1 *)
+let phase size =
+  let rec go p = if 1 lsl (p + 1) > size then p else go (p + 1) in
+  go 0
+
+let level_of_token t = (t.tsize, t.torigin)
+
+let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
+    ?(notify_supporters = false) ~graph () =
+  let n = Graph.n graph in
+  if not (Graph.is_connected graph) then
+    invalid_arg "Election.run: the graph must be connected";
+  let starters =
+    match starters with
+    | None -> List.init n Fun.id
+    | Some [] -> invalid_arg "Election.run: starters must be non-empty"
+    | Some l -> l
+  in
+  let engine = Sim.Engine.create () in
+  let roles = Array.make n Unstarted in
+  let believed_leader = Array.make n None in
+  let tours = ref 0 in
+  let captures = ref 0 in
+  let max_route = ref 0 in
+
+  let send ctx ~label walk m =
+    max_route := max !max_route (List.length walk - 1);
+    Network.send_walk ~label ctx ~walk m
+  in
+
+  (* Route from [v] (currently holding the token) back to the token's
+     origin: first to [entry] along the INOUT tree [v] recorded when it
+     was (or still is) an origin — the tour reached [v] by climbing
+     virtual-tree parents, so [entry] lies in that tree — then along
+     the reverse walk the token carried from its origin. *)
+  let walk_home v token =
+    let inout =
+      match roles.(v) with
+      | Origin st -> st.inout
+      | Captured cap -> cap.frozen
+      | Unstarted -> invalid_arg "Election.walk_home: unstarted node"
+    in
+    let to_entry = Inout.route inout ~src:v ~dst:token.entry in
+    to_entry @ List.tl token.home_walk
+  in
+
+  let return_unsuccessful ctx v token =
+    send ctx ~label:"election" (walk_home v token)
+      (Return { to_origin = token.torigin; verdict = Unsuccessful })
+  in
+
+  (* [v] is an origin whose level is below the token's; its whole
+     domain joins the token's candidate (rule 2.2). *)
+  let capture ctx v token =
+    match roles.(v) with
+    | Origin st ->
+        incr captures;
+        let home = walk_home v token in
+        roles.(v) <- Captured { frozen = st.inout; parent_walk = home };
+        send ctx ~label:"election" home
+          (Return
+             {
+               to_origin = token.torigin;
+               verdict =
+                 Captured_domain
+                   { victim = v; victim_inout = st.inout; entry = token.entry };
+             })
+    | Captured _ | Unstarted -> assert false
+  in
+
+  let choose_target st =
+    let outs = Inout.out_nodes st.inout in
+    match (rng, outs) with
+    | _, [] -> assert false
+    | None, o :: _ -> o
+    | Some r, outs -> Sim.Rng.pick r outs
+  in
+
+  let rec begin_tour ctx v =
+    match roles.(v) with
+    | Origin st -> (
+        match Inout.out_nodes st.inout with
+        | [] ->
+            st.cstatus <- `Leader;
+            believed_leader.(v) <- Some v;
+            announce ctx v st
+        | _ :: _ ->
+            let o = choose_target st in
+            let walk = Inout.route st.inout ~src:v ~dst:o in
+            let token =
+              {
+                torigin = v;
+                tsize = Inout.size st.inout;
+                entry = o;
+                home_walk = List.rev walk;
+                hops_used = 1;
+              }
+            in
+            st.cstatus <- `Touring;
+            incr tours;
+            send ctx ~label:"election" walk (Tour token))
+    | Captured _ | Unstarted -> assert false
+
+  and announce ctx v st =
+    match Walks.euler_tour_truncated (Inout.spanning_tree st.inout) with
+    | [] | [ _ ] -> ()
+    | tour ->
+        let marked = Walks.mark_first_visits tour in
+        let route =
+          Anr.of_walk_marked (Network.graph (Network.network ctx)) marked
+        in
+        Network.send ~label:"announce" ctx ~route (Announce { leader = v })
+  in
+
+  (* The comparison of rules (2.1)-(2.4), performed when [v]'s own
+     candidate is back home (or was never away): the waiting token
+     either captures [v] or returns home beaten. *)
+  let resolve_waiting ctx v =
+    match roles.(v) with
+    | Origin st -> (
+        match st.waiting with
+        | None -> ()
+        | Some j ->
+            st.waiting <- None;
+            let lv = (Inout.size st.inout, v) in
+            if lv > level_of_token j then return_unsuccessful ctx v j
+            else capture ctx v j)
+    | Captured _ | Unstarted -> ()
+  in
+
+  let ensure_started ctx =
+    let v = Network.self ctx in
+    match roles.(v) with
+    | Unstarted ->
+        roles.(v) <-
+          Origin
+            {
+              cstatus = `Touring;
+              inout = Inout.singleton ~graph v;
+              waiting = None;
+            };
+        begin_tour ctx v
+    | Origin _ | Captured _ -> ()
+  in
+
+  let process_tour ctx v token =
+    match roles.(v) with
+    | Unstarted -> assert false
+    | Origin st -> (
+        let lv = (Inout.size st.inout, v) in
+        let lt = level_of_token token in
+        match st.cstatus with
+        | `Leader -> assert false
+        | `Inactive ->
+            if lv > lt then return_unsuccessful ctx v token  (* 2.1 *)
+            else capture ctx v token  (* 2.2 *)
+        | `Touring -> (
+            if lv > lt then return_unsuccessful ctx v token  (* 2.1 *)
+            else
+              match st.waiting with
+              | None -> st.waiting <- Some token  (* 2.3 *)
+              | Some j ->
+                  (* 2.4: the lower-level candidate returns inactive *)
+                  if lt < level_of_token j then
+                    return_unsuccessful ctx v token
+                  else begin
+                    st.waiting <- Some token;
+                    return_unsuccessful ctx v j
+                  end))
+    | Captured cap ->
+        (* rule 1: hop budget is phase + 1 *)
+        if token.hops_used > phase token.tsize then
+          return_unsuccessful ctx v token
+        else
+          let token = { token with hops_used = token.hops_used + 1 } in
+          send ctx ~label:"election" cap.parent_walk (Tour token)
+  in
+
+  let process_return ctx v verdict =
+    match roles.(v) with
+    | Origin st -> (
+        (match verdict with
+        | Unsuccessful -> st.cstatus <- `Inactive
+        | Captured_domain { victim_inout; entry; _ } ->
+            st.inout <- Inout.merge ~winner:st.inout ~victim:victim_inout ~entry;
+            if notify_supporters then
+              (* the naive variant: tell every member of the captured
+                 domain who it now supports (one direct message each) *)
+              List.iter
+                (fun u ->
+                  if u <> v then
+                    send ctx ~label:"notify"
+                      (Inout.route st.inout ~src:v ~dst:u)
+                      (Announce { leader = v }))
+                (Inout.in_nodes victim_inout));
+        resolve_waiting ctx v;
+        (* if the waiting candidate captured us, we are no longer an
+           origin; otherwise an active candidate tours again *)
+        match roles.(v) with
+        | Origin st when st.cstatus = `Touring -> begin_tour ctx v
+        | Origin _ | Captured _ | Unstarted -> ())
+    | Captured _ | Unstarted -> assert false
+  in
+
+  let handlers _v =
+    {
+      Network.on_start = (fun ctx -> ensure_started ctx);
+      on_message =
+        (fun ctx ~via:_ m ->
+          ensure_started ctx;
+          let v = Network.self ctx in
+          match m with
+          | Tour token -> process_tour ctx v token
+          | Return { to_origin; verdict } ->
+              assert (to_origin = v);
+              process_return ctx v verdict
+          | Announce { leader } -> believed_leader.(v) <- Some leader);
+      on_link_change = (fun _ ~peer:_ ~up:_ -> ());
+    }
+  in
+  (* the paper's "linear length" ANRs: tours and returns concatenate at
+     most two linear routes, and the announcement tour is < 2n, so a
+     hard dmax of 2n + 2 must never fire - enforced live *)
+  let net =
+    Network.create ~dmax:((2 * n) + 2) ~engine ~cost ~graph ~handlers ()
+  in
+  List.iter (fun v -> Network.start ~label:"start" net v) starters;
+  (match Sim.Engine.run engine with
+  | Sim.Engine.Quiescent -> ()
+  | Sim.Engine.Time_limit | Sim.Engine.Event_limit -> assert false);
+  let leader =
+    let found = ref None in
+    Array.iteri
+      (fun v role ->
+        match role with
+        | Origin { cstatus = `Leader; _ } -> (
+            match !found with
+            | None -> found := Some v
+            | Some _ -> invalid_arg "Election.run: two leaders elected")
+        | _ -> ())
+      roles;
+    match !found with
+    | Some v -> v
+    | None -> invalid_arg "Election.run: no leader elected"
+  in
+  let spanning_tree =
+    match roles.(leader) with
+    | Origin st -> Inout.spanning_tree st.inout
+    | Captured _ | Unstarted -> assert false
+  in
+  let m = Network.metrics net in
+  {
+    leader;
+    believed_leader;
+    election_syscalls = Hardware.Metrics.syscalls_labelled m "election";
+    start_syscalls = Hardware.Metrics.syscalls_labelled m "start";
+    announce_syscalls = Hardware.Metrics.syscalls_labelled m "announce";
+    total_syscalls = Hardware.Metrics.syscalls m;
+    hops = Hardware.Metrics.hops m;
+    time = Sim.Engine.now engine;
+    tours = !tours;
+    captures = !captures;
+    max_route = !max_route;
+    notify_syscalls = Hardware.Metrics.syscalls_labelled m "notify";
+    spanning_tree;
+  }

@@ -1,0 +1,68 @@
+(** The leader-election algorithm of Section 4.
+
+    Every node starts as a candidate owning the domain [{itself}].
+    An active candidate tours: it travels (by direct messages) to a
+    node [o] outside its domain, then climbs the virtual-tree parent
+    pointers toward that domain's origin — but never more than
+    [phase + 1] direct messages, where [phase = floor(log2 size)].
+    Reaching a lower-level origin captures that whole domain (merging
+    the INOUT trees keeps every needed route linear); meeting a
+    higher-level candidate, or running out of hops, makes the tourer
+    permanently inactive.  Waiting at a busy origin follows rules
+    (2.3)/(2.4).  The unique survivor — whose OUT set empties —
+    declares itself leader.
+
+    Theorem 5: at most [6n] direct messages (system calls) in total;
+    time is O(n).  The election itself is measured separately from
+    the final leader announcement (an extra O(n)-system-call tour
+    over the leader's INOUT tree, needed so that every node reaches
+    the [leader.elected] state required by the problem statement). *)
+
+type outcome = {
+  leader : int;
+  believed_leader : int option array;
+      (** what each node believes after the announcement *)
+  election_syscalls : int;
+      (** deliveries of tour and return messages — the quantity
+          Theorem 5 bounds by 6n *)
+  start_syscalls : int;  (** the n initial activations *)
+  announce_syscalls : int;
+  total_syscalls : int;
+  hops : int;
+  time : float;
+  tours : int;  (** tours undertaken across all candidates *)
+  captures : int;
+  max_route : int;  (** longest direct-message route used, in hops *)
+  notify_syscalls : int;
+      (** deliveries of supporter notifications; 0 unless
+          [notify_supporters] *)
+  spanning_tree : Netgraph.Tree.t;
+      (** the leader's final INOUT tree — a spanning tree of the
+          network rooted at the leader, a useful by-product: it can
+          carry the Section 3 broadcasts of the reorganised network *)
+}
+
+val run :
+  ?cost:Hardware.Cost_model.t ->
+  ?starters:int list ->
+  ?rng:Sim.Rng.t ->
+  ?notify_supporters:bool ->
+  graph:Netgraph.Graph.t ->
+  unit ->
+  outcome
+(** Run one election to quiescence.  [starters] (default: every node)
+    are triggered at time 0; any other node joins when first touched
+    by the algorithm, as in the paper.  When [rng] is given, each
+    candidate picks tour targets uniformly from its OUT set instead of
+    taking the smallest id, and the cost model's delays are whatever
+    [cost] samples — useful for property tests across schedules.
+
+    [notify_supporters] turns on the naive variant the paper rejects
+    in Section 4: after every capture the winner sends a direct
+    message to each member of the captured domain with the new route.
+    The extra deliveries (reported in [notify_syscalls]) grow as
+    Θ(n log n), demonstrating why the algorithm leaves supporters
+    un-notified.
+
+    @raise Invalid_argument if the graph is disconnected or
+    [starters] is empty. *)

@@ -1,0 +1,48 @@
+(** Baselines demonstrating the Ω(n log n) system-call cost of
+    traditional election techniques under the new measure (Section 4).
+
+    The paper notes that classical algorithms [B80, PKR84, KMZ84] take
+    Ω(n log n) messages, and since their messages are neighbour-to-
+    neighbour (each processed in software at every hop), the bound
+    carries over to system calls in the new model.  We implement
+    Hirschberg-Sinclair on a ring as the canonical O(n log n)
+    representative, and expose the paper's own algorithm with
+    supporter notification switched on as a second Θ(n log n) variant
+    ({!Election.run} with [notify_supporters]). *)
+
+type outcome = {
+  leader : int;
+  syscalls : int;  (** total message deliveries (all software) *)
+  hops : int;
+  time : float;
+  phases : int;  (** phases the winning candidate ran *)
+}
+
+val run_hirschberg_sinclair :
+  ?cost:Hardware.Cost_model.t ->
+  ?priorities:int array ->
+  n:int ->
+  unit ->
+  outcome
+(** Hirschberg-Sinclair bidirectional election on the n-node ring
+    (n >= 3): candidates probe at doubling distances; every probe and
+    reply is relayed in software hop by hop, so the O(n log n) message
+    bound is an O(n log n) system-call bound under the new measure.
+    [priorities] (a permutation of 0..n-1; default: identity, the
+    easy case) places candidate strengths around the ring;
+    {!bit_reversal_priorities} realises the Θ(n log n) worst case.
+    @raise Invalid_argument if [priorities] is not a permutation. *)
+
+val bit_reversal_priorities : n:int -> int array
+(** For [n] a power of two: priority of position [v] is the
+    bit-reversal of [v], which keeps Θ(n / 2^k) candidates alive in
+    phase k — the classical Θ(n log n) adversarial placement. *)
+
+val run_notify_supporters :
+  ?cost:Hardware.Cost_model.t ->
+  ?rng:Sim.Rng.t ->
+  graph:Netgraph.Graph.t ->
+  unit ->
+  outcome
+(** The paper's algorithm with eager supporter notification: correct,
+    but Θ(n log n) deliveries.  [phases] reports the captures. *)

@@ -1,0 +1,29 @@
+module Network = Hardware.Network
+
+type msg = { origin : int }
+
+let forward ctx ~except m =
+  let self = Network.self ctx in
+  List.iter
+    (fun (peer, up) ->
+      if up && Some peer <> except then
+        Network.send_walk ~label:"flood" ctx ~walk:[ self; peer ] m)
+    (Network.neighbors ctx)
+
+let spec ~reached ~view:_ v =
+  let seen = ref false in
+  {
+    Network.on_start =
+      (fun ctx -> forward ctx ~except:None { origin = Network.self ctx });
+    on_message =
+      (fun ctx ~via m ->
+        reached.(v) <- true;
+        if not !seen then begin
+          seen := true;
+          forward ctx ~except:via m
+        end);
+    on_link_change = (fun _ ~peer:_ ~up:_ -> ());
+  }
+
+let run ?(config = Broadcast.default_config ()) ~graph ~root () =
+  Broadcast.execute ~config ~graph ~root ~spec ()

@@ -1,0 +1,25 @@
+(** ARPANET-style flooding broadcast (the baseline of [MRR80]).
+
+    On its first receipt of the message each node forwards it over
+    every active incident link except the one it arrived on.  Under
+    the traditional measure this is the standard O(m)-message,
+    O(diameter)-time broadcast; under the new measure every forwarded
+    copy still costs a full system call at the receiving NCU, so the
+    system-call complexity stays Θ(m) — the paper's motivation for
+    the branching-paths scheme. *)
+
+type msg = { origin : int }
+
+val spec :
+  reached:bool array ->
+  view:Netgraph.Graph.t ->
+  int ->
+  msg Hardware.Network.handlers
+(** Low-level handler factory, for embedding in custom harnesses. *)
+
+val run :
+  ?config:Broadcast.config ->
+  graph:Netgraph.Graph.t ->
+  root:int ->
+  unit ->
+  Broadcast.result

@@ -1,0 +1,107 @@
+module Graph = Netgraph.Graph
+module Tree = Netgraph.Tree
+
+type t = {
+  origin : int;
+  parents : (int, int) Hashtbl.t;  (* member (/= origin) -> tree parent *)
+  inset : (int, unit) Hashtbl.t;
+  outset : (int, unit) Hashtbl.t;
+}
+
+let origin t = t.origin
+let mem_in t v = Hashtbl.mem t.inset v
+let mem_out t v = Hashtbl.mem t.outset v
+let mem t v = mem_in t v || mem_out t v
+
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let in_nodes t = sorted_keys t.inset
+let out_nodes t = sorted_keys t.outset
+let size t = Hashtbl.length t.inset
+
+let singleton ~graph v =
+  let parents = Hashtbl.create 8 in
+  let inset = Hashtbl.create 4 in
+  let outset = Hashtbl.create 8 in
+  Hashtbl.replace inset v ();
+  List.iter
+    (fun peer ->
+      Hashtbl.replace outset peer ();
+      Hashtbl.replace parents peer v)
+    (Graph.neighbors graph v);
+  { origin = v; parents; inset; outset }
+
+let as_tree t =
+  Tree.of_parents ~root:t.origin
+    ~parents:(Hashtbl.fold (fun v p acc -> (v, p) :: acc) t.parents [])
+
+let route t ~src ~dst =
+  if not (mem t src) then
+    invalid_arg (Printf.sprintf "Inout.route: %d is not recorded" src);
+  if not (mem t dst) then
+    invalid_arg (Printf.sprintf "Inout.route: %d is not recorded" dst);
+  match Tree.path_between (as_tree t) src dst with
+  | Some walk -> walk
+  | None -> invalid_arg "Inout.route: endpoints in different trees"
+
+(* Parent map of [t]'s tree re-rooted at member [r]: edges along the
+   path from [r] up to the old root are reversed. *)
+let rerooted_parents t r =
+  let parents = Hashtbl.copy t.parents in
+  let rec flip v =
+    match Hashtbl.find_opt t.parents v with
+    | None -> ()  (* reached the old root *)
+    | Some p ->
+        flip p;
+        Hashtbl.replace parents p v
+  in
+  flip r;
+  Hashtbl.remove parents r;
+  parents
+
+let merge ~winner ~victim ~entry =
+  if not (mem_out winner entry) then
+    invalid_arg "Inout.merge: entry is not an OUT node of the winner";
+  if not (mem_in victim entry) then
+    invalid_arg "Inout.merge: entry is not an IN node of the victim";
+  let parents = Hashtbl.copy winner.parents in
+  let victim_parents = rerooted_parents victim entry in
+  (* Graft victim members not already recorded by the winner; their
+     (re-rooted) parent chains terminate at [entry], which the winner
+     already holds. *)
+  Hashtbl.iter
+    (fun v p -> if not (mem winner v) then Hashtbl.replace parents v p)
+    victim_parents;
+  let inset = Hashtbl.copy winner.inset in
+  Hashtbl.iter (fun v () -> Hashtbl.replace inset v ()) victim.inset;
+  let outset = Hashtbl.create 16 in
+  let add_out v () = if not (Hashtbl.mem inset v) then Hashtbl.replace outset v () in
+  Hashtbl.iter add_out winner.outset;
+  Hashtbl.iter add_out victim.outset;
+  { origin = winner.origin; parents; inset; outset }
+
+let spanning_tree t = as_tree t
+
+let is_valid ~graph t =
+  let members = Hashtbl.length t.inset + Hashtbl.length t.outset in
+  let disjoint =
+    Hashtbl.fold (fun v () acc -> acc && not (Hashtbl.mem t.outset v)) t.inset true
+  in
+  let origin_in = mem_in t t.origin in
+  let edges_physical =
+    Hashtbl.fold
+      (fun v p acc -> acc && Graph.has_edge graph v p)
+      t.parents true
+  in
+  let tree_ok =
+    match as_tree t with
+    | tree -> Tree.size tree = members
+    | exception Invalid_argument _ -> false
+  in
+  let out_frontier =
+    Hashtbl.fold
+      (fun v () acc ->
+        acc && List.exists (fun u -> mem_in t u) (Graph.neighbors graph v))
+      t.outset true
+  in
+  disjoint && origin_in && edges_physical && tree_ok && out_frontier

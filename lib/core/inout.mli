@@ -1,0 +1,51 @@
+(** The INOUT tree of a candidate's domain (Section 4.1).
+
+    An origin records the set [IN] of nodes in its domain and the set
+    [OUT] of outside neighbours of domain nodes, organised as a tree
+    that is a subgraph of the network (so that the ANR route from the
+    origin to any recorded node — and between any two recorded nodes —
+    is linear in n).
+
+    When candidate [i] captures domain [v] through OUT-node [o], the
+    two trees are combined by attaching [v]'s tree (re-rooted at [o])
+    at the edge that already joins [o] to [i]'s tree; [IN] and [OUT]
+    are merged with [OUT := OUT_i ∪ OUT_v − IN]. *)
+
+type t
+
+val singleton : graph:Netgraph.Graph.t -> int -> t
+(** The initial structure of node [v]: [IN = {v}], [OUT] = all of
+    [v]'s neighbours, each attached directly to [v]. *)
+
+val origin : t -> int
+val mem : t -> int -> bool
+val mem_in : t -> int -> bool
+val mem_out : t -> int -> bool
+val in_nodes : t -> int list
+(** Members of IN, sorted. *)
+
+val out_nodes : t -> int list
+(** Members of OUT, sorted. *)
+
+val size : t -> int
+(** [|IN|] — the domain size S that defines level and phase. *)
+
+val route : t -> src:int -> dst:int -> int list
+(** The walk between two recorded nodes along the tree; length is at
+    most the number of recorded nodes (the "linear length ANR").
+    @raise Invalid_argument if either endpoint is not recorded. *)
+
+val merge : winner:t -> victim:t -> entry:int -> t
+(** Combine after a capture through [entry].  [entry] must be an OUT
+    node of [winner] and an IN node of [victim].
+    @raise Invalid_argument otherwise. *)
+
+val spanning_tree : t -> Netgraph.Tree.t
+(** The internal tree over all recorded nodes (IN and OUT), rooted at
+    the origin.  When OUT is empty — the leader's final state — this
+    spans the whole network and carries the announcement tour. *)
+
+val is_valid : graph:Netgraph.Graph.t -> t -> bool
+(** Structural invariants: the tree is a subgraph of [graph], IN and
+    OUT partition the members, the origin is IN, and every OUT node's
+    neighbour set meets IN. *)

@@ -1,0 +1,112 @@
+module Tree = Netgraph.Tree
+
+type t = {
+  tree : Tree.t;
+  labels : (int, int) Hashtbl.t;
+  all_paths : int list list;
+  by_head : (int, int list list) Hashtbl.t;
+  path_depth : (int, int) Hashtbl.t;
+}
+
+let label t v =
+  match Hashtbl.find_opt t.labels v with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Labels.label: node %d not in tree" v)
+
+let tree t = t.tree
+
+let compute tree =
+  let labels = Hashtbl.create (Tree.size tree) in
+  (* Leaves-up labelling; recursion depth is the tree height. *)
+  let rec assign v =
+    let kid_labels = List.map assign (Tree.children tree v) in
+    let l =
+      match List.sort (fun a b -> compare b a) kid_labels with
+      | [] -> 0
+      | [ top ] -> top
+      | top :: second :: _ -> if top = second then top + 1 else top
+    in
+    Hashtbl.replace labels v l;
+    l
+  in
+  ignore (assign (Tree.root tree));
+  let lbl v = Hashtbl.find labels v in
+  (* A chain headed by (u, c) exists when the edge above u (labelled
+     lbl u) does not continue c's chain, i.e. u is the root or
+     lbl u <> lbl c.  Extend downward through the unique same-label
+     child (Lemma 1). *)
+  let chain_of u c =
+    let rec extend v acc =
+      match List.filter (fun k -> lbl k = lbl c) (Tree.children tree v) with
+      | [] -> List.rev (v :: acc)
+      | [ k ] -> extend k (v :: acc)
+      | _ :: _ :: _ ->
+          (* would contradict Lemma 1 *)
+          assert false
+    in
+    u :: extend c []
+  in
+  let all_paths = ref [] in
+  let by_head = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      let heads_here =
+        List.filter
+          (fun c -> u = Tree.root tree || lbl u <> lbl c)
+          (Tree.children tree u)
+      in
+      let chains = List.map (chain_of u) heads_here in
+      if chains <> [] then Hashtbl.replace by_head u chains;
+      all_paths := List.rev_append chains !all_paths)
+    (Tree.nodes tree);
+  let all_paths = List.rev !all_paths in
+  (* Path depth: the root has depth 0; every non-head node of a path
+     has depth (head's depth + 1). *)
+  let path_depth = Hashtbl.create (Tree.size tree) in
+  Hashtbl.replace path_depth (Tree.root tree) 0;
+  let rec propagate u =
+    let du = Hashtbl.find path_depth u in
+    let chains = Option.value ~default:[] (Hashtbl.find_opt by_head u) in
+    List.iter
+      (fun chain ->
+        List.iter
+          (fun v ->
+            if v <> u then begin
+              Hashtbl.replace path_depth v (du + 1);
+              propagate v
+            end)
+          chain)
+      chains
+  in
+  propagate (Tree.root tree);
+  { tree; labels; all_paths; by_head; path_depth }
+
+let max_label t = label t (Tree.root t.tree)
+let paths t = t.all_paths
+let paths_from t v = Option.value ~default:[] (Hashtbl.find_opt t.by_head v)
+
+let path_label t = function
+  | _ :: second :: _ -> label t second
+  | _ -> invalid_arg "Labels.path_label: a path has at least two nodes"
+
+let depth_in_paths t v =
+  match Hashtbl.find_opt t.path_depth v with
+  | Some d -> d
+  | None ->
+      invalid_arg (Printf.sprintf "Labels.depth_in_paths: node %d not in tree" v)
+
+let max_path_depth t =
+  Hashtbl.fold (fun _ d acc -> max d acc) t.path_depth 0
+
+let pp ppf t =
+  Format.fprintf ppf "labels(max=%d):@." (max_label t);
+  List.iter
+    (fun v -> Format.fprintf ppf "  %d -> %d@." v (label t v))
+    (Tree.nodes t.tree);
+  Format.fprintf ppf "paths:@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  [%s] label %d@."
+        (String.concat " " (List.map string_of_int p))
+        (path_label t p))
+    t.all_paths

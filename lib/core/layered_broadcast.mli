@@ -1,0 +1,28 @@
+(** The layered BFS broadcast of Section 3's footnote.
+
+    If headers of length O(n^2) are permitted (no path-length
+    restriction), a single message can traverse the minimum-hop tree a
+    layer at a time — first the subtree spanning all nodes within one
+    hop, back to the origin, then the subtree within two hops, and so
+    on — copied only on the first visit to each node.  Time is one
+    unit and system calls n, and (unlike the plain depth-first token)
+    a guarantee of convergence after O(log n) rounds can be recovered;
+    the price is the huge header, which is why the paper develops the
+    branching-paths scheme for the restricted-dmax model. *)
+
+type msg = { origin : int }
+
+val tour_for : view:Netgraph.Graph.t -> root:int -> int list
+(** The concatenated layer-by-layer walk, truncated after the last
+    first-visit. *)
+
+val header_length : view:Netgraph.Graph.t -> root:int -> int
+(** Length (in elements) of the header this broadcast needs — the
+    Θ(n·d) growth that motivates the dmax restriction. *)
+
+val run :
+  ?config:Broadcast.config ->
+  graph:Netgraph.Graph.t ->
+  root:int ->
+  unit ->
+  Broadcast.result

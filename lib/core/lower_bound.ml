@@ -1,0 +1,158 @@
+module Tree = Netgraph.Tree
+
+(* -- The counting argument ------------------------------------------- *)
+
+let pow2 k =
+  if k < 0 || k > 61 then invalid_arg "Lower_bound.pow2: exponent out of range";
+  1 lsl k
+
+(* P_t bounds the number of predecessors (strict ancestors) of the
+   adversary's uninformed set V_t: each of the 2^t members of V_t sits
+   five levels below V_(t-1), contributing at most 5 fresh ancestors,
+   on top of the previous P_(t-1); P_0 accounts for the source's
+   ancestors (just the source itself plus slack). *)
+let predecessors_bound t =
+  let rec accumulate s acc = if s > t then acc else accumulate (s + 1) (acc + (5 * pow2 s)) in
+  accumulate 0 2
+
+let claim_inequality_holds ~t =
+  if t < 1 then invalid_arg "Lower_bound.claim_inequality_holds: t >= 1";
+  (* 2^(5t+5) >= 2^(t+1) + 2 * P_t, rearranged so the right-hand side
+     (< 2^60 for every t <= 55) stays within native ints even when the
+     left-hand side would overflow. *)
+  let required = pow2 (t + 1) + (2 * predecessors_bound t) in
+  let descendants_exp = (5 * t) + 5 in
+  if descendants_exp <= 61 then pow2 descendants_exp >= required
+  else true (* required < 2^60 < 2^descendants_exp *)
+
+let verify_claim ~max_t =
+  if max_t > 55 then invalid_arg "Lower_bound.verify_claim: max_t <= 55";
+  let rec check t = t > max_t || (claim_inequality_holds ~t && check (t + 1)) in
+  check 1
+
+let rounds_lower_bound ~n =
+  if n < 1 then invalid_arg "Lower_bound.rounds_lower_bound: n >= 1";
+  let depth = int_of_float (floor (Sim.Stats.log2 (float_of_int (n + 1)))) - 1 in
+  max 1 ((depth - 5) / 5)
+
+(* -- The round-based schedule simulator ------------------------------- *)
+
+type path_choice = { sender : int; path : int list }
+
+type strategy =
+  tree:Netgraph.Tree.t -> informed:bool array -> round:int -> path_choice list
+
+let validate_choice tree informed { sender; path } =
+  if not informed.(sender) then
+    invalid_arg
+      (Printf.sprintf "Lower_bound.simulate: uninformed sender %d" sender);
+  (match path with
+  | first :: _ when first = sender -> ()
+  | _ -> invalid_arg "Lower_bound.simulate: path must start at its sender");
+  let rec downward = function
+    | [] | [ _ ] -> ()
+    | u :: (v :: _ as rest) ->
+        if not (List.mem v (Tree.children tree u)) then
+          invalid_arg
+            (Printf.sprintf
+               "Lower_bound.simulate: %d -> %d is not a child link" u v);
+        downward rest
+  in
+  downward path
+
+let first_links choices =
+  List.filter_map
+    (fun { path; _ } ->
+      match path with u :: v :: _ -> Some (u, v) | _ -> None)
+    choices
+
+let simulate ~tree ~strategy ~max_rounds =
+  let top =
+    1 + List.fold_left max (Tree.root tree) (Tree.nodes tree)
+  in
+  let informed = Array.make top false in
+  informed.(Tree.root tree) <- true;
+  let covered () =
+    List.for_all (fun v -> informed.(v)) (Tree.nodes tree)
+  in
+  let rec advance round =
+    if covered () then Some (round - 1)
+    else if round > max_rounds then None
+    else begin
+      let choices = strategy ~tree ~informed ~round in
+      List.iter (validate_choice tree informed) choices;
+      let links = first_links choices in
+      let sorted = List.sort compare links in
+      let rec no_duplicates = function
+        | a :: (b :: _ as rest) ->
+            if a = b then
+              invalid_arg
+                "Lower_bound.simulate: two paths through one child link"
+            else no_duplicates rest
+        | _ -> ()
+      in
+      no_duplicates sorted;
+      List.iter
+        (fun { path; _ } -> List.iter (fun v -> informed.(v) <- true) path)
+        choices;
+      advance (round + 1)
+    end
+  in
+  advance 1
+
+(* -- Concrete strategies ---------------------------------------------- *)
+
+(* Send every decomposition path whose head became informed in the
+   previous round (the head launches all its paths at once; they go
+   through distinct child links by construction). *)
+let branching_paths_strategy ~tree ~informed ~round =
+  ignore round;
+  let labelling = Labels.compute tree in
+  let launched_some = ref [] in
+  List.iter
+    (fun head ->
+      if informed.(head) then
+        List.iter
+          (fun path ->
+            match path with
+            | _ :: second :: _ when not informed.(second) ->
+                launched_some := { sender = head; path } :: !launched_some
+            | _ -> ())
+          (Labels.paths_from labelling head))
+    (Tree.nodes tree);
+  !launched_some
+
+(* Through each child link of each informed node, extend greedily into
+   the deepest chain of uninformed nodes. *)
+let greedy_strategy ~tree ~informed ~round =
+  ignore round;
+  let rec deepest v =
+    let options = List.map deepest (Tree.children tree v) in
+    let best = List.fold_left (fun acc p -> if List.length p > List.length acc then p else acc) [] options in
+    v :: best
+  in
+  let choices = ref [] in
+  List.iter
+    (fun u ->
+      if informed.(u) then
+        List.iter
+          (fun c ->
+            if not informed.(c) then
+              choices := { sender = u; path = u :: deepest c } :: !choices)
+          (Tree.children tree u))
+    (Tree.nodes tree);
+  !choices
+
+let eager_single_edge_strategy ~tree ~informed ~round =
+  ignore round;
+  let choices = ref [] in
+  List.iter
+    (fun u ->
+      if informed.(u) then
+        List.iter
+          (fun c ->
+            if not informed.(c) then
+              choices := { sender = u; path = [ u; c ] } :: !choices)
+          (Tree.children tree u))
+    (Tree.nodes tree);
+  !choices

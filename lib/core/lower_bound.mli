@@ -1,0 +1,66 @@
+(** The Ω(log n) one-way broadcast lower bound (Section 3.4, Theorem 3).
+
+    Model of the proof: on a rooted complete binary tree, time advances
+    in rounds; in each round every informed node may launch at most one
+    downward path per child link (two per node), and every node on a
+    launched path becomes informed at the end of the round.  Theorem 3
+    shows any such schedule needs Ω(log n) rounds: an adversary
+    maintains, at round [t], a set of [2^t] still-uninformed nodes at
+    depth [5t].
+
+    A lower bound quantifies over {e all} algorithms, so it cannot be
+    established by simulation; this module therefore provides
+    (a) a machine check of the counting argument's inequalities,
+    (b) a round-based simulator for the proof's model, used to measure
+    concrete one-way schedules (branching-paths, greedy) and confirm
+    they respect the bound while the branching-paths scheme meets the
+    matching O(log n) upper bound. *)
+
+(** {1 The counting argument} *)
+
+val claim_inequality_holds : t:int -> bool
+(** Checks [2^(5t+5) - 2 * P_t >= 2^(t+1)] where
+    [P_t = sum_(s<=t) 5 * 2^s + 2] bounds the predecessors of the
+    adversary's set [V_t] — the step that lets the adversary pick
+    [2^(t+1)] uninformed descendants at depth [5(t+1)]. *)
+
+val verify_claim : max_t:int -> bool
+(** The inequality holds for every [1 <= t <= max_t] (checked with
+    exact integer arithmetic; [max_t <= 55] to stay within 63-bit
+    ints). *)
+
+val rounds_lower_bound : n:int -> int
+(** The bound Theorem 3 yields for an n-node complete binary tree:
+    [max 1 ((D - 5) / 5)] rounds where [D = log2 (n+1) - 1] is the
+    depth. *)
+
+(** {1 The round-based schedule simulator} *)
+
+type path_choice = { sender : int; path : int list }
+(** A downward path launched by [sender]; [path] starts at [sender]
+    and descends through tree children. *)
+
+type strategy =
+  tree:Netgraph.Tree.t -> informed:bool array -> round:int -> path_choice list
+(** Chooses the paths for one round, given which nodes are informed.
+    The simulator rejects choices from uninformed senders, non-downward
+    paths, and two paths through the same child link. *)
+
+val simulate :
+  tree:Netgraph.Tree.t -> strategy:strategy -> max_rounds:int -> int option
+(** Rounds needed to inform every tree node, or [None] if [strategy]
+    fails to finish within [max_rounds].
+    @raise Invalid_argument if the strategy violates the model. *)
+
+val branching_paths_strategy : strategy
+(** Every node launches its branching-path decomposition paths in the
+    round after it is informed — the Section 3.1 algorithm expressed
+    in this model; finishes in [1 + max_label] rounds. *)
+
+val greedy_strategy : strategy
+(** Every informed node launches, through each child link, the longest
+    path whose continuation reaches uninformed nodes. *)
+
+val eager_single_edge_strategy : strategy
+(** Every informed node relays one hop to each uninformed child —
+    flooding expressed in this model; needs depth-many rounds. *)

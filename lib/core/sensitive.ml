@@ -1,0 +1,124 @@
+type 'a spec = { name : string; op : 'a -> 'a -> 'a; alphabet : 'a list }
+
+let fold spec = function
+  | [] -> invalid_arg "Sensitive.fold: empty input vector"
+  | x :: rest -> List.fold_left spec.op x rest
+
+let is_associative_and_commutative spec =
+  let a = spec.alphabet in
+  let closed = List.for_all (fun x -> List.for_all (fun y -> List.mem (spec.op x y) a) a) a in
+  let commutative =
+    List.for_all (fun x -> List.for_all (fun y -> spec.op x y = spec.op y x) a) a
+  in
+  let associative =
+    List.for_all
+      (fun x ->
+        List.for_all
+          (fun y ->
+            List.for_all
+              (fun z -> spec.op (spec.op x y) z = spec.op x (spec.op y z))
+              a)
+          a)
+      a
+  in
+  closed && commutative && associative
+
+let is_globally_sensitive_vector spec vector =
+  let base = fold spec (Array.to_list vector) in
+  let sensitive_at j =
+    List.exists
+      (fun m ->
+        let altered = Array.copy vector in
+        altered.(j) <- m;
+        fold spec (Array.to_list altered) <> base)
+      spec.alphabet
+  in
+  Array.length vector > 0
+  && Array.for_all Fun.id (Array.mapi (fun j _ -> sensitive_at j) vector)
+
+let find_sensitive_vector ?rng spec ~n =
+  if n <= 0 then invalid_arg "Sensitive.find_sensitive_vector: n >= 1";
+  let constant_candidates =
+    List.map (fun a -> Array.make n a) spec.alphabet
+  in
+  let random_candidates =
+    match rng with
+    | None -> []
+    | Some r ->
+        List.init 64 (fun _ ->
+            Array.init n (fun _ -> Sim.Rng.pick r spec.alphabet))
+  in
+  List.find_opt
+    (is_globally_sensitive_vector spec)
+    (constant_candidates @ random_candidates)
+
+let is_globally_sensitive ?rng spec ~n =
+  Option.is_some (find_sensitive_vector ?rng spec ~n)
+
+let is_globally_sensitive_exhaustive spec ~n =
+  if n <= 0 then invalid_arg "Sensitive.is_globally_sensitive_exhaustive: n >= 1";
+  let alphabet = Array.of_list spec.alphabet in
+  let k = Array.length alphabet in
+  let space = float_of_int k ** float_of_int n in
+  if space > 100_000.0 then
+    invalid_arg "Sensitive.is_globally_sensitive_exhaustive: space too large";
+  let vector = Array.make n alphabet.(0) in
+  let rec search pos =
+    if pos = n then is_globally_sensitive_vector spec vector
+    else
+      let rec try_values i =
+        i < k
+        && begin
+             vector.(pos) <- alphabet.(i);
+             search (pos + 1) || try_values (i + 1)
+           end
+      in
+      try_values 0
+  in
+  search 0
+
+let range k = List.init k Fun.id
+
+let sum_mod k =
+  if k < 2 then invalid_arg "Sensitive.sum_mod: k >= 2";
+  { name = Printf.sprintf "sum mod %d" k; op = (fun a b -> (a + b) mod k); alphabet = range k }
+
+let max_spec ~hi =
+  if hi < 1 then invalid_arg "Sensitive.max_spec: hi >= 1";
+  { name = Printf.sprintf "max over 0..%d" hi; op = max; alphabet = range (hi + 1) }
+
+let xor_spec ~bits =
+  if bits < 1 || bits > 16 then invalid_arg "Sensitive.xor_spec: 1 <= bits <= 16";
+  { name = Printf.sprintf "xor (%d bits)" bits; op = ( lxor ); alphabet = range (1 lsl bits) }
+
+let bool_and = { name = "and"; op = ( && ); alphabet = [ false; true ] }
+let bool_or = { name = "or"; op = ( || ); alphabet = [ false; true ] }
+
+let gcd_spec ~values =
+  if values = [] || List.exists (fun v -> v < 1) values then
+    invalid_arg "Sensitive.gcd_spec: positive values required";
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  (* close the alphabet under gcd *)
+  let closure = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace closure v ()) values;
+  let rec saturate () =
+    let added = ref false in
+    let current = Hashtbl.fold (fun k () acc -> k :: acc) closure [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let g = gcd a b in
+            if not (Hashtbl.mem closure g) then begin
+              Hashtbl.replace closure g ();
+              added := true
+            end)
+          current)
+      current;
+    if !added then saturate ()
+  in
+  saturate ();
+  let alphabet =
+    Hashtbl.fold (fun k () acc -> k :: acc) closure [] |> List.sort compare
+  in
+  { name = "gcd"; op = gcd; alphabet }

@@ -1,0 +1,63 @@
+(** Globally sensitive functions (Section 5.1).
+
+    The function [f] computed by the network is associative and
+    commutative over a finite alphabet, i.e. a fold of a binary
+    operation.  An input vector [I] is {e globally sensitive} when for
+    every position [j] some change of [I_j] alone changes [f(I)]; [f]
+    is globally sensitive when at least one such vector exists — the
+    condition under which every node must causally influence the
+    output (Lemma A.2). *)
+
+type 'a spec = {
+  name : string;
+  op : 'a -> 'a -> 'a;
+  alphabet : 'a list;  (** the finite input alphabet, duplicates-free *)
+}
+
+val fold : 'a spec -> 'a list -> 'a
+(** Combine a non-empty list with [op].
+    @raise Invalid_argument on the empty list. *)
+
+val is_associative_and_commutative : 'a spec -> bool
+(** Exhaustive check of the two Section 5.1 axioms over the alphabet
+    (closure under [op] is checked as well, since the fold must stay
+    in the domain). *)
+
+val is_globally_sensitive_vector : 'a spec -> 'a array -> bool
+(** Does changing any single position (to some alphabet value) change
+    the fold? *)
+
+val find_sensitive_vector : ?rng:Sim.Rng.t -> 'a spec -> n:int -> 'a array option
+(** Search for a globally sensitive input vector of length [n]:
+    constant vectors over the alphabet first, then (when [rng] is
+    given) random vectors.  [None] means none was found — not a proof
+    that none exists. *)
+
+val is_globally_sensitive : ?rng:Sim.Rng.t -> 'a spec -> n:int -> bool
+(** [find_sensitive_vector] succeeds. *)
+
+val is_globally_sensitive_exhaustive : 'a spec -> n:int -> bool
+(** Decision procedure: enumerate {e every} input vector of length [n]
+    over the alphabet.  Exact but exponential —
+    [|alphabet|^n <= 100_000] is enforced.
+    @raise Invalid_argument when the search space is too large. *)
+
+(** {1 Ready-made specs used by the experiments} *)
+
+val sum_mod : int -> int spec
+(** Addition modulo [k] over alphabet [0..k-1]; every vector is
+    globally sensitive. *)
+
+val max_spec : hi:int -> int spec
+(** Maximum over [0..hi]; the all-[hi] vector is {e not} sensitive,
+    but the all-zero vector is — a useful contrast case. *)
+
+val xor_spec : bits:int -> int spec
+(** Bitwise xor over [0 .. 2^bits - 1]. *)
+
+val bool_and : bool spec
+val bool_or : bool spec
+
+val gcd_spec : values:int list -> int spec
+(** gcd over a closed-under-gcd value set (the divisors closure of
+    [values] is taken automatically). *)

@@ -1,0 +1,300 @@
+module Graph = Netgraph.Graph
+module Tree = Netgraph.Tree
+module Network = Hardware.Network
+module Anr = Hardware.Anr
+module Engine = Sim.Engine
+
+type method_ = Branching | Flood | Dfs_token
+
+type params = {
+  method_ : method_;
+  period : float;
+  max_rounds : int;
+  full_view : bool;
+  preseed : bool;
+  cost : Hardware.Cost_model.t;
+  dfs_child_order : (self:int -> children:int list -> int list) option;
+  dmax : int option;
+  stagger : Sim.Rng.t option;
+}
+
+let default_params () =
+  {
+    method_ = Branching;
+    period = 64.0;
+    max_rounds = 64;
+    full_view = false;
+    preseed = false;
+    cost = Hardware.Cost_model.new_model ();
+    dfs_child_order = None;
+    dmax = None;
+    stagger = None;
+  }
+
+type event = { at : float; edge : int * int; up : bool }
+
+type node_event = { at_time : float; node : int; alive : bool }
+
+type outcome = {
+  converged : bool;
+  rounds : int;
+  syscalls : int;
+  hops : int;
+  time : float;
+  correct_per_round : int list;
+}
+
+type msg = {
+  origin : int;
+  seq : int;
+  views : Topology.local_view list;
+  tree_edges : (int * int) list;
+}
+
+type node_state = {
+  db : Topology.db;
+  mutable seq : int;
+  mutable local_links : (int * bool) list;
+  relayed : (int * int, unit) Hashtbl.t;
+}
+
+(* Depth-first tour with a configurable child order, truncated after
+   the last first-visit (see {!Walks}). *)
+let tour_with_order tree order =
+  let rec visit v =
+    let kids = order ~self:v ~children:(Tree.children tree v) in
+    v :: List.concat_map (fun c -> visit c @ [ v ]) kids
+  in
+  let tour = visit (Tree.root tree) in
+  let seen = Hashtbl.create 16 in
+  let last_new = ref 0 in
+  List.iteri
+    (fun i v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        last_new := i
+      end)
+    tour;
+  List.filteri (fun i _ -> i <= !last_new) tour
+
+let cyclic_child_order ~ring ~self ~children =
+  let position v =
+    let rec index i = function
+      | [] -> None
+      | x :: rest -> if x = v then Some i else index (i + 1) rest
+    in
+    index 0 ring
+  in
+  match position self with
+  | None -> children
+  | Some my_pos ->
+      let len = List.length ring in
+      let rank c =
+        match position c with
+        | Some p -> ((p - my_pos + len) mod len, 0)
+        | None -> (len, c)  (* pendants after ring members *)
+      in
+      List.sort (fun a b -> compare (rank a) (rank b)) children
+
+let deadlock_example_graph () =
+  (* triangle 0-1-2 with pendants 3,4,5 on 0,1,2 respectively *)
+  let g =
+    Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 0); (0, 3); (1, 4); (2, 5) ]
+  in
+  (g, [ (0, 3); (1, 4); (2, 5) ])
+
+let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
+  let n = Graph.n graph in
+  let engine = Engine.create () in
+  let states =
+    Array.init n (fun _ ->
+        {
+          db = Topology.create ();
+          seq = 0;
+          local_links = [];
+          relayed = Hashtbl.create 16;
+        })
+  in
+  let own_view v =
+    let st = states.(v) in
+    { Topology.origin = v; seq = st.seq; links = st.local_links }
+  in
+  let broadcast ctx =
+    let v = Network.self ctx in
+    let st = states.(v) in
+    st.seq <- st.seq + 1;
+    Topology.set_own st.db (own_view v);
+    let views =
+      if params.full_view then Topology.all_views st.db else [ own_view v ]
+    in
+    let believed = Topology.believed_graph st.db ~n in
+    match params.method_ with
+    | Flood ->
+        let m = { origin = v; seq = st.seq; views; tree_edges = [] } in
+        Hashtbl.replace st.relayed (v, st.seq) ();
+        List.iter
+          (fun (peer, up) ->
+            if up then Network.send_walk ~label:"topo-flood" ctx ~walk:[ v; peer ] m)
+          st.local_links
+    | Branching ->
+        let tree = Netgraph.Spanning.bfs_tree believed ~root:v in
+        let labelling = Labels.compute tree in
+        let m =
+          {
+            origin = v;
+            seq = st.seq;
+            views;
+            tree_edges = List.map (fun (p, c) -> (c, p)) (Tree.edges tree);
+          }
+        in
+        Hashtbl.replace st.relayed (v, st.seq) ();
+        List.iter
+          (fun path ->
+            Network.send_walk ~label:"topo-bpaths" ~copy_at:(fun _ -> true) ctx
+              ~walk:path m)
+          (Labels.paths_from labelling v)
+    | Dfs_token -> (
+        let tree = Netgraph.Spanning.bfs_tree believed ~root:v in
+        let order =
+          match params.dfs_child_order with
+          | Some f -> fun ~self ~children -> f ~self ~children
+          | None -> fun ~self:_ ~children -> children
+        in
+        match tour_with_order tree order with
+        | [] | [ _ ] -> ()
+        | tour ->
+            let m = { origin = v; seq = st.seq; views; tree_edges = [] } in
+            let marked = Walks.mark_first_visits tour in
+            let route =
+              Anr.of_walk_marked (Network.graph (Network.network ctx)) marked
+            in
+            Network.send ~label:"topo-dfs" ctx ~route m)
+  in
+  let relay ctx m =
+    let v = Network.self ctx in
+    let st = states.(v) in
+    if not (Hashtbl.mem st.relayed (m.origin, m.seq)) then begin
+      Hashtbl.replace st.relayed (m.origin, m.seq) ();
+      true
+    end
+    else false
+  in
+  let handlers v =
+    {
+      Network.on_start =
+        (fun ctx ->
+          let st = states.(v) in
+          st.local_links <- Network.neighbors ctx;
+          Topology.set_own st.db (own_view v);
+          let rec rearm () =
+            Network.set_timer ~label:"topo-period" ctx ~delay:params.period
+              (fun () ->
+                broadcast ctx;
+                rearm ())
+          in
+          (match params.stagger with
+          | None ->
+              broadcast ctx;
+              rearm ()
+          | Some rng ->
+              (* first broadcast at a random phase within the period *)
+              Network.set_timer ~label:"topo-stagger" ctx
+                ~delay:(Sim.Rng.float rng params.period) (fun () ->
+                  broadcast ctx;
+                  rearm ())));
+      on_message =
+        (fun ctx ~via m ->
+          let st = states.(v) in
+          ignore (Topology.update_all st.db m.views : bool);
+          match params.method_ with
+          | Dfs_token -> ()
+          | Flood ->
+              if relay ctx m then
+                List.iter
+                  (fun (peer, up) ->
+                    if up && Some peer <> via then
+                      Network.send_walk ~label:"topo-flood" ctx
+                        ~walk:[ v; peer ] m)
+                  st.local_links
+          | Branching ->
+              if relay ctx m && m.tree_edges <> [] then begin
+                let tree =
+                  Tree.of_parents ~root:m.origin ~parents:m.tree_edges
+                in
+                if Tree.mem tree v then
+                  let labelling = Labels.compute tree in
+                  List.iter
+                    (fun path ->
+                      Network.send_walk ~label:"topo-bpaths"
+                        ~copy_at:(fun _ -> true) ctx ~walk:path m)
+                    (Labels.paths_from labelling v)
+              end);
+      on_link_change =
+        (fun _ctx ~peer ~up ->
+          let st = states.(v) in
+          st.local_links <-
+            List.map
+              (fun (p, s) -> if p = peer then (p, up) else (p, s))
+              st.local_links;
+          Topology.set_own st.db (own_view v));
+    }
+  in
+  let net =
+    Network.create ?dmax:params.dmax ~dmax_policy:`Drop ~engine
+      ~cost:params.cost ~graph ~handlers ()
+  in
+  if params.preseed then
+    Array.iteri
+      (fun v st ->
+        ignore v;
+        Graph.iter_nodes
+          (fun o ->
+            let links = List.map (fun p -> (p, true)) (Graph.neighbors graph o) in
+            ignore
+              (Topology.update st.db { Topology.origin = o; seq = 0; links }
+                : bool))
+          graph)
+      states;
+  List.iter
+    (fun { at; edge = u, v; up } ->
+      Engine.schedule_at engine ~time:at (fun () -> Network.set_link net u v ~up))
+    events;
+  List.iter
+    (fun { at_time; node; alive } ->
+      Engine.schedule_at engine ~time:at_time (fun () ->
+          if alive then Network.restore_node net node
+          else Network.fail_node net node))
+    node_events;
+  Network.start_all net;
+  let actual_graph () =
+    Graph.of_edges ~n
+      (List.filter (fun (u, v) -> Network.link_is_up net u v) (Graph.edges graph))
+  in
+  let correct_count () =
+    let actual = actual_graph () in
+    Graph.fold_nodes
+      (fun v acc ->
+        if Topology.consistent_with states.(v).db ~actual ~node:v then acc + 1
+        else acc)
+      graph 0
+  in
+  let epsilon = 1e-6 in
+  let rec rounds_loop k progress =
+    let horizon = (float_of_int k *. params.period) -. epsilon in
+    ignore (Engine.run ~until:horizon engine : Engine.outcome);
+    let correct = correct_count () in
+    let progress = correct :: progress in
+    if correct = n then (true, k, progress)
+    else if k >= params.max_rounds then (false, k, progress)
+    else rounds_loop (k + 1) progress
+  in
+  let converged, rounds, progress = rounds_loop 1 [] in
+  let m = Network.metrics net in
+  {
+    converged;
+    rounds;
+    syscalls = Hardware.Metrics.syscalls m;
+    hops = Hardware.Metrics.hops m;
+    time = Engine.now engine;
+    correct_per_round = List.rev progress;
+  }

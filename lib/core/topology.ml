@@ -1,0 +1,74 @@
+module Graph = Netgraph.Graph
+
+type local_view = { origin : int; seq : int; links : (int * bool) list }
+
+type db = (int, local_view) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let update db view =
+  match Hashtbl.find_opt db view.origin with
+  | Some stored when stored.seq >= view.seq -> false
+  | _ ->
+      Hashtbl.replace db view.origin view;
+      true
+
+let update_all db views =
+  List.fold_left (fun acc v -> update db v || acc) false views
+
+let set_own db view = Hashtbl.replace db view.origin view
+
+let find db origin = Hashtbl.find_opt db origin
+
+let all_views db =
+  Hashtbl.fold (fun _ v acc -> v :: acc) db []
+  |> List.sort (fun a b -> compare a.origin b.origin)
+
+let known_nodes db = List.map (fun v -> v.origin) (all_views db)
+
+let believed_graph db ~n =
+  (* Gather directed reports, then apply the both-endpoints rule. *)
+  let reports = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun origin view ->
+      List.iter
+        (fun (peer, up) ->
+          if peer >= 0 && peer < n && origin < n then
+            Hashtbl.replace reports (origin, peer) up)
+        view.links)
+    db;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun (u, v) up_uv ->
+      if u < v then begin
+        let believed_up =
+          match Hashtbl.find_opt reports (v, u) with
+          | Some up_vu -> up_uv && up_vu
+          | None -> up_uv
+        in
+        if believed_up then edges := (u, v) :: !edges
+      end)
+    reports;
+  (* Symmetric singletons: v reported (v, u) but u never reported. *)
+  Hashtbl.iter
+    (fun (u, v) up_uv ->
+      if u > v && not (Hashtbl.mem reports (v, u)) && up_uv then
+        edges := (v, u) :: !edges)
+    reports;
+  Graph.of_edges ~n !edges
+
+let consistent_with db ~actual ~node =
+  let n = Graph.n actual in
+  let believed = believed_graph db ~n in
+  let actual_component = Netgraph.Traversal.component_of actual node in
+  let believed_component = Netgraph.Traversal.component_of believed node in
+  actual_component = believed_component
+  &&
+  let in_component = Array.make n false in
+  List.iter (fun v -> in_component.(v) <- true) actual_component;
+  let restrict g =
+    List.filter
+      (fun (u, v) -> in_component.(u) && in_component.(v))
+      (Graph.edges g)
+  in
+  restrict believed = restrict actual

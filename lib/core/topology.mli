@@ -1,0 +1,51 @@
+(** Topology views: the data the maintenance protocol replicates.
+
+    Each node owns a {e local view} — the states of its adjacent links
+    — stamped with a sequence number incremented at every broadcast
+    (as in the ARPANET).  A node's picture of the network is a
+    database of the freshest local view it has received from each
+    origin; the believed topology is assembled from those views. *)
+
+type local_view = {
+  origin : int;
+  seq : int;
+  links : (int * bool) list;  (** (neighbour, link-is-up) *)
+}
+
+type db
+
+val create : unit -> db
+
+val update : db -> local_view -> bool
+(** Absorb a view if it is strictly fresher than the stored one (or no
+    view from that origin is stored).  Returns whether it was
+    absorbed. *)
+
+val update_all : db -> local_view list -> bool
+(** Absorb many views; true if any was fresher. *)
+
+val set_own : db -> local_view -> unit
+(** Overwrite the entry for the node's own origin unconditionally —
+    used when the data-link layer reports a local change between
+    broadcasts. *)
+
+val find : db -> int -> local_view option
+val all_views : db -> local_view list
+(** Views sorted by origin. *)
+
+val known_nodes : db -> int list
+
+val believed_graph : db -> n:int -> Netgraph.Graph.t
+(** The topology the database describes: an edge (u, v) is believed
+    active iff both endpoints' stored views say so; if only one
+    endpoint has reported, its word is taken.  Since views only ever
+    mention physically adjacent nodes, the believed graph is a
+    subgraph of the real one, so routes computed on it are
+    well-formed ANR walks. *)
+
+val consistent_with :
+  db -> actual:Netgraph.Graph.t -> node:int -> bool
+(** Eventual-consistency check of [T77]: does the believed topology
+    agree with [actual] (the currently-active subgraph) on [node]'s
+    actual connected component — same reachable node set and same
+    edge set within it? *)

@@ -1,0 +1,47 @@
+module Tree = Netgraph.Tree
+
+let euler_tour tree =
+  let rec visit v =
+    v
+    :: List.concat_map
+         (fun c -> visit c @ [ v ])
+         (Tree.children tree v)
+  in
+  visit (Tree.root tree)
+
+let euler_tour_truncated tree =
+  let tour = euler_tour tree in
+  (* Cut after the position of the last first visit. *)
+  let seen = Hashtbl.create 16 in
+  let last_new = ref 0 in
+  List.iteri
+    (fun i v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        last_new := i
+      end)
+    tour;
+  List.filteri (fun i _ -> i <= !last_new) tour
+
+let restrict_to_depth tree depth =
+  let members =
+    List.filter (fun v -> Tree.depth_of tree v <= depth) (Tree.nodes tree)
+  in
+  let parents =
+    List.filter_map
+      (fun v ->
+        match Tree.parent tree v with
+        | None -> None
+        | Some p -> Some (v, p))
+      (List.filter (fun v -> v <> Tree.root tree) members)
+  in
+  Tree.of_parents ~root:(Tree.root tree) ~parents
+
+let mark_first_visits walk =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun v ->
+      let first = not (Hashtbl.mem seen v) in
+      if first then Hashtbl.replace seen v ();
+      (v, first))
+    walk

@@ -1,0 +1,93 @@
+(* E1 — Broadcast cost: flooding vs branching paths vs direct vs DFS vs
+   layered (paper Section 1 and Section 3 headline claims).
+
+   Expected shape: flooding costs Theta(m) system calls and
+   O(diameter) time units; branching paths exactly n system calls and
+   <= 1 + log2 n time units; direct messages n syscalls but Theta(n)
+   time; the single-token broadcasts one unit of time with n syscalls
+   but headers of Theta(n*d). *)
+
+module B = Netgraph.Builders
+module G = Netgraph.Graph
+module BC = Core.Broadcast
+
+let run_one g =
+  let bp = Core.Branching_paths.run ~graph:g ~root:0 () in
+  let fl = Core.Flooding.run ~graph:g ~root:0 () in
+  let di = Core.Direct_broadcast.run ~graph:g ~root:0 () in
+  let df = Core.Dfs_broadcast.run ~graph:g ~root:0 () in
+  let la = Core.Layered_broadcast.run ~graph:g ~root:0 () in
+  (bp, fl, di, df, la)
+
+let sweep_sizes () =
+  let table =
+    Tables.create ~title:"E1a: broadcast costs vs n (random connected, m ~ 1.5n)"
+      ~columns:
+        [ "n"; "m"; "flood sc"; "flood t"; "bpaths sc"; "bpaths t";
+          "1+log2 n"; "direct sc"; "direct t"; "dfs t"; "layered hdr" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(1000 + n) in
+      let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
+      let bp, fl, di, df, la = run_one g in
+      Tables.add_row table
+        [
+          Tables.cell_int n;
+          Tables.cell_int (G.m g);
+          Tables.cell_int fl.BC.syscalls;
+          Tables.cell_float fl.BC.time;
+          Tables.cell_int bp.BC.syscalls;
+          Tables.cell_float bp.BC.time;
+          Tables.cell_float (1.0 +. Sim.Stats.log2 (float_of_int n));
+          Tables.cell_int di.BC.syscalls;
+          Tables.cell_float di.BC.time;
+          Tables.cell_float df.BC.time;
+          Tables.cell_int la.BC.max_header;
+        ])
+    [ 16; 32; 64; 128; 256; 512 ];
+  Tables.add_note table
+    "paper: flooding O(m) syscalls / O(n) time; branching paths n syscalls / O(log n) time";
+  Tables.add_note table
+    "direct: O(n) syscalls AND time; dfs/layered: one unit of time but fragile / huge header";
+  table
+
+let sweep_families () =
+  let table =
+    Tables.create ~title:"E1b: broadcast costs across topologies (n fixed per family)"
+      ~columns:
+        [ "family"; "n"; "m"; "diam"; "flood sc"; "bpaths sc"; "bpaths t"; "flood t" ]
+  in
+  let families =
+    [
+      ("path", B.path 64);
+      ("ring", B.ring 64);
+      ("star", B.star 64);
+      ("grid 8x8", B.grid ~rows:8 ~cols:8);
+      ("hypercube", B.hypercube 6);
+      ("binary tree", B.complete_binary_tree ~depth:5);
+      ("complete", B.complete 64);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let bp, fl, _, _, _ = run_one g in
+      Tables.add_row table
+        [
+          name;
+          Tables.cell_int (G.n g);
+          Tables.cell_int (G.m g);
+          Tables.cell_int (Netgraph.Paths.diameter g);
+          Tables.cell_int fl.BC.syscalls;
+          Tables.cell_int bp.BC.syscalls;
+          Tables.cell_float bp.BC.time;
+          Tables.cell_float fl.BC.time;
+        ])
+    families;
+  Tables.add_note table
+    "branching paths always exactly n syscalls; flooding tracks m (complete graph: ~n^2/2)";
+  table
+
+let run () =
+  Tables.print (sweep_sizes ());
+  Tables.print (sweep_families ())

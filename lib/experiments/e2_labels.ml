@@ -1,0 +1,47 @@
+(* E2 — Theorem 2: the tree labelling stays below log2 n and the
+   broadcast completes within 1 + max-label path generations. *)
+
+module B = Netgraph.Builders
+module L = Core.Labels
+
+let labels_row name tree n =
+  let l = L.compute tree in
+  [
+    name;
+    Tables.cell_int n;
+    Tables.cell_int (L.max_label l);
+    Tables.cell_float (Sim.Stats.log2 (float_of_int n));
+    Tables.cell_int (L.max_path_depth l);
+    Tables.cell_int (List.length (L.paths l));
+  ]
+
+let run () =
+  let table =
+    Tables.create ~title:"E2: tree labels vs the log2 n bound (Theorem 2)"
+      ~columns:[ "tree"; "n"; "max label"; "log2 n"; "path depth"; "paths" ]
+  in
+  List.iter
+    (fun depth ->
+      let g = B.complete_binary_tree ~depth in
+      let n = B.binary_tree_nodes ~depth in
+      let tree = Netgraph.Spanning.bfs_tree g ~root:0 in
+      Tables.add_row table
+        (labels_row (Printf.sprintf "binary depth %d" depth) tree n))
+    [ 2; 4; 6; 8; 10 ];
+  List.iter
+    (fun n ->
+      let tree = Netgraph.Spanning.bfs_tree (B.path n) ~root:0 in
+      Tables.add_row table (labels_row (Printf.sprintf "path %d" n) tree n))
+    [ 64; 512 ];
+  List.iter
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(n * 3) in
+      let g = B.random_tree rng ~n in
+      let tree = Netgraph.Spanning.bfs_tree g ~root:0 in
+      Tables.add_row table (labels_row (Printf.sprintf "random %d" n) tree n))
+    [ 64; 256; 1024; 4096 ];
+  Tables.add_note table
+    "max label <= log2 n always; complete binary trees are the extremal family";
+  Tables.add_note table
+    "measured broadcast time = (1 + path depth) * P, checked exactly by the test suite";
+  Tables.print table

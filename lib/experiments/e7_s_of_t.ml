@@ -1,0 +1,36 @@
+(* E7 — the worked examples of Section 5 (equations 4-11): S(k) under
+   the three models, recursion vs closed form. *)
+
+module OT = Core.Optimal_tree
+
+let run () =
+  let table =
+    Tables.create ~title:"E7: S(k) - maximum nodes computable by time k (eqs 4-11)"
+      ~columns:
+        [ "k"; "C=0,P=1"; "2^(k-1)"; "C=1,P=1"; "Fib(k)"; "C=1,P=0" ]
+  in
+  let new_model = { OT.c = 0.0; p = 1.0 } in
+  let fib_model = { OT.c = 1.0; p = 1.0 } in
+  let traditional = { OT.c = 1.0; p = 0.0 } in
+  for k = 1 to 16 do
+    let t = float_of_int k in
+    let s_trad =
+      match OT.s_of traditional t with
+      | s -> Tables.cell_int s
+      | exception OT.Unbounded -> "unbounded"
+    in
+    Tables.add_row table
+      [
+        Tables.cell_int k;
+        Tables.cell_int (OT.s_of new_model t);
+        Tables.cell_int (1 lsl (k - 1));
+        Tables.cell_int (OT.s_of fib_model t);
+        Tables.cell_int (OT.fib k);
+        s_trad;
+      ]
+  done;
+  Tables.add_note table
+    "recursion S(t)=S(t-P)+S(t-C-P) reproduces the closed forms exactly;";
+  Tables.add_note table
+    "the traditional model (P=0) blows up: a star computes any n in one unit (Example 2)";
+  Tables.print table

@@ -1,0 +1,75 @@
+(* E8 — Section 5.2: the optimal computation time and tree shape as a
+   function of C/P, and the crossover between star-like and
+   binomial-like trees.  The headline observation: even on a complete
+   graph the new model does not degenerate to the traditional one. *)
+
+module OT = Core.Optimal_tree
+
+let run () =
+  let table =
+    Tables.create ~title:"E8a: optimal completion time vs n for several C/P"
+      ~columns:
+        [ "n"; "C/P=0"; "C/P=1/4"; "C/P=1"; "C/P=4"; "C/P=16" ]
+  in
+  let params_of ratio = { OT.c = ratio; p = 1.0 } in
+  List.iter
+    (fun n ->
+      let cell ratio = Tables.cell_float (OT.optimal_time (params_of ratio) ~n) in
+      Tables.add_row table
+        [
+          Tables.cell_int n;
+          cell 0.0; cell 0.25; cell 1.0; cell 4.0; cell 16.0;
+        ])
+    [ 2; 4; 8; 16; 32; 64; 128; 256 ];
+  Tables.add_note table
+    "C/P=0: log2 n + 1 (binomial trees); larger C/P flattens the optimal tree";
+  Tables.print table;
+
+  let table2 =
+    Tables.create ~title:"E8b: optimal tree shape vs C/P (n = 64)"
+      ~columns:[ "C/P"; "t_opt"; "depth"; "root degree"; "profile (nodes/depth)" ]
+  in
+  List.iter
+    (fun ratio ->
+      let params = params_of ratio in
+      let tree = OT.optimal_tree params ~n:64 in
+      let profile =
+        OT.nodes_per_depth tree |> List.map string_of_int |> String.concat ","
+      in
+      Tables.add_row table2
+        [
+          Tables.cell_float ratio;
+          Tables.cell_float (OT.optimal_time params ~n:64);
+          Tables.cell_int (OT.depth tree);
+          Tables.cell_int (OT.root_degree tree);
+          profile;
+        ])
+    [ 0.0; 0.25; 1.0; 4.0; 16.0; 64.0 ];
+  Tables.add_note table2
+    "small C/P: deep, thin (binomial B_6); large C/P: shallow, wide (toward a star)";
+  Tables.print table2;
+
+  let table3 =
+    Tables.create
+      ~title:"E8c: fixed tree shapes vs the optimum, worst-case completion (n = 64)"
+      ~columns:[ "C/P"; "star"; "binomial"; "fibonacci"; "chain"; "optimal" ]
+  in
+  List.iter
+    (fun ratio ->
+      let params = params_of ratio in
+      let complete shape = Tables.cell_float (OT.predicted_completion params shape) in
+      Tables.add_row table3
+        [
+          Tables.cell_float ratio;
+          complete (OT.star 64);
+          complete (OT.binomial 6);
+          complete (OT.fibonacci 10);
+          complete (OT.chain 64);
+          complete (OT.optimal_tree params ~n:64);
+        ])
+    [ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ];
+  Tables.add_note table3
+    "binomial wins at small C/P, the star wins at large C/P, the crossover sits near C/P ~ n/log n;";
+  Tables.add_note table3
+    "the optimal tree beats both everywhere - the trade-off of Section 5 (fibonacci shown for n=55)";
+  Tables.print table3

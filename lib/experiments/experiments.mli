@@ -1,0 +1,21 @@
+(** The experiment harness: table generators for every quantitative
+    claim in the paper (E1-E9), the ablations of DESIGN.md (A1-A4),
+    ASCII renderings of Figures 1-5, and per-node execution
+    timelines.  See DESIGN.md section 3 for the claim-to-experiment
+    map and EXPERIMENTS.md for the recorded results. *)
+
+val all : (string * string * (unit -> unit)) list
+(** Registry: (id, description, runner) for e1..e9 and a1..a4. *)
+
+val find : string -> (string * string * (unit -> unit)) option
+
+val run_all : unit -> unit
+(** Run every registered experiment, printing the tables to stdout. *)
+
+val figures : unit -> unit
+(** Render the paper's Figures 1-5 as ASCII (live objects where a
+    computation is involved). *)
+
+val timeline : unit -> unit
+(** Per-node ASCII timelines of a branching-paths vs a flooding
+    broadcast on a grid — the cost model made visible. *)

@@ -1,0 +1,52 @@
+(** Standard topology generators.
+
+    The experiment harness sweeps the paper's algorithms across these
+    families; the tests use them as fixtures. *)
+
+val path : int -> Graph.t
+(** The path 0 - 1 - ... - (n-1).  Requires [n >= 1]. *)
+
+val ring : int -> Graph.t
+(** The cycle on [n >= 3] nodes. *)
+
+val star : int -> Graph.t
+(** Node 0 joined to each of [1..n-1].  Requires [n >= 1]. *)
+
+val complete : int -> Graph.t
+(** K_n.  Requires [n >= 1]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** The [rows x cols] mesh; node [(r, c)] has id [r * cols + c]. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** The mesh with wrap-around links.  Requires [rows >= 3] and
+    [cols >= 3] to stay a simple graph. *)
+
+val hypercube : int -> Graph.t
+(** The [d]-dimensional hypercube on [2^d] nodes.  Requires
+    [0 <= d <= 20]. *)
+
+val complete_binary_tree : depth:int -> Graph.t
+(** The complete binary tree of the given depth (root at node 0, the
+    children of [v] are [2v+1] and [2v+2]); [2^(depth+1) - 1] nodes.
+    The lower bound of Section 3.4 is stated on this family. *)
+
+val complete_kary_tree : arity:int -> depth:int -> Graph.t
+(** Complete [arity]-ary tree; node 0 is the root. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A path of [spine] nodes, each carrying [legs] pendant leaves.
+    Spine node [i] has id [i]; leaves follow. *)
+
+val random_gnp : Sim.Rng.t -> n:int -> p:float -> Graph.t
+(** Erdos-Renyi G(n, p).  May be disconnected. *)
+
+val random_connected : Sim.Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** A random tree (uniform attachment) plus [extra_edges] additional
+    uniform non-tree edges; always connected. *)
+
+val random_tree : Sim.Rng.t -> n:int -> Graph.t
+(** A random tree on [n] nodes via uniform attachment. *)
+
+val binary_tree_nodes : depth:int -> int
+(** [2^(depth+1) - 1]: size of {!complete_binary_tree}. *)

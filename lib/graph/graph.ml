@@ -1,0 +1,146 @@
+type node = int
+
+type t = {
+  size : int;
+  adj : node array array;  (* adj.(u) sorted increasing *)
+  edge_count : int;
+}
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: node %d out of [0,%d)" v n)
+  in
+  let seen = Hashtbl.create (List.length edges) in
+  let buckets = Array.make n [] in
+  let count = ref 0 in
+  let add_edge (u, v) =
+    check u;
+    check v;
+    if u = v then
+      invalid_arg (Printf.sprintf "Graph.of_edges: self-loop at %d" u);
+    let key = (min u v, max u v) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v);
+      incr count
+    end
+  in
+  List.iter add_edge edges;
+  let adj =
+    Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) buckets
+  in
+  { size = n; adj; edge_count = !count }
+
+let n g = g.size
+let m g = g.edge_count
+let neighbors g u = Array.to_list g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let find_neighbor_index g u v =
+  (* binary search in the sorted adjacency array *)
+  let a = g.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then Some mid
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let has_edge g u v = Option.is_some (find_neighbor_index g u v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let link_index g u v =
+  match find_neighbor_index g u v with
+  | Some i -> i + 1  (* index 0 is the NCU link *)
+  | None -> raise Not_found
+
+let peer_via g u i =
+  let a = g.adj.(u) in
+  if i < 1 || i > Array.length a then raise Not_found else a.(i - 1)
+
+let fold_nodes f g acc =
+  let r = ref acc in
+  for u = 0 to g.size - 1 do
+    r := f u !r
+  done;
+  !r
+
+let iter_nodes f g =
+  for u = 0 to g.size - 1 do
+    f u
+  done
+
+let is_connected g =
+  if g.size = 0 then true
+  else begin
+    let visited = Array.make g.size false in
+    let stack = ref [ 0 ] in
+    visited.(0) <- true;
+    let count = ref 1 in
+    let rec walk () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          Array.iter
+            (fun v ->
+              if not visited.(v) then begin
+                visited.(v) <- true;
+                incr count;
+                stack := v :: !stack
+              end)
+            g.adj.(u);
+          walk ()
+    in
+    walk ();
+    !count = g.size
+  end
+
+let induced g nodes =
+  let members = List.sort_uniq compare nodes in
+  if members = [] then invalid_arg "Graph.induced: empty node list";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= g.size then
+        invalid_arg (Printf.sprintf "Graph.induced: node %d out of range" v))
+    members;
+  let back = Array.of_list members in
+  let fresh = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.replace fresh v i) back;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun u ->
+          match Hashtbl.find_opt fresh u with
+          | Some j when i < j -> edges := (i, j) :: !edges
+          | _ -> ())
+        g.adj.(v))
+    back;
+  (of_edges ~n:(Array.length back) !edges, back)
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d)" g.size g.edge_count;
+  iter_nodes
+    (fun u ->
+      Format.fprintf ppf "@. %d:" u;
+      Array.iter (fun v -> Format.fprintf ppf " %d" v) g.adj.(u))
+    g

@@ -1,0 +1,68 @@
+(** Undirected simple graphs with per-endpoint link indices.
+
+    This is the communication-network graph [(V, E)] of the paper's
+    model (Section 2).  Nodes are the integers [0 .. n-1].  Each
+    node's incident links carry small local indices starting at 1 —
+    index 0 is reserved for the link to the node's own NCU — exactly
+    as required by the hardware model's ANR link IDs (each switch
+    assigns IDs that are unique only within that switch, of length
+    O(log degree) bits).
+
+    The structure is immutable after construction; dynamic topology
+    (link failures) is modelled by the hardware runtime on top of a
+    fixed underlying graph, matching the paper's "active/inactive
+    link" formulation. *)
+
+type t
+
+type node = int
+
+val of_edges : n:int -> (node * node) list -> t
+(** [of_edges ~n edges] builds the graph on nodes [0..n-1].  Duplicate
+    edges are collapsed; self-loops are rejected.
+    @raise Invalid_argument on out-of-range endpoints, [n <= 0], or a
+    self-loop. *)
+
+val n : t -> int
+(** Number of nodes, |V|. *)
+
+val m : t -> int
+(** Number of edges, |E|. *)
+
+val neighbors : t -> node -> node list
+(** Adjacent nodes, in increasing order. *)
+
+val degree : t -> node -> int
+
+val max_degree : t -> int
+
+val has_edge : t -> node -> node -> bool
+
+val edges : t -> (node * node) list
+(** All edges with [u < v], lexicographically sorted. *)
+
+val link_index : t -> node -> node -> int
+(** [link_index g u v] is the local index (>= 1) of the link at [u]
+    leading to neighbour [v].
+    @raise Not_found if [v] is not adjacent to [u]. *)
+
+val peer_via : t -> node -> int -> node
+(** [peer_via g u i] is the node at the far end of [u]'s local link
+    [i].  Inverse of {!link_index}.
+    @raise Not_found if [u] has no link with index [i]. *)
+
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_nodes : (node -> unit) -> t -> unit
+
+val is_connected : t -> bool
+
+val induced : t -> node list -> t * node array
+(** [induced g nodes] is the subgraph induced by [nodes] (duplicates
+    ignored), relabelled to [0 .. k-1] in the sorted order of [nodes];
+    the returned array maps new labels back to the original ones.
+    Useful for running a connected-graph algorithm inside one
+    component of a partitioned network.
+    @raise Invalid_argument on an empty or out-of-range node list. *)
+
+val pp : Format.formatter -> t -> unit

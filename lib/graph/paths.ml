@@ -1,0 +1,56 @@
+let shortest_path g ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Graph.n g in
+    let pred = Array.make n (-1) in
+    let dist = Array.make n (-1) in
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            pred.(v) <- u;
+            if v = dst then found := true;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+    done;
+    if dist.(dst) < 0 then None
+    else begin
+      let rec build v acc =
+        if v = src then src :: acc else build pred.(v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let eccentricity g v =
+  let dist = Traversal.distances g ~root:v in
+  Array.fold_left max 0 dist
+
+let require_connected g fn =
+  if not (Graph.is_connected g) then
+    invalid_arg (fn ^ ": graph is disconnected")
+
+let diameter g =
+  require_connected g "Paths.diameter";
+  Graph.fold_nodes (fun v acc -> max acc (eccentricity g v)) g 0
+
+let radius g =
+  require_connected g "Paths.radius";
+  Graph.fold_nodes (fun v acc -> min acc (eccentricity g v)) g max_int
+
+let all_pairs_distances g =
+  Array.init (Graph.n g) (fun v -> Traversal.distances g ~root:v)
+
+let is_path_in_graph g nodes =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | u :: (v :: _ as rest) -> Graph.has_edge g u v && check rest
+  in
+  check nodes

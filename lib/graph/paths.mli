@@ -1,0 +1,24 @@
+(** Shortest paths and distance statistics. *)
+
+val shortest_path : Graph.t -> src:int -> dst:int -> int list option
+(** A minimum-hop path from [src] to [dst], inclusive of endpoints
+    ([Some [src]] when they coincide); [None] when disconnected.  Ties
+    are broken deterministically (smallest-id predecessor). *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest hop distance from the node to any reachable node. *)
+
+val diameter : Graph.t -> int
+(** Maximum eccentricity over all nodes of a connected graph.
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity over all nodes of a connected graph.
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val all_pairs_distances : Graph.t -> int array array
+(** [d.(u).(v)] is the hop distance or [-1] when unreachable.  O(n * m)
+    via repeated BFS. *)
+
+val is_path_in_graph : Graph.t -> int list -> bool
+(** Whether consecutive list elements are adjacent in the graph. *)

@@ -1,0 +1,168 @@
+type t = {
+  root : int;
+  parents : (int, int) Hashtbl.t;  (* child -> parent; no entry for root *)
+  kids : (int, int list) Hashtbl.t;  (* parent -> sorted children *)
+  members : (int, unit) Hashtbl.t;
+  size : int;
+}
+
+let mem t v = Hashtbl.mem t.members v
+
+let check_member t v =
+  if not (mem t v) then
+    invalid_arg (Printf.sprintf "Tree: node %d is not a member" v)
+
+let of_parents ~root ~parents =
+  let members = Hashtbl.create (List.length parents + 1) in
+  Hashtbl.replace members root ();
+  List.iter
+    (fun (v, _) ->
+      if v = root then
+        invalid_arg "Tree.of_parents: the root cannot have a parent";
+      if Hashtbl.mem members v then
+        invalid_arg (Printf.sprintf "Tree.of_parents: duplicate entry for %d" v);
+      Hashtbl.replace members v ())
+    parents;
+  let parent_tbl = Hashtbl.create (List.length parents) in
+  List.iter
+    (fun (v, p) ->
+      if not (Hashtbl.mem members p) then
+        invalid_arg
+          (Printf.sprintf "Tree.of_parents: parent %d of %d is not a member" p v);
+      Hashtbl.replace parent_tbl v p)
+    parents;
+  (* Reject cycles: walking up from any node must reach the root. *)
+  let verified = Hashtbl.create 16 in
+  Hashtbl.replace verified root ();
+  let rec climb path v =
+    if Hashtbl.mem verified v then
+      List.iter (fun u -> Hashtbl.replace verified u ()) path
+    else if List.mem v path then
+      invalid_arg "Tree.of_parents: cycle detected"
+    else
+      match Hashtbl.find_opt parent_tbl v with
+      | None -> invalid_arg "Tree.of_parents: disconnected node"
+      | Some p -> climb (v :: path) p
+  in
+  List.iter (fun (v, _) -> climb [] v) parents;
+  let kids = Hashtbl.create (List.length parents + 1) in
+  List.iter
+    (fun (v, p) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt kids p) in
+      Hashtbl.replace kids p (v :: existing))
+    parents;
+  Hashtbl.iter
+    (fun p l -> Hashtbl.replace kids p (List.sort compare l))
+    (Hashtbl.copy kids);
+  {
+    root;
+    parents = parent_tbl;
+    kids;
+    members;
+    size = List.length parents + 1;
+  }
+
+let singleton v = of_parents ~root:v ~parents:[]
+
+let root t = t.root
+let size t = t.size
+
+let parent t v =
+  check_member t v;
+  Hashtbl.find_opt t.parents v
+
+let children t v =
+  check_member t v;
+  Option.value ~default:[] (Hashtbl.find_opt t.kids v)
+
+let nodes t =
+  let rec visit v acc = List.fold_left (fun a c -> visit c a) (v :: acc) (children t v) in
+  List.rev (visit t.root [])
+
+let leaves t = List.filter (fun v -> children t v = []) (nodes t)
+
+let depth_of t v =
+  check_member t v;
+  let rec up v acc =
+    match Hashtbl.find_opt t.parents v with
+    | None -> acc
+    | Some p -> up p (acc + 1)
+  in
+  up v 0
+
+let height t =
+  List.fold_left (fun acc v -> max acc (depth_of t v)) 0 (leaves t)
+
+let subtree_nodes t v =
+  check_member t v;
+  let rec visit v acc = List.fold_left (fun a c -> visit c a) (v :: acc) (children t v) in
+  List.rev (visit v [])
+
+let subtree_size t v = List.length (subtree_nodes t v)
+
+let is_ancestor t ~anc ~desc =
+  check_member t anc;
+  check_member t desc;
+  let rec up v = v = anc || (match Hashtbl.find_opt t.parents v with
+    | None -> false
+    | Some p -> up p)
+  in
+  up desc
+
+let path_from_root t v =
+  check_member t v;
+  let rec up v acc =
+    match Hashtbl.find_opt t.parents v with
+    | None -> v :: acc
+    | Some p -> up p (v :: acc)
+  in
+  up v []
+
+let path_between t u v =
+  if not (mem t u) || not (mem t v) then None
+  else begin
+    let pu = path_from_root t u and pv = path_from_root t v in
+    (* Strip the common prefix; the last common node is the LCA. *)
+    let rec strip lca pu pv =
+      match (pu, pv) with
+      | x :: pu', y :: pv' when x = y -> strip x pu' pv'
+      | _ -> (lca, pu, pv)
+    in
+    match (pu, pv) with
+    | x :: pu', y :: pv' when x = y ->
+        let lca, up_part, down_part = strip x pu' pv' in
+        Some (List.rev up_part @ [ lca ] @ down_part)
+    | _ -> None  (* different roots: impossible within one tree *)
+  end
+
+let edges t =
+  List.filter_map
+    (fun v ->
+      match Hashtbl.find_opt t.parents v with
+      | None -> None
+      | Some p -> Some (p, v))
+    (nodes t)
+
+let map_nodes f t =
+  let pairs =
+    Hashtbl.fold (fun v p acc -> (f v, f p) :: acc) t.parents []
+  in
+  let mapped = of_parents ~root:(f t.root) ~parents:pairs in
+  if mapped.size <> t.size then
+    invalid_arg "Tree.map_nodes: mapping is not injective on members";
+  mapped
+
+let spans t g =
+  size t = Graph.n g
+  && List.for_all (fun v -> 0 <= v && v < Graph.n g) (nodes t)
+  && List.for_all (fun (p, v) -> Graph.has_edge g p v) (edges t)
+
+let is_subgraph t g =
+  List.for_all (fun (p, v) -> Graph.has_edge g p v) (edges t)
+
+let pp ppf t =
+  let rec render prefix v =
+    Format.fprintf ppf "%s%d@." prefix v;
+    List.iter (render (prefix ^ "  ")) (children t v)
+  in
+  render "" t.root

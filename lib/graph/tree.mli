@@ -1,0 +1,73 @@
+(** Rooted trees over a subset of a graph's nodes.
+
+    The broadcast of Section 3 operates on rooted spanning trees of the
+    sender's current topology view; the election of Section 4 keeps
+    virtual trees of domains; Section 5 builds optimal computation
+    trees.  This module is the shared representation: a parent-pointer
+    forest restricted to one root, with children lists materialised
+    for traversal.
+
+    Nodes are integers; the tree need not span [0..n-1] — membership
+    is explicit. *)
+
+type t
+
+val of_parents : root:int -> parents:(int * int) list -> t
+(** [of_parents ~root ~parents] builds the tree whose members are
+    [root] plus the first components of [parents]; each pair [(v, p)]
+    states that [p] is the parent of [v].  Children lists are sorted
+    increasingly.
+    @raise Invalid_argument if the structure is not a tree rooted at
+    [root] (cycle, duplicate child entry, orphaned parent, or a parent
+    pointer on the root). *)
+
+val singleton : int -> t
+(** The one-node tree. *)
+
+val root : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+val parent : t -> int -> int option
+(** [parent t v] is [None] exactly on the root.
+    @raise Invalid_argument if [v] is not a member. *)
+
+val children : t -> int -> int list
+val nodes : t -> int list
+(** Members in preorder (root first, children visited in increasing
+    order). *)
+
+val leaves : t -> int list
+val depth_of : t -> int -> int
+(** Edge-distance from the root. *)
+
+val height : t -> int
+(** Maximum depth over members; 0 for a singleton. *)
+
+val subtree_size : t -> int -> int
+val subtree_nodes : t -> int -> int list
+val is_ancestor : t -> anc:int -> desc:int -> bool
+(** Reflexive: every node is its own ancestor. *)
+
+val path_from_root : t -> int -> int list
+(** [path_from_root t v] lists the members from the root down to [v],
+    inclusive. *)
+
+val path_between : t -> int -> int -> int list option
+(** [path_between t u v] is the node sequence of the unique tree path
+    from [u] to [v], or [None] if either is not a member. *)
+
+val edges : t -> (int * int) list
+(** All (parent, child) pairs, in preorder of the child. *)
+
+val map_nodes : (int -> int) -> t -> t
+(** Relabel members; the mapping must be injective on members. *)
+
+val spans : t -> Graph.t -> bool
+(** [spans t g] checks that [t]'s members are exactly [0..n-1] and
+    every tree edge is a graph edge. *)
+
+val is_subgraph : t -> Graph.t -> bool
+(** Every tree edge is a graph edge (membership may be partial). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an indented ASCII outline. *)

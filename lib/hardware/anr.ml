@@ -1,0 +1,127 @@
+type elem = { link : int; copy : bool }
+type t = elem list
+
+let deliver = { link = 0; copy = false }
+
+let of_walk ?(copy_at = fun _ -> false) g walk =
+  match walk with
+  | [] -> invalid_arg "Anr.of_walk: empty walk"
+  | [ _ ] -> []
+  | first :: _ ->
+      (* The injecting node's own NCU already holds the message, so
+         [copy_at] is only consulted at intermediate nodes. *)
+      let rec build = function
+        | [] | [ _ ] -> [ deliver ]
+        | u :: (v :: _ as rest) ->
+            let link = Netgraph.Graph.link_index g u v in
+            let copy = u <> first && copy_at u in
+            { link; copy } :: build rest
+      in
+      build walk
+
+let of_walk_marked g walk =
+  match walk with
+  | [] -> invalid_arg "Anr.of_walk_marked: empty walk"
+  | [ _ ] -> []
+  | (first, _) :: _ ->
+      let rec build = function
+        | [] | [ _ ] -> [ deliver ]
+        | (u, flag) :: ((v, _) :: _ as rest) ->
+            let link = Netgraph.Graph.link_index g u v in
+            { link; copy = u <> first && flag } :: build rest
+      in
+      build walk
+
+let hops t = List.length (List.filter (fun e -> e.link > 0) t)
+let length t = List.length t
+
+let concat a b =
+  match List.rev a with
+  | { link = 0; copy = false } :: rev_prefix -> List.rev_append rev_prefix b
+  | _ -> invalid_arg "Anr.concat: first header does not end at an NCU"
+
+let walk_of g ~src t =
+  let rec follow u acc = function
+    | [] -> List.rev (u :: acc)
+    | { link = 0; _ } :: rest ->
+        if rest <> [] then invalid_arg "Anr.walk_of: elements after NCU delivery";
+        List.rev (u :: acc)
+    | { link; _ } :: rest ->
+        let v =
+          try Netgraph.Graph.peer_via g u link
+          with Not_found ->
+            invalid_arg
+              (Printf.sprintf "Anr.walk_of: node %d has no link %d" u link)
+        in
+        follow v (u :: acc) rest
+  in
+  follow src [] t
+
+let copy_targets g ~src t =
+  let rec follow u acc = function
+    | [] -> List.rev acc
+    | [ { link = 0; _ } ] -> List.rev (u :: acc)
+    | { link = 0; _ } :: _ -> invalid_arg "Anr.copy_targets: malformed header"
+    | { link; copy } :: rest ->
+        let v = Netgraph.Graph.peer_via g u link in
+        follow v (if copy then u :: acc else acc) rest
+  in
+  follow src [] t
+
+(* Per-element ID width: enough bits for every incident link's normal
+   and copy ID plus the reserved NCU id 0.  The copy flag is the most
+   significant bit, as the paper suggests ("the copy ID and the normal
+   ID can be identical except for the most significant bit"). *)
+let id_bits g =
+  let ids = 2 * (Netgraph.Graph.max_degree g + 1) in
+  let rec bits_needed k acc = if 1 lsl acc >= k then acc else bits_needed k (acc + 1) in
+  max 2 (bits_needed ids 0)
+
+let encoded_bits g t = id_bits g * length t
+
+let encode g t =
+  let k = id_bits g in
+  let copy_bit = 1 lsl (k - 1) in
+  let buffer = Buffer.create (k * length t) in
+  List.iter
+    (fun e ->
+      if e.link >= copy_bit then
+        invalid_arg "Anr.encode: link index exceeds the ID width";
+      let id = if e.copy then e.link lor copy_bit else e.link in
+      for bit = k - 1 downto 0 do
+        Buffer.add_char buffer (if id land (1 lsl bit) <> 0 then '1' else '0')
+      done)
+    t;
+  Buffer.contents buffer
+
+let decode g bits =
+  let k = id_bits g in
+  let len = String.length bits in
+  if len mod k <> 0 then
+    invalid_arg "Anr.decode: bit-string length is not a multiple of the ID width";
+  let copy_bit = 1 lsl (k - 1) in
+  let elem_of_chunk pos =
+    let id = ref 0 in
+    for offset = 0 to k - 1 do
+      (id := (!id lsl 1) lor
+             (match bits.[pos + offset] with
+             | '0' -> 0
+             | '1' -> 1
+             | c -> invalid_arg (Printf.sprintf "Anr.decode: bad character %C" c)))
+    done;
+    let copy = !id land copy_bit <> 0 in
+    let link = !id land lnot copy_bit in
+    if link = 0 && copy then
+      invalid_arg "Anr.decode: copy flag on the NCU link";
+    { link; copy }
+  in
+  List.init (len / k) (fun i -> elem_of_chunk (i * k))
+
+let pp ppf t =
+  let pp_elem ppf e =
+    if e.link = 0 then Format.fprintf ppf "NCU"
+    else Format.fprintf ppf "%s%d" (if e.copy then "c" else "") e.link
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp_elem)
+    t

@@ -1,0 +1,96 @@
+(** Automatic Network Routing headers (source routing).
+
+    A header is the concatenation of per-switch link IDs along the
+    intended walk (Section 2, "the hardware model").  Each element is
+    interpreted and consumed by exactly one switching subsystem:
+
+    - a {e normal} ID forwards the remaining packet over the named
+      local link;
+    - a {e copy} ID forwards it {e and} delivers a copy to the local
+      NCU (Figure 3, "selective copy");
+    - the reserved ID [0] names the link to the local NCU, terminating
+      the route (Figure 2).
+
+    Headers are built from node-level walks: the walk may revisit
+    nodes (the DFS and layered broadcasts of Section 3 traverse
+    walks), but consecutive nodes must be graph-adjacent. *)
+
+type elem = { link : int; copy : bool }
+(** One header element: local link index at the consuming switch.
+    [link = 0] addresses the NCU and must not carry [copy]. *)
+
+type t = elem list
+(** Header elements in consumption order. *)
+
+val deliver : elem
+(** The terminating element [{link = 0; copy = false}]. *)
+
+val of_walk : ?copy_at:(int -> bool) -> Netgraph.Graph.t -> int list -> t
+(** [of_walk g walk] builds the header that routes a packet injected
+    at the head of [walk] through every subsequent node, terminating
+    at the last node's NCU.  [copy_at v] (default [fun _ -> false])
+    requests a selective copy to the NCU of intermediate node [v]; it
+    is not consulted for the final node, which always receives the
+    packet.
+
+    A walk of length 1 yields the empty route (self-delivery is not a
+    network operation and is rejected by {!val:deliver}-less send).
+
+    @raise Invalid_argument if consecutive walk nodes are not adjacent
+    or the walk is empty. *)
+
+val of_walk_marked : Netgraph.Graph.t -> (int * bool) list -> t
+(** Like {!of_walk} but with an explicit copy flag per walk position,
+    so a walk that revisits a node (e.g. a depth-first tour) can copy
+    at chosen visits only.  The flag of position [i] requests a copy
+    at that node as the packet passes through it towards position
+    [i+1]; the first position's flag is ignored (the injector already
+    has the message) and the final node always receives the packet. *)
+
+val hops : t -> int
+(** Number of link traversals the header encodes (copy elements count
+    once; the terminating NCU element counts zero). *)
+
+val length : t -> int
+(** Number of header elements — the path-length measure that [dmax]
+    bounds (Section 2, "path length restriction"). *)
+
+val concat : t -> t -> t
+(** [concat a b] splices two headers: [a]'s terminating NCU element is
+    dropped and [b] is appended, so a packet follows [a]'s walk and
+    continues with [b] from [a]'s last node.  [a] must end with the
+    plain NCU element. *)
+
+val walk_of : Netgraph.Graph.t -> src:int -> t -> int list
+(** [walk_of g ~src t] replays the header from [src] and returns the
+    node walk it visits (including [src]).  Fails on a malformed
+    header.  Testing aid; the switches themselves never need global
+    knowledge.
+    @raise Invalid_argument on a dangling link index. *)
+
+val copy_targets : Netgraph.Graph.t -> src:int -> t -> int list
+(** Nodes whose NCU receives the packet: the selective-copy nodes in
+    walk order, plus the terminal node. *)
+
+val encoded_bits : Netgraph.Graph.t -> t -> int
+(** Size of the header in bits under the paper's encoding: each ID is
+    a [k]-bit string with [k = O(log m)]; we use
+    [k = ceil(log2 (2 * (max_degree + 1)))] so every switch can name
+    each incident link's normal and copy IDs plus the NCU. *)
+
+val id_bits : Netgraph.Graph.t -> int
+(** The per-element ID width [k] used by {!encode} for this graph. *)
+
+val encode : Netgraph.Graph.t -> t -> string
+(** The header as the actual bit string the switching hardware would
+    parse: each element is one [k]-bit ID — the paper's normal IDs are
+    the link index, the copy IDs the same index with the top bit set,
+    and ID 0 names the NCU.  Rendered as ASCII '0'/'1' for clarity;
+    length is {!encoded_bits}. *)
+
+val decode : Netgraph.Graph.t -> string -> t
+(** Inverse of {!encode}.
+    @raise Invalid_argument on a malformed bit string (wrong length,
+    non-binary characters, or an ID with the copy bit on the NCU). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+type t = {
+  size : int;
+  mutable hops : int;
+  mutable syscalls : int;
+  mutable sends : int;
+  mutable drops : int;
+  mutable max_header : int;
+  per_node : int array;
+  by_label : (string, int) Hashtbl.t;
+}
+
+let create ~n =
+  {
+    size = n;
+    hops = 0;
+    syscalls = 0;
+    sends = 0;
+    drops = 0;
+    max_header = 0;
+    per_node = Array.make n 0;
+    by_label = Hashtbl.create 8;
+  }
+
+let n t = t.size
+let hops t = t.hops
+let syscalls t = t.syscalls
+let sends t = t.sends
+let drops t = t.drops
+let syscalls_at t v = t.per_node.(v)
+
+let syscalls_labelled t label =
+  Option.value ~default:0 (Hashtbl.find_opt t.by_label label)
+
+let max_header t = t.max_header
+let record_hop t = t.hops <- t.hops + 1
+
+let record_syscall t ~node ~label =
+  t.syscalls <- t.syscalls + 1;
+  t.per_node.(node) <- t.per_node.(node) + 1;
+  Hashtbl.replace t.by_label label (syscalls_labelled t label + 1)
+
+let record_send t ~header_len =
+  t.sends <- t.sends + 1;
+  if header_len > t.max_header then t.max_header <- header_len
+
+let record_drop t = t.drops <- t.drops + 1
+
+let snapshot t =
+  {
+    size = t.size;
+    hops = t.hops;
+    syscalls = t.syscalls;
+    sends = t.sends;
+    drops = t.drops;
+    max_header = t.max_header;
+    per_node = Array.copy t.per_node;
+    by_label = Hashtbl.copy t.by_label;
+  }
+
+let diff later earlier =
+  if later.size <> earlier.size then invalid_arg "Metrics.diff: size mismatch";
+  let by_label = Hashtbl.copy later.by_label in
+  Hashtbl.iter
+    (fun label count ->
+      let current = Option.value ~default:0 (Hashtbl.find_opt by_label label) in
+      Hashtbl.replace by_label label (current - count))
+    earlier.by_label;
+  {
+    size = later.size;
+    hops = later.hops - earlier.hops;
+    syscalls = later.syscalls - earlier.syscalls;
+    sends = later.sends - earlier.sends;
+    drops = later.drops - earlier.drops;
+    max_header = later.max_header;
+    per_node = Array.init later.size (fun i -> later.per_node.(i) - earlier.per_node.(i));
+    by_label;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "hops=%d syscalls=%d sends=%d drops=%d max_header=%d"
+    t.hops t.syscalls t.sends t.drops t.max_header

@@ -1,0 +1,299 @@
+module Graph = Netgraph.Graph
+
+type link_record = { mutable up : bool; mutable epoch : int }
+
+type 'msg t = {
+  graph : Graph.t;
+  engine : Sim.Engine.t;
+  cost : Cost_model.t;
+  metrics : Metrics.t;
+  trace : Sim.Trace.t;
+  dmax : int option;
+  dmax_policy : [ `Raise | `Drop ];
+  detection_delay : float;
+  handlers : 'msg handlers array;
+  links : (int * int, link_record) Hashtbl.t;  (* key: (min, max) *)
+  fifo : (int * int, float) Hashtbl.t;  (* per directed link: last arrival *)
+  ncu_busy_until : float array;
+  dead : (int, unit) Hashtbl.t;
+  mutable next_msg_id : int;
+}
+
+and 'msg context = { net : 'msg t; node : int }
+
+and 'msg handlers = {
+  on_start : 'msg context -> unit;
+  on_message : 'msg context -> via:int option -> 'msg -> unit;
+  on_link_change : 'msg context -> peer:int -> up:bool -> unit;
+}
+
+let default_handlers =
+  {
+    on_start = (fun _ -> ());
+    on_message = (fun _ ~via:_ _ -> ());
+    on_link_change = (fun _ ~peer:_ ~up:_ -> ());
+  }
+
+let create ?trace ?dmax ?(dmax_policy = `Raise) ?(detection_delay = 0.0)
+    ~engine ~cost ~graph ~handlers () =
+  let n = Graph.n graph in
+  let links = Hashtbl.create (Graph.m graph) in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace links (u, v) { up = true; epoch = 0 })
+    (Graph.edges graph);
+  {
+    graph;
+    engine;
+    cost;
+    metrics = Metrics.create ~n;
+    trace = (match trace with Some t -> t | None -> Sim.Trace.disabled ());
+    dmax;
+    dmax_policy;
+    detection_delay;
+    handlers = Array.init n handlers;
+    links;
+    fifo = Hashtbl.create (2 * Graph.m graph);
+    ncu_busy_until = Array.make n 0.0;
+    dead = Hashtbl.create 4;
+    next_msg_id = 0;
+  }
+
+let graph t = t.graph
+let engine t = t.engine
+let metrics t = t.metrics
+let cost t = t.cost
+let trace t = t.trace
+
+let link_key u v = (min u v, max u v)
+
+let link_record t u v =
+  match Hashtbl.find_opt t.links (link_key u v) with
+  | Some r -> r
+  | None ->
+      invalid_arg (Printf.sprintf "Network: no link between %d and %d" u v)
+
+let link_is_up t u v = (link_record t u v).up
+
+let preset_link t u v ~up =
+  let record = link_record t u v in
+  if record.up <> up then begin
+    record.up <- up;
+    record.epoch <- record.epoch + 1
+  end
+
+let active_neighbors t u =
+  List.filter (fun v -> link_is_up t u v) (Graph.neighbors t.graph u)
+
+(* -- NCU activations: single-server FIFO queue per node ------------- *)
+
+(* Run [f] on node [v]'s NCU: the activation starts when both the
+   triggering event has arrived and the processor is free, and
+   completes one software delay later; effects of [f] (sends, state
+   changes) take place at completion. *)
+let activate t v ~label ~kind f =
+  let arrival = Sim.Engine.now t.engine in
+  let start = Float.max arrival t.ncu_busy_until.(v) in
+  let finish = start +. t.cost.Cost_model.sys_delay () in
+  t.ncu_busy_until.(v) <- finish;
+  Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
+      Metrics.record_syscall t.metrics ~node:v ~label;
+      (match kind with
+      | `Message msg_id ->
+          Sim.Trace.record t.trace
+            (Sim.Trace.Receive { node = v; time = finish; msg_id; label })
+      | `Software ->
+          Sim.Trace.record t.trace
+            (Sim.Trace.Syscall { node = v; time = finish; label }));
+      f ())
+
+(* -- Switching hardware ---------------------------------------------- *)
+
+let deliver_to_ncu t v ~via ~label ~msg_id payload =
+  activate t v ~label ~kind:(`Message msg_id) (fun () ->
+      let ctx = { net = t; node = v } in
+      t.handlers.(v).on_message ctx ~via payload)
+
+(* Process the packet at node [u]'s switching subsystem; [via] is the
+   node the packet arrived from. *)
+let rec switch t u ~via header ~label ~msg_id payload =
+  match header with
+  | [] ->
+      Metrics.record_drop t.metrics;
+      Sim.Trace.record t.trace
+        (Sim.Trace.Drop
+           { node = u; time = Sim.Engine.now t.engine; reason = "empty header" })
+  | { Anr.link = 0; copy = false } :: rest ->
+      if rest <> [] then begin
+        Metrics.record_drop t.metrics;
+        Sim.Trace.record t.trace
+          (Sim.Trace.Drop
+             {
+               node = u;
+               time = Sim.Engine.now t.engine;
+               reason = "elements after NCU delivery";
+             })
+      end
+      else deliver_to_ncu t u ~via ~label ~msg_id payload
+  | { Anr.link = 0; copy = true } :: _ ->
+      Metrics.record_drop t.metrics;
+      Sim.Trace.record t.trace
+        (Sim.Trace.Drop
+           {
+             node = u;
+             time = Sim.Engine.now t.engine;
+             reason = "copy flag on NCU link";
+           })
+  | { Anr.link; copy } :: rest -> (
+      if copy then deliver_to_ncu t u ~via ~label ~msg_id payload;
+      match Graph.peer_via t.graph u link with
+      | exception Not_found ->
+          Metrics.record_drop t.metrics;
+          Sim.Trace.record t.trace
+            (Sim.Trace.Drop
+               {
+                 node = u;
+                 time = Sim.Engine.now t.engine;
+                 reason = Printf.sprintf "dangling link id %d" link;
+               })
+      | v ->
+          let record = link_record t u v in
+          if not record.up then begin
+            Metrics.record_drop t.metrics;
+            Sim.Trace.record t.trace
+              (Sim.Trace.Drop
+                 {
+                   node = u;
+                   time = Sim.Engine.now t.engine;
+                   reason = Printf.sprintf "link to %d inactive" v;
+                 })
+          end
+          else begin
+            let epoch = record.epoch in
+            let now = Sim.Engine.now t.engine in
+            let proposed = now +. t.cost.Cost_model.hop_delay () in
+            (* FIFO per directed link: never deliver before an earlier
+               packet on the same link. *)
+            let previous =
+              Option.value ~default:neg_infinity
+                (Hashtbl.find_opt t.fifo (u, v))
+            in
+            let arrival = Float.max proposed previous in
+            Hashtbl.replace t.fifo (u, v) arrival;
+            Metrics.record_hop t.metrics;
+            Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
+                if record.up && record.epoch = epoch then begin
+                  Sim.Trace.record t.trace
+                    (Sim.Trace.Hop { src = u; dst = v; time = arrival });
+                  switch t v ~via:(Some u) rest ~label ~msg_id payload
+                end
+                else begin
+                  Metrics.record_drop t.metrics;
+                  Sim.Trace.record t.trace
+                    (Sim.Trace.Drop
+                       {
+                         node = v;
+                         time = arrival;
+                         reason = "lost in flight (link failed)";
+                       })
+                end)
+          end)
+
+(* -- Public: global side --------------------------------------------- *)
+
+let start ?(label = "start") t v =
+  activate t v ~label ~kind:`Software (fun () ->
+      let ctx = { net = t; node = v } in
+      t.handlers.(v).on_start ctx)
+
+let start_all ?(label = "start") t =
+  Graph.iter_nodes (fun v -> start ~label t v) t.graph
+
+let set_link t u v ~up =
+  let record = link_record t u v in
+  if record.up <> up then begin
+    record.up <- up;
+    record.epoch <- record.epoch + 1;
+    Sim.Trace.record t.trace
+      (Sim.Trace.Link_change
+         { u = min u v; v = max u v; up; time = Sim.Engine.now t.engine });
+    let notify endpoint peer =
+      Sim.Engine.schedule t.engine ~delay:t.detection_delay (fun () ->
+          activate t endpoint ~label:"link-change" ~kind:`Software (fun () ->
+              let ctx = { net = t; node = endpoint } in
+              t.handlers.(endpoint).on_link_change ctx ~peer ~up))
+    in
+    notify u v;
+    notify v u
+  end
+
+let node_is_alive t v = not (Hashtbl.mem t.dead v)
+
+let fail_node t v =
+  if node_is_alive t v then begin
+    Hashtbl.replace t.dead v ();
+    List.iter (fun u -> set_link t v u ~up:false) (Graph.neighbors t.graph v)
+  end
+
+let restore_node t v =
+  if not (node_is_alive t v) then begin
+    Hashtbl.remove t.dead v;
+    List.iter
+      (fun u -> if node_is_alive t u then set_link t v u ~up:true)
+      (Graph.neighbors t.graph v)
+  end
+
+(* -- Public: node side ------------------------------------------------ *)
+
+let self ctx = ctx.node
+let network ctx = ctx.net
+let now ctx = Sim.Engine.now ctx.net.engine
+
+let send ?(label = "") ctx ~route payload =
+  let t = ctx.net in
+  let oversized =
+    match t.dmax with
+    | Some bound -> Anr.length route > bound
+    | None -> false
+  in
+  if oversized && t.dmax_policy = `Raise then
+    invalid_arg
+      (Printf.sprintf "Network.send: header length %d exceeds dmax %d"
+         (Anr.length route)
+         (Option.get t.dmax))
+  else if oversized then begin
+    (* the hardware refuses headers it cannot buffer *)
+    Metrics.record_drop t.metrics;
+    Sim.Trace.record t.trace
+      (Sim.Trace.Drop
+         {
+           node = ctx.node;
+           time = Sim.Engine.now t.engine;
+           reason = "header exceeds dmax";
+         })
+  end
+  else begin
+  let msg_id = t.next_msg_id in
+  t.next_msg_id <- msg_id + 1;
+  Metrics.record_send t.metrics ~header_len:(Anr.length route);
+  Sim.Trace.record t.trace
+    (Sim.Trace.Send
+       { node = ctx.node; time = Sim.Engine.now t.engine; msg_id; label });
+  switch t ctx.node ~via:None route ~label ~msg_id payload
+  end
+
+let send_walk ?label ?copy_at ctx ~walk payload =
+  (match walk with
+  | first :: _ when first = ctx.node -> ()
+  | _ -> invalid_arg "Network.send_walk: walk must start at the sender");
+  let route = Anr.of_walk ?copy_at ctx.net.graph walk in
+  send ?label ctx ~route payload
+
+let neighbors ctx =
+  List.map
+    (fun v -> (v, link_is_up ctx.net ctx.node v))
+    (Graph.neighbors ctx.net.graph ctx.node)
+
+let set_timer ?(label = "timer") ctx ~delay f =
+  let t = ctx.net in
+  Sim.Engine.schedule t.engine ~delay (fun () ->
+      activate t ctx.node ~label ~kind:`Software f)

@@ -1,0 +1,132 @@
+(** The simulated network of SS + NCU nodes (Figure 1).
+
+    Each node consists of a switching subsystem (SS) wired to the
+    communication links and a single software processor (NCU).
+    Packets injected by an NCU carry an {!Anr} header and flow through
+    switching hardware only; they touch an NCU — costing a system call
+    and up to [P] time — exactly where the header says so.  Each hop
+    through a link and switch costs up to [C] time.
+
+    Modelling commitments (see DESIGN.md §4):
+    - each NCU is a single server: activations are processed serially
+      in FIFO arrival order, each taking one software delay;
+    - links are FIFO per direction; an inactive link delivers nothing,
+      and packets in flight when a link fails are lost;
+    - a node may inject any number of packets at the same instant at
+      no extra processing cost (the PARIS multicast feature used by
+      the Section 3 broadcast);
+    - link state changes are reported to both endpoint NCUs after
+      [detection_delay] (the data-link protocol of Section 2). *)
+
+type 'msg t
+type 'msg context
+
+type 'msg handlers = {
+  on_start : 'msg context -> unit;
+      (** the algorithm is triggered at this node *)
+  on_message : 'msg context -> via:int option -> 'msg -> unit;
+      (** a packet reached this node's NCU; [via] is the neighbour it
+          arrived from over the final hop ([None] for self-delivery) —
+          information the switching hardware has for free and that
+          e.g. ARPANET flooding uses to avoid echoing back *)
+  on_link_change : 'msg context -> peer:int -> up:bool -> unit;
+      (** the data-link layer reports an adjacent link transition *)
+}
+
+val default_handlers : 'msg handlers
+(** All callbacks are no-ops. *)
+
+val create :
+  ?trace:Sim.Trace.t ->
+  ?dmax:int ->
+  ?dmax_policy:[ `Raise | `Drop ] ->
+  ?detection_delay:float ->
+  engine:Sim.Engine.t ->
+  cost:Cost_model.t ->
+  graph:Netgraph.Graph.t ->
+  handlers:(int -> 'msg handlers) ->
+  unit ->
+  'msg t
+(** Build a network over [graph].  [dmax] (default: unbounded) bounds
+    the header length of any injected packet; [dmax_policy] decides
+    whether an over-long header is a programming error ([`Raise], the
+    default) or is refused by the hardware and counted as a drop
+    ([`Drop] — used to study protocols under a live dmax restriction).
+    [detection_delay] (default [0.]) is the data-link detection
+    latency. *)
+
+(** {1 Global view (experiment harness side)} *)
+
+val graph : 'msg t -> Netgraph.Graph.t
+val engine : 'msg t -> Sim.Engine.t
+val metrics : 'msg t -> Metrics.t
+val cost : 'msg t -> Cost_model.t
+val trace : 'msg t -> Sim.Trace.t
+
+val start : ?label:string -> 'msg t -> int -> unit
+(** Trigger [on_start] at the node.  The activation is charged as a
+    system call (it is the node's software getting involved). *)
+
+val start_all : ?label:string -> 'msg t -> unit
+
+val set_link : 'msg t -> int -> int -> up:bool -> unit
+(** Activate or deactivate the (bidirectional) link at the current
+    simulation time.  Packets in flight on a failing link are lost.
+    No-op if the link is already in the requested state.
+    @raise Invalid_argument if the edge does not exist. *)
+
+val preset_link : 'msg t -> int -> int -> up:bool -> unit
+(** Set a link's initial state silently: no data-link notification is
+    delivered and no packets can yet be in flight.  Intended before
+    the simulation starts, to model links that failed in the past.
+    @raise Invalid_argument if the edge does not exist. *)
+
+val link_is_up : 'msg t -> int -> int -> bool
+val active_neighbors : 'msg t -> int -> int list
+
+val fail_node : 'msg t -> int -> unit
+(** An inactive node is modelled by a node all of whose links are
+    inactive (Section 2): deactivate every incident link (with the
+    usual notifications and in-flight loss) and remember the node as
+    dead.  Idempotent. *)
+
+val restore_node : 'msg t -> int -> unit
+(** Bring the node back: reactivate its links except those whose far
+    end is itself dead. *)
+
+val node_is_alive : 'msg t -> int -> bool
+
+(** {1 Node-side API (used from handlers)} *)
+
+val self : 'msg context -> int
+val network : 'msg context -> 'msg t
+val now : 'msg context -> float
+
+val send : ?label:string -> 'msg context -> route:Anr.t -> 'msg -> unit
+(** Inject a packet at this node's SS.  Injection itself is free (the
+    NCU is already running); every hop and NCU delivery en route is
+    charged as usual.  Multiple [send]s from one activation model the
+    free local multicast.
+    @raise Invalid_argument if the route exceeds [dmax]. *)
+
+val send_walk :
+  ?label:string ->
+  ?copy_at:(int -> bool) ->
+  'msg context ->
+  walk:int list ->
+  'msg ->
+  unit
+(** Convenience: build the header with {!Anr.of_walk} (the walk must
+    begin at this node) and send.
+    @raise Invalid_argument if the walk does not start here. *)
+
+val neighbors : 'msg context -> (int * bool) list
+(** Adjacent nodes with their current link state, as known to the
+    data-link layer instantaneously.  (Protocols that must rely only
+    on detected state should track [on_link_change] events.) *)
+
+val set_timer :
+  ?label:string -> 'msg context -> delay:float -> (unit -> unit) -> unit
+(** Schedule a software activation of this NCU after [delay]; charged
+    as a system call when it fires (it occupies the processor like any
+    activation). *)

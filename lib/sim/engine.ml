@@ -1,0 +1,52 @@
+type t = {
+  queue : (float, unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+type outcome = Quiescent | Time_limit | Event_limit
+
+let create () =
+  { queue = Heap.create ~cmp:Float.compare (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+let events_processed t = t.executed
+let pending t = Heap.length t.queue
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  Heap.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some m -> m) in
+  let horizon = match until with None -> infinity | Some u -> u in
+  let rec loop () =
+    if !budget <= 0 then Event_limit
+    else
+      match Heap.peek t.queue with
+      | None -> Quiescent
+      | Some (time, _) when time > horizon ->
+          t.clock <- horizon;
+          Time_limit
+      | Some _ ->
+          decr budget;
+          ignore (step t);
+          loop ()
+  in
+  loop ()

@@ -1,0 +1,48 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of pending
+    events.  Events scheduled for the same instant fire in scheduling
+    order (FIFO), which makes every simulation a deterministic function
+    of its inputs and of the seed of any {!Rng.t} involved.
+
+    All of the paper's complexity measures are defined over discrete
+    events (hops through switching hardware, system calls into the NCU),
+    so a discrete-event simulation reproduces them exactly; virtual time
+    models the C/P delay bounds of the cost model. *)
+
+type t
+
+type outcome =
+  | Quiescent  (** the event queue drained completely *)
+  | Time_limit  (** the [until] horizon was reached with events pending *)
+  | Event_limit  (** the [max_events] budget was exhausted *)
+
+val create : unit -> t
+(** A fresh engine with the clock at time [0.]. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far. *)
+
+val pending : t -> int
+(** Number of events currently scheduled. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    Requires [delay >= 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute [time], which must not
+    be in the past. *)
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** [run t] executes events in time order until the queue is empty, the
+    optional [until] horizon is passed (the clock is then left at
+    [until]), or [max_events] events have been executed.  [run] may be
+    called repeatedly; each call continues from the current state. *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] if none is
+    pending. *)

@@ -1,0 +1,96 @@
+type ('p, 'v) entry = { prio : 'p; seq : int; value : 'v }
+
+type ('p, 'v) t = {
+  cmp : 'p -> 'p -> int;
+  mutable data : ('p, 'v) entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* Entry order: priority first, insertion sequence second (stability). *)
+let entry_lt h a b =
+  let c = h.cmp a.prio b.prio in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+(* Ensure room for one more entry; [filler] initialises any fresh cells
+   and is immediately overwritten by the caller. *)
+let ensure_room h filler =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let fresh = Array.make new_cap filler in
+    Array.blit h.data 0 fresh 0 h.size;
+    h.data <- fresh
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt h h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_lt h h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && entry_lt h h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  ensure_room h e;
+  h.next_seq <- h.next_seq + 1;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.prio, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let copy =
+    {
+      cmp = h.cmp;
+      data = Array.sub h.data 0 h.size;
+      size = h.size;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []

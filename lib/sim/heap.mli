@@ -1,0 +1,34 @@
+(** A mutable binary min-heap over explicit priorities.
+
+    Used as the event queue of the discrete-event engine.  Priorities are
+    compared with a user-supplied total order; entries with equal priority
+    are popped in insertion order (the heap is made stable by an internal
+    sequence number), which gives the simulator deterministic FIFO
+    tie-breaking. *)
+
+type ('p, 'v) t
+
+val create : cmp:('p -> 'p -> int) -> unit -> ('p, 'v) t
+(** [create ~cmp ()] returns an empty heap ordered by [cmp]. *)
+
+val length : ('p, 'v) t -> int
+(** Number of entries currently in the heap. *)
+
+val is_empty : ('p, 'v) t -> bool
+
+val push : ('p, 'v) t -> 'p -> 'v -> unit
+(** [push h p v] inserts value [v] with priority [p]. *)
+
+val peek : ('p, 'v) t -> ('p * 'v) option
+(** [peek h] returns the minimum entry without removing it. *)
+
+val pop : ('p, 'v) t -> ('p * 'v) option
+(** [pop h] removes and returns the minimum entry.  Among entries with
+    equal priority, the one pushed first is returned first. *)
+
+val clear : ('p, 'v) t -> unit
+(** Remove all entries. *)
+
+val to_sorted_list : ('p, 'v) t -> ('p * 'v) list
+(** Non-destructively list all entries in pop order (costly; testing
+    aid). *)

@@ -1,0 +1,57 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x6675_7475; 0x726e_6574 |]
+
+let split t =
+  (* Derive the child from two fresh draws so that sibling splits are
+     independent of each other and of the parent's subsequent stream. *)
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; 0x73706c69 |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+
+let float_in t lo hi =
+  if lo > hi then invalid_arg "Rng.float_in: lo > hi";
+  lo +. Random.State.float t (hi -. lo)
+
+let bool t = Random.State.bool t
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else Random.State.float t 1.0 < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.mean *. log u
+
+let pick_array t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.pick_array: empty array";
+  xs.(Random.State.int t (Array.length xs))
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> pick_array t (Array.of_list xs)
+
+let shuffle_array_in_place t xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  shuffle_array_in_place t a;
+  Array.to_list a

@@ -1,0 +1,54 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every stochastic component of the simulator draws from an explicit
+    {!t} value so that whole experiments are reproducible from a single
+    integer seed.  [split] derives an independent child generator, which
+    lets concurrent components (e.g. per-link delay samplers) consume
+    randomness without perturbing each other's streams. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is a deterministic
+    function of [t]'s current state, and advances [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range
+    [lo, hi].  Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] draws uniformly from [lo, hi). *)
+
+val bool : t -> bool
+(** [bool t] draws a fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution with
+    the given mean.  Requires [mean > 0]. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick t xs] draws a uniform element of [xs].
+    @raise Invalid_argument on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** [pick_array t xs] draws a uniform element of array [xs].
+    @raise Invalid_argument on the empty array. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** [shuffle t xs] returns a uniform permutation of [xs]. *)
+
+val shuffle_array_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle of the array, in place. *)

@@ -1,0 +1,90 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      List.fold_left ( +. ) 0.0 xs /. n
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let percentile q xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+      if q < 0.0 || q > 100.0 then
+        invalid_arg "Stats.percentile: q out of [0,100]";
+      let sorted = List.sort Float.compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      (* nearest-rank definition *)
+      let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+      let idx = if rank <= 0 then 0 else min (n - 1) (rank - 1) in
+      arr.(idx)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty list"
+  | _ ->
+      let sorted = List.sort Float.compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      {
+        count = n;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = arr.(0);
+        max = arr.(n - 1);
+        median = percentile 50.0 xs;
+        p90 = percentile 90.0 xs;
+      }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let linear_fit pts =
+  match pts with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_fit: need at least two points"
+  | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then
+        invalid_arg "Stats.linear_fit: x-coordinates are all equal";
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      (slope, intercept)
+
+let log2 x = log x /. log 2.0
+
+let growth_exponent pts =
+  let usable =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      pts
+  in
+  let slope, _ = linear_fit usable in
+  slope
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p90=%.3f max=%.3f" s.count s.mean
+    s.stddev s.min s.median s.p90 s.max

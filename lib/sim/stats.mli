@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to summarise measured complexities
+    (system calls, hops, completion times) across repeated trials. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;  (** 90th percentile (nearest-rank) *)
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes the summary of [xs].
+    @raise Invalid_argument on the empty list. *)
+
+val summarize_ints : int list -> summary
+(** [summarize_ints xs] converts to floats and summarises. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile q xs] is the nearest-rank [q]-percentile of [xs] for
+    [q] in [0,100]. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] returns [(slope, intercept)] of the least-squares
+    line through [pts].  Requires at least two points with distinct
+    x-coordinates. *)
+
+val log2 : float -> float
+(** Base-2 logarithm, as used throughout the paper's bounds. *)
+
+val growth_exponent : (float * float) list -> float
+(** [growth_exponent pts] fits [y = a * x^b] by least squares in
+    log-log space and returns [b].  Points with non-positive
+    coordinates are ignored.  Used to classify measured complexities
+    (e.g. distinguishing Theta(n) from Theta(n log n) growth needs the
+    companion {!linear_fit} on (x, y/x) instead, but the exponent is a
+    convenient first check). *)
+
+val pp_summary : Format.formatter -> summary -> unit

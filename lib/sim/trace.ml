@@ -1,0 +1,79 @@
+type event =
+  | Hop of { src : int; dst : int; time : float }
+  | Syscall of { node : int; time : float; label : string }
+  | Send of { node : int; time : float; msg_id : int; label : string }
+  | Receive of { node : int; time : float; msg_id : int; label : string }
+  | Drop of { node : int; time : float; reason : string }
+  | Link_change of { u : int; v : int; up : bool; time : float }
+  | Custom of { time : float; label : string }
+
+type t = {
+  mutable items : event list;  (* newest first *)
+  mutable count : int;
+  capacity : int option;
+  enabled : bool;
+}
+
+let create ?capacity () = { items = []; count = 0; capacity; enabled = true }
+let disabled () = { items = []; count = 0; capacity = None; enabled = false }
+
+let record t e =
+  if t.enabled then begin
+    t.items <- e :: t.items;
+    t.count <- t.count + 1;
+    match t.capacity with
+    | Some cap when t.count > cap ->
+        (* Trim lazily: drop the oldest half when 2x over capacity to
+           keep amortised cost constant. *)
+        if t.count > 2 * cap then begin
+          t.items <- List.filteri (fun i _ -> i < cap) t.items;
+          t.count <- cap
+        end
+    | _ -> ()
+  end
+
+let events t =
+  let all = List.rev t.items in
+  match t.capacity with
+  | Some cap when t.count > cap ->
+      let excess = t.count - cap in
+      List.filteri (fun i _ -> i >= excess) all
+  | _ -> all
+
+let length t =
+  match t.capacity with Some cap -> min cap t.count | None -> t.count
+
+let clear t =
+  t.items <- [];
+  t.count <- 0
+
+let time_of = function
+  | Hop { time; _ }
+  | Syscall { time; _ }
+  | Send { time; _ }
+  | Receive { time; _ }
+  | Drop { time; _ }
+  | Link_change { time; _ }
+  | Custom { time; _ } ->
+      time
+
+let filter f t = List.filter f (events t)
+let count f t = List.length (filter f t)
+
+let pp_event ppf = function
+  | Hop { src; dst; time } -> Format.fprintf ppf "[%8.3f] hop %d->%d" time src dst
+  | Syscall { node; time; label } ->
+      Format.fprintf ppf "[%8.3f] syscall @%d %s" time node label
+  | Send { node; time; msg_id; label } ->
+      Format.fprintf ppf "[%8.3f] send @%d #%d %s" time node msg_id label
+  | Receive { node; time; msg_id; label } ->
+      Format.fprintf ppf "[%8.3f] recv @%d #%d %s" time node msg_id label
+  | Drop { node; time; reason } ->
+      Format.fprintf ppf "[%8.3f] drop @%d (%s)" time node reason
+  | Link_change { u; v; up; time } ->
+      Format.fprintf ppf "[%8.3f] link %d-%d %s" time u v
+        (if up then "up" else "down")
+  | Custom { time; label } -> Format.fprintf ppf "[%8.3f] %s" time label
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,44 @@
+(** Structured execution traces.
+
+    The hardware runtime emits one record per simulated event (hop,
+    system call, link transition, ...).  Traces serve three purposes:
+    debugging, the causal-message analysis of the paper's appendix
+    (Theorem 6), and golden assertions in tests. *)
+
+type event =
+  | Hop of { src : int; dst : int; time : float }
+      (** a packet crossed the link from node [src] to node [dst] *)
+  | Syscall of { node : int; time : float; label : string }
+      (** the NCU of [node] was activated *)
+  | Send of { node : int; time : float; msg_id : int; label : string }
+      (** the NCU of [node] injected a packet *)
+  | Receive of { node : int; time : float; msg_id : int; label : string }
+      (** the NCU of [node] received packet [msg_id] *)
+  | Drop of { node : int; time : float; reason : string }
+      (** a packet died at [node] (inactive link, bad header, ...) *)
+  | Link_change of { u : int; v : int; up : bool; time : float }
+  | Custom of { time : float; label : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] returns a trace recorder.  When [capacity] is
+    given, only the most recent [capacity] events are retained. *)
+
+val disabled : unit -> t
+(** A recorder that discards every event (zero-cost tracing off). *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** Events in chronological (recording) order. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val time_of : event -> float
+val filter : (event -> bool) -> t -> event list
+
+val count : (event -> bool) -> t -> int
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+(* Tests for Core.Aggregate: Section 5 generalised to arbitrary
+   connected graphs through ANR direct routes. *)
+
+module A = Core.Aggregate
+module B = Netgraph.Builders
+module S = Core.Sensitive
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let spec = S.sum_mod 101
+
+let test_correct_on_families () =
+  List.iter
+    (fun g ->
+      let r = A.run ~c:1.0 ~p:1.0 ~graph:g ~spec () in
+      check_int "value" r.A.expected r.A.value)
+    [
+      B.ring 20;
+      B.path 20;
+      B.grid ~rows:4 ~cols:5;
+      B.complete 20;
+      B.star 20;
+      B.random_connected (Sim.Rng.create ~seed:8) ~n:20 ~extra_edges:10;
+    ]
+
+let test_c_zero_topology_invisible () =
+  (* in the limiting model any connected graph achieves the
+     complete-graph optimum exactly *)
+  List.iter
+    (fun g ->
+      let r = A.run ~c:0.0 ~p:1.0 ~graph:g ~spec () in
+      check_float "time = t_opt(K_n)" r.A.t_opt_complete r.A.time)
+    [ B.ring 33; B.path 17; B.grid ~rows:5 ~cols:5; B.star 40 ]
+
+let test_complete_graph_matches_convergecast () =
+  let r = A.run ~c:2.0 ~p:1.0 ~graph:(B.complete 24) ~spec () in
+  check_float "K_n achieves the optimum" r.A.t_opt_complete r.A.time;
+  check_int "single-hop routes" 1 r.A.max_route
+
+let test_positive_c_penalty () =
+  (* on a ring the embedded routes are long, so time exceeds the
+     complete-graph optimum *)
+  let r = A.run ~c:1.0 ~p:1.0 ~graph:(B.ring 32) ~spec () in
+  check_bool "penalty" true (r.A.time > r.A.t_opt_complete);
+  check_bool "never below the bound" true (r.A.time >= r.A.t_opt_complete)
+
+let test_messages_and_routes () =
+  let g = B.grid ~rows:5 ~cols:5 in
+  let r = A.run ~c:1.0 ~p:1.0 ~graph:g ~spec () in
+  check_int "n-1 messages" 24 r.A.messages;
+  check_bool "routes within diameter" true
+    (r.A.max_route <= Netgraph.Paths.diameter g)
+
+let test_explicit_inputs_and_root () =
+  let g = B.ring 10 in
+  let inputs = Array.init 10 (fun i -> (i * 7) mod 101) in
+  let r = A.run ~inputs ~root:4 ~c:0.5 ~p:1.0 ~graph:g ~spec () in
+  check_int "expected" (S.fold spec (Array.to_list inputs)) r.A.value
+
+let test_validation () =
+  check_bool "disconnected rejected" true
+    (try
+       ignore
+         (A.run ~c:1.0 ~p:1.0
+            ~graph:(Netgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ])
+            ~spec ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad root rejected" true
+    (try ignore (A.run ~root:99 ~c:1.0 ~p:1.0 ~graph:(B.ring 5) ~spec ()); false
+     with Invalid_argument _ -> true);
+  check_bool "bad inputs rejected" true
+    (try
+       ignore (A.run ~inputs:[| 1 |] ~c:1.0 ~p:1.0 ~graph:(B.ring 5) ~spec ());
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_aggregate_correct =
+  QCheck.Test.make ~name:"aggregate folds correctly on random graphs" ~count:50
+    QCheck.(pair (int_range 2 30) (int_range 0 3))
+    (fun (n, ci) ->
+      let rng = Sim.Rng.create ~seed:(n + (ci * 1000)) in
+      let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
+      let r = A.run ~c:(float_of_int ci) ~p:1.0 ~graph:g ~spec () in
+      r.A.value = r.A.expected && r.A.time >= r.A.t_opt_complete -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "correct on families" `Quick test_correct_on_families;
+    Alcotest.test_case "C=0: topology invisible" `Quick test_c_zero_topology_invisible;
+    Alcotest.test_case "complete graph = convergecast" `Quick test_complete_graph_matches_convergecast;
+    Alcotest.test_case "C>0 penalty" `Quick test_positive_c_penalty;
+    Alcotest.test_case "messages and routes" `Quick test_messages_and_routes;
+    Alcotest.test_case "explicit inputs and root" `Quick test_explicit_inputs_and_root;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest qcheck_aggregate_correct;
+  ]

@@ -1,0 +1,138 @@
+(* Tests for Core.Causal: the appendix's causal-message analysis. *)
+
+module C = Core.Causal
+module CC = Core.Convergecast
+module OT = Core.Optimal_tree
+module S = Core.Sensitive
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sum = S.sum_mod 31
+
+let run_traced shape params =
+  let _, trace, t_end = CC.trace_run ~params ~shape ~spec:sum () in
+  (C.messages_of_trace trace, t_end)
+
+let test_messages_of_trace () =
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let msgs, _ = run_traced (OT.binomial 3) params in
+  check_int "n-1 messages" 7 (List.length msgs);
+  List.iter
+    (fun m -> check_bool "recv after send" true (m.C.recv_time > m.C.send_time))
+    msgs
+
+let test_all_messages_causal_in_convergecast () =
+  (* a convergecast sends nothing useless: every message is causal *)
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let msgs, t_end = run_traced (OT.fibonacci 8) params in
+  check_int "all causal" (List.length msgs)
+    (List.length (C.causal_messages msgs ~root:0 ~t_end))
+
+let test_late_message_not_causal () =
+  let msgs =
+    [
+      { C.id = 0; src = 1; send_time = 1.0; dst = 0; recv_time = 2.0 };
+      { C.id = 1; src = 2; send_time = 5.0; dst = 0; recv_time = 6.0 };
+    ]
+  in
+  let causal = C.causal_messages msgs ~root:0 ~t_end:3.0 in
+  check_int "only the early one" 1 (List.length causal);
+  check_int "the right one" 0 (List.hd causal).C.id
+
+let test_chain_causality () =
+  (* 2 -> 1 at time 1..2; 1 -> 0 sent at 3: the first enables the second *)
+  let msgs =
+    [
+      { C.id = 0; src = 2; send_time = 1.0; dst = 1; recv_time = 2.0 };
+      { C.id = 1; src = 1; send_time = 3.0; dst = 0; recv_time = 4.0 };
+    ]
+  in
+  check_int "both causal" 2
+    (List.length (C.causal_messages msgs ~root:0 ~t_end:5.0))
+
+let test_chain_broken_by_order () =
+  (* the relay received AFTER it had already sent: not causal *)
+  let msgs =
+    [
+      { C.id = 0; src = 2; send_time = 3.5; dst = 1; recv_time = 4.5 };
+      { C.id = 1; src = 1; send_time = 3.0; dst = 0; recv_time = 4.0 };
+    ]
+  in
+  let causal = C.causal_messages msgs ~root:0 ~t_end:5.0 in
+  check_int "only the direct one" 1 (List.length causal);
+  check_int "id 1" 1 (List.hd causal).C.id
+
+let test_last_causal_tree_spans () =
+  (* Lemma A.3 on actual executions *)
+  List.iter
+    (fun shape ->
+      let params = { OT.c = 1.0; p = 1.0 } in
+      let msgs, t_end = run_traced shape params in
+      let n = OT.size shape in
+      match C.last_causal_tree msgs ~root:0 ~t_end ~n with
+      | Some tree ->
+          check_int "spanning" n (Netgraph.Tree.size tree);
+          check_int "rooted at output node" 0 (Netgraph.Tree.root tree)
+      | None -> Alcotest.fail "tree must exist")
+    [ OT.binomial 4; OT.fibonacci 9; OT.star 10; OT.chain 7 ]
+
+let test_last_causal_tree_matches_convergecast_shape () =
+  (* for a tree-based algorithm the last-causal tree IS the tree *)
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let shape = OT.binomial 3 in
+  let expected = OT.to_netgraph_tree shape in
+  let msgs, t_end = run_traced shape params in
+  match C.last_causal_tree msgs ~root:0 ~t_end ~n:8 with
+  | Some tree ->
+      List.iter
+        (fun v ->
+          check_bool "same parent" true
+            (Netgraph.Tree.parent tree v = Netgraph.Tree.parent expected v))
+        (Netgraph.Tree.nodes expected)
+  | None -> Alcotest.fail "tree must exist"
+
+let test_missing_sender_no_tree () =
+  (* if some node never sends a causal message there is no tree *)
+  let msgs =
+    [ { C.id = 0; src = 1; send_time = 1.0; dst = 0; recv_time = 2.0 } ]
+  in
+  check_bool "node 2 silent" true
+    (C.last_causal_tree msgs ~root:0 ~t_end:10.0 ~n:3 = None)
+
+let test_lemma_a2_globally_sensitive_inputs () =
+  (* on a globally sensitive input, every non-root node sends at least
+     one causal message *)
+  let params = { OT.c = 0.0; p = 1.0 } in
+  let shape = OT.optimal_tree params ~n:16 in
+  let msgs, t_end = run_traced shape params in
+  let causal = C.causal_messages msgs ~root:0 ~t_end in
+  let senders = List.sort_uniq compare (List.map (fun m -> m.C.src) causal) in
+  check_int "15 distinct senders" 15 (List.length senders)
+
+let suite =
+  [
+    Alcotest.test_case "messages of trace" `Quick test_messages_of_trace;
+    Alcotest.test_case "all convergecast messages causal" `Quick test_all_messages_causal_in_convergecast;
+    Alcotest.test_case "late message not causal" `Quick test_late_message_not_causal;
+    Alcotest.test_case "chain causality" `Quick test_chain_causality;
+    Alcotest.test_case "chain broken by order" `Quick test_chain_broken_by_order;
+    Alcotest.test_case "last-causal tree spans (Lemma A.3)" `Quick test_last_causal_tree_spans;
+    Alcotest.test_case "last-causal tree = convergecast tree" `Quick test_last_causal_tree_matches_convergecast_shape;
+    Alcotest.test_case "missing sender, no tree" `Quick test_missing_sender_no_tree;
+    Alcotest.test_case "Lemma A.2 senders" `Quick test_lemma_a2_globally_sensitive_inputs;
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"last-causal tree exists for random optimal shapes"
+         ~count:40
+         QCheck.(int_range 2 25)
+         (fun n ->
+           let params = { OT.c = 1.0; p = 1.0 } in
+           let shape = OT.optimal_tree params ~n in
+           let _, trace, t_end =
+             CC.trace_run ~params ~shape ~spec:(S.sum_mod 7) ()
+           in
+           let msgs = C.messages_of_trace trace in
+           match C.last_causal_tree msgs ~root:0 ~t_end ~n with
+           | Some tree -> Netgraph.Tree.size tree = n
+           | None -> false));
+  ]

@@ -1,0 +1,131 @@
+(* Tests for Core.Convergecast: the tree-based algorithm on the
+   simulated hardware cross-validated against the analytic schedule. *)
+
+module CC = Core.Convergecast
+module OT = Core.Optimal_tree
+module S = Core.Sensitive
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let sum = S.sum_mod 97
+
+let test_correct_value () =
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let r = CC.run ~params ~shape:(OT.binomial 4) ~spec:sum () in
+  check_int "fold matches" r.CC.expected r.CC.value
+
+let test_explicit_inputs () =
+  let params = { OT.c = 0.0; p = 1.0 } in
+  let inputs = Array.init 8 (fun i -> (i * 13) mod 97) in
+  let r = CC.run ~inputs ~params ~shape:(OT.binomial 3) ~spec:sum () in
+  check_int "expected" (S.fold sum (Array.to_list inputs)) r.CC.value;
+  check_int "computed" r.CC.expected r.CC.value
+
+let test_input_validation () =
+  let params = { OT.c = 0.0; p = 1.0 } in
+  check_bool "length mismatch" true
+    (try ignore (CC.run ~inputs:[| 1 |] ~params ~shape:(OT.binomial 2) ~spec:sum ()); false
+     with Invalid_argument _ -> true);
+  check_bool "outside alphabet" true
+    (try
+       ignore
+         (CC.run ~inputs:[| 1; 200; 3; 4 |] ~params ~shape:(OT.binomial 2)
+            ~spec:sum ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_matches_prediction () =
+  List.iter
+    (fun (c, p) ->
+      let params = { OT.c; p } in
+      List.iter
+        (fun shape ->
+          let r = CC.run ~params ~shape ~spec:sum () in
+          check_float "sim = analytic worst case" r.CC.predicted r.CC.time)
+        [ OT.binomial 4; OT.fibonacci 8; OT.star 12; OT.chain 6;
+          OT.optimal_tree params ~n:20 ])
+    [ (0.0, 1.0); (1.0, 1.0); (3.0, 0.5); (0.25, 2.0) ]
+
+let test_optimal_tree_achieves_optimal_time () =
+  List.iter
+    (fun (c, p) ->
+      let params = { OT.c; p } in
+      List.iter
+        (fun n ->
+          let t_opt = OT.optimal_time params ~n in
+          let r = CC.run ~params ~shape:(OT.optimal_tree params ~n) ~spec:sum () in
+          check_bool "achieves t_opt" true (r.CC.time <= t_opt +. 1e-9))
+        [ 2; 9; 31 ])
+    [ (0.0, 1.0); (1.0, 1.0); (5.0, 1.0) ]
+
+let test_no_other_shape_beats_optimal () =
+  (* among a portfolio of shapes, none completes earlier than the
+     optimal time for its size *)
+  let params = { OT.c = 2.0; p = 1.0 } in
+  List.iter
+    (fun shape ->
+      let n = OT.size shape in
+      let t_opt = OT.optimal_time params ~n in
+      let r = CC.run ~params ~shape ~spec:sum () in
+      check_bool "t_opt is a lower bound" true (r.CC.time >= t_opt -. 1e-9))
+    [ OT.binomial 4; OT.fibonacci 9; OT.star 16; OT.chain 16 ]
+
+let test_messages_n_minus_1 () =
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let r = CC.run ~params ~shape:(OT.binomial 5) ~spec:sum () in
+  check_int "n-1 messages" 31 r.CC.messages;
+  check_int "n-1 hops (complete graph)" 31 r.CC.hops
+
+let test_single_node () =
+  let params = { OT.c = 1.0; p = 1.0 } in
+  let r = CC.run ~params ~shape:OT.leaf ~spec:sum () in
+  check_int "value is the input" r.CC.expected r.CC.value;
+  check_float "time P" 1.0 r.CC.time;
+  check_int "no messages" 0 r.CC.messages
+
+let test_random_delays_correct_and_faster () =
+  let rng = Sim.Rng.create ~seed:5 in
+  let params = { OT.c = 2.0; p = 1.0 } in
+  for _ = 1 to 10 do
+    let r =
+      CC.run ~random_delays:rng ~params ~shape:(OT.fibonacci 9) ~spec:sum ()
+    in
+    check_int "still correct" r.CC.expected r.CC.value;
+    check_bool "never slower than worst case" true
+      (r.CC.time <= r.CC.predicted +. 1e-9)
+  done
+
+let test_different_specs () =
+  let params = { OT.c = 1.0; p = 1.0 } in
+  List.iter
+    (fun spec ->
+      let r = CC.run ~params ~shape:(OT.binomial 4) ~spec () in
+      check_int spec.S.name r.CC.expected r.CC.value)
+    [ S.sum_mod 11; S.max_spec ~hi:9; S.xor_spec ~bits:4 ]
+
+let qcheck_convergecast_correct =
+  QCheck.Test.make ~name:"convergecast computes the fold on random shapes"
+    ~count:60
+    QCheck.(pair (int_range 1 30) (pair (int_range 0 3) (int_range 1 3)))
+    (fun (n, (ci, pi)) ->
+      let params = { OT.c = float_of_int ci; p = float_of_int pi } in
+      let shape = OT.optimal_tree params ~n in
+      let r = CC.run ~params ~shape ~spec:(S.sum_mod 13) () in
+      r.CC.value = r.CC.expected && Float.abs (r.CC.time -. r.CC.predicted) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "correct value" `Quick test_correct_value;
+    Alcotest.test_case "explicit inputs" `Quick test_explicit_inputs;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "sim = prediction" `Quick test_sim_matches_prediction;
+    Alcotest.test_case "optimal tree achieves t_opt" `Quick test_optimal_tree_achieves_optimal_time;
+    Alcotest.test_case "t_opt lower-bounds other shapes" `Quick test_no_other_shape_beats_optimal;
+    Alcotest.test_case "n-1 messages" `Quick test_messages_n_minus_1;
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "random delays" `Quick test_random_delays_correct_and_faster;
+    Alcotest.test_case "different specs" `Quick test_different_specs;
+    QCheck_alcotest.to_alcotest qcheck_convergecast_correct;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for Core.Election_baselines. *)
+
+module EB = Core.Election_baselines
+module B = Netgraph.Builders
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_hs_elects_max_priority () =
+  let o = EB.run_hirschberg_sinclair ~n:16 () in
+  check_int "identity priorities: node n-1 wins" 15 o.EB.leader
+
+let test_hs_custom_priorities () =
+  let priorities = Array.init 8 (fun v -> (v + 3) mod 8) in
+  let o = EB.run_hirschberg_sinclair ~priorities ~n:8 () in
+  check_int "max priority position wins" 4 o.EB.leader
+  (* priorities.(4) = 7 = max *)
+
+let test_hs_rejects_bad_priorities () =
+  check_bool "wrong length" true
+    (try ignore (EB.run_hirschberg_sinclair ~priorities:[| 0; 1 |] ~n:3 ()); false
+     with Invalid_argument _ -> true);
+  check_bool "not a permutation" true
+    (try ignore (EB.run_hirschberg_sinclair ~priorities:[| 0; 0; 2 |] ~n:3 ()); false
+     with Invalid_argument _ -> true)
+
+let test_hs_too_small () =
+  check_bool "n=2 rejected" true
+    (try ignore (EB.run_hirschberg_sinclair ~n:2 ()); false
+     with Invalid_argument _ -> true)
+
+let test_bit_reversal () =
+  Alcotest.(check (array int)) "n=8"
+    [| 0; 4; 2; 6; 1; 5; 3; 7 |]
+    (EB.bit_reversal_priorities ~n:8)
+
+let test_bit_reversal_permutation () =
+  let p = EB.bit_reversal_priorities ~n:64 in
+  Alcotest.(check (list int)) "permutation" (List.init 64 Fun.id)
+    (List.sort compare (Array.to_list p))
+
+let test_bit_reversal_power_of_two_only () =
+  check_bool "raises" true
+    (try ignore (EB.bit_reversal_priorities ~n:12); false
+     with Invalid_argument _ -> true)
+
+let test_hs_superlinear_worst_case () =
+  (* under bit-reversal priorities the per-node cost grows with log n *)
+  let per_node n =
+    let priorities = EB.bit_reversal_priorities ~n in
+    let o = EB.run_hirschberg_sinclair ~priorities ~n () in
+    float_of_int o.EB.syscalls /. float_of_int n
+  in
+  check_bool "cost/n grows" true (per_node 256 > per_node 16 +. 4.0)
+
+let test_hs_phases_logarithmic () =
+  let priorities = EB.bit_reversal_priorities ~n:64 in
+  let o = EB.run_hirschberg_sinclair ~priorities ~n:64 () in
+  check_bool "phases ~ log n" true (o.EB.phases >= 5 && o.EB.phases <= 8)
+
+let test_notify_correct_but_costlier () =
+  let g = B.complete 24 in
+  let base = Core.Election.run ~graph:g () in
+  let naive = EB.run_notify_supporters ~graph:g () in
+  check_int "same leader" base.Core.Election.leader naive.EB.leader;
+  check_bool "notification costs extra" true
+    (naive.EB.syscalls > base.Core.Election.election_syscalls)
+
+let test_notify_includes_every_capture () =
+  let g = B.path 10 in
+  let naive = EB.run_notify_supporters ~graph:g () in
+  check_int "n-1 captures" 9 naive.EB.phases
+
+let suite =
+  [
+    Alcotest.test_case "HS elects max priority" `Quick test_hs_elects_max_priority;
+    Alcotest.test_case "HS custom priorities" `Quick test_hs_custom_priorities;
+    Alcotest.test_case "HS rejects bad priorities" `Quick test_hs_rejects_bad_priorities;
+    Alcotest.test_case "HS n >= 3" `Quick test_hs_too_small;
+    Alcotest.test_case "bit reversal values" `Quick test_bit_reversal;
+    Alcotest.test_case "bit reversal permutation" `Quick test_bit_reversal_permutation;
+    Alcotest.test_case "bit reversal power of two" `Quick test_bit_reversal_power_of_two_only;
+    Alcotest.test_case "HS worst case superlinear" `Quick test_hs_superlinear_worst_case;
+    Alcotest.test_case "HS phases logarithmic" `Quick test_hs_phases_logarithmic;
+    Alcotest.test_case "notify correct but costlier" `Quick test_notify_correct_but_costlier;
+    Alcotest.test_case "notify counts captures" `Quick test_notify_includes_every_capture;
+  ]

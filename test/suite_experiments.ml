@@ -1,0 +1,43 @@
+(* Smoke tests for the experiment harness: every table generator runs
+   to completion (output suppressed by alcotest's capture), and the
+   registry is complete and well-formed. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_registry_complete () =
+  let ids = List.map (fun (id, _, _) -> id) Experiments.all in
+  Alcotest.(check (list string)) "expected ids"
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "a1"; "a2"; "a3"; "a4"; "a5" ]
+    ids;
+  List.iter
+    (fun (_, description, _) ->
+      check_bool "described" true (String.length description > 10))
+    Experiments.all
+
+let test_find () =
+  check_bool "e1 found" true (Option.is_some (Experiments.find "e1"));
+  check_bool "bogus absent" true (Experiments.find "e99" = None)
+
+let run_experiment id () =
+  match Experiments.find id with
+  | Some (_, _, run) -> run ()
+  | None -> Alcotest.failf "experiment %s missing" id
+
+(* quick sanity of the cheap experiments; the expensive ones (e1, e6)
+   are exercised by the bench harness itself *)
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "e2 runs" `Quick (run_experiment "e2");
+    Alcotest.test_case "e4 runs" `Quick (run_experiment "e4");
+    Alcotest.test_case "e7 runs" `Quick (run_experiment "e7");
+    Alcotest.test_case "e8 runs" `Slow (run_experiment "e8");
+    Alcotest.test_case "e9 runs" `Slow (run_experiment "e9");
+    Alcotest.test_case "a1 runs" `Slow (run_experiment "a1");
+    Alcotest.test_case "a2 runs" `Slow (run_experiment "a2");
+    Alcotest.test_case "a4 runs" `Slow (run_experiment "a4");
+    Alcotest.test_case "a5 runs" `Slow (run_experiment "a5");
+    Alcotest.test_case "figures run" `Quick (fun () -> Experiments.figures ());
+    Alcotest.test_case "timeline runs" `Quick (fun () -> Experiments.timeline ());
+  ]

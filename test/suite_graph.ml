@@ -1,0 +1,141 @@
+(* Tests for Netgraph.Graph. *)
+
+module G = Netgraph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let triangle () = G.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ]
+
+let test_basic_counts () =
+  let g = triangle () in
+  check_int "n" 3 (G.n g);
+  check_int "m" 3 (G.m g)
+
+let test_neighbors_sorted () =
+  let g = G.of_edges ~n:4 [ (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3 ] (G.neighbors g 2)
+
+let test_duplicate_edges_collapsed () =
+  let g = G.of_edges ~n:2 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "m" 1 (G.m g);
+  check_int "degree" 1 (G.degree g 0)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.of_edges: self-loop at 1")
+    (fun () -> ignore (G.of_edges ~n:2 [ (1, 1) ]))
+
+let test_out_of_range_rejected () =
+  Alcotest.check_raises "range" (Invalid_argument "Graph.of_edges: node 5 out of [0,3)")
+    (fun () -> ignore (G.of_edges ~n:3 [ (0, 5) ]))
+
+let test_empty_n_rejected () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Graph.of_edges: n must be positive")
+    (fun () -> ignore (G.of_edges ~n:0 []))
+
+let test_has_edge () =
+  let g = triangle () in
+  check_bool "0-1" true (G.has_edge g 0 1);
+  check_bool "1-0" true (G.has_edge g 1 0);
+  let g2 = G.of_edges ~n:3 [ (0, 1) ] in
+  check_bool "0-2 absent" false (G.has_edge g2 0 2)
+
+let test_edges_canonical () =
+  let g = G.of_edges ~n:4 [ (3, 1); (2, 0) ] in
+  Alcotest.(check (list (pair int int))) "u<v sorted" [ (0, 2); (1, 3) ] (G.edges g)
+
+let test_link_index_roundtrip () =
+  let g = G.of_edges ~n:5 [ (0, 1); (0, 2); (0, 4); (1, 2) ] in
+  List.iter
+    (fun v ->
+      let i = G.link_index g 0 v in
+      check_bool "index >= 1 (0 is the NCU)" true (i >= 1);
+      check_int "roundtrip" v (G.peer_via g 0 i))
+    (G.neighbors g 0)
+
+let test_link_index_not_found () =
+  let g = G.of_edges ~n:3 [ (0, 1) ] in
+  check_bool "raises" true
+    (try
+       ignore (G.link_index g 0 2);
+       false
+     with Not_found -> true)
+
+let test_peer_via_invalid () =
+  let g = G.of_edges ~n:3 [ (0, 1) ] in
+  check_bool "link 0 reserved" true
+    (try ignore (G.peer_via g 0 0); false with Not_found -> true);
+  check_bool "too large" true
+    (try ignore (G.peer_via g 0 9); false with Not_found -> true)
+
+let test_max_degree () =
+  check_int "star max degree" 5 (G.max_degree (Netgraph.Builders.star 6))
+
+let test_connectivity () =
+  check_bool "triangle connected" true (G.is_connected (triangle ()));
+  check_bool "disconnected" false (G.is_connected (G.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  check_bool "singleton connected" true (G.is_connected (G.of_edges ~n:1 []))
+
+let test_fold_iter () =
+  let g = triangle () in
+  check_int "fold counts" 3 (G.fold_nodes (fun _ acc -> acc + 1) g 0);
+  let seen = ref [] in
+  G.iter_nodes (fun v -> seen := v :: !seen) g;
+  Alcotest.(check (list int)) "iter order" [ 0; 1; 2 ] (List.rev !seen)
+
+let test_induced () =
+  let g = Netgraph.Builders.ring 6 in
+  let sub, back = G.induced g [ 5; 0; 1; 2 ] in
+  check_int "4 nodes" 4 (G.n sub);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 2; 5 |] back;
+  (* edges: 0-1, 1-2 and 5-0 of the ring survive, 2-3 and 4-5 do not *)
+  check_int "3 edges" 3 (G.m sub);
+  check_bool "0-1 kept" true (G.has_edge sub 0 1);
+  check_bool "5-0 kept as 3-0" true (G.has_edge sub 3 0)
+
+let test_induced_validation () =
+  let g = Netgraph.Builders.path 3 in
+  check_bool "empty rejected" true
+    (try ignore (G.induced g []); false with Invalid_argument _ -> true);
+  check_bool "range rejected" true
+    (try ignore (G.induced g [ 9 ]); false with Invalid_argument _ -> true)
+
+let qcheck_induced_component_connected =
+  QCheck.Test.make ~name:"induced component is connected" ~count:100
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(n * 71) in
+      let g = Netgraph.Builders.random_gnp rng ~n ~p:0.15 in
+      let comp = Netgraph.Traversal.component_of g 0 in
+      let sub, back = G.induced g comp in
+      G.is_connected sub && Array.length back = List.length comp)
+
+let qcheck_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2m" ~count:200
+    QCheck.(pair (int_range 2 20) (small_list (pair (int_range 0 19) (int_range 0 19))))
+    (fun (n, raw) ->
+      let edges = List.filter (fun (u, v) -> u <> v && u < n && v < n) raw in
+      let g = G.of_edges ~n edges in
+      G.fold_nodes (fun v acc -> acc + G.degree g v) g 0 = 2 * G.m g)
+
+let suite =
+  [
+    Alcotest.test_case "basic counts" `Quick test_basic_counts;
+    Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "duplicates collapsed" `Quick test_duplicate_edges_collapsed;
+    Alcotest.test_case "self-loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "empty n rejected" `Quick test_empty_n_rejected;
+    Alcotest.test_case "has_edge symmetric" `Quick test_has_edge;
+    Alcotest.test_case "edges canonical" `Quick test_edges_canonical;
+    Alcotest.test_case "link_index roundtrip" `Quick test_link_index_roundtrip;
+    Alcotest.test_case "link_index not found" `Quick test_link_index_not_found;
+    Alcotest.test_case "peer_via invalid" `Quick test_peer_via_invalid;
+    Alcotest.test_case "max degree" `Quick test_max_degree;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "fold and iter" `Quick test_fold_iter;
+    Alcotest.test_case "induced subgraph" `Quick test_induced;
+    Alcotest.test_case "induced validation" `Quick test_induced_validation;
+    QCheck_alcotest.to_alcotest qcheck_induced_component_connected;
+    QCheck_alcotest.to_alcotest qcheck_degree_sum;
+  ]

@@ -1,0 +1,157 @@
+(* Tests for Core.Inout: the election's domain trees. *)
+
+module I = Core.Inout
+module B = Netgraph.Builders
+module G = Netgraph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let test_singleton () =
+  let g = B.star 4 in
+  let t = I.singleton ~graph:g 0 in
+  check_int "origin" 0 (I.origin t);
+  check_ints "IN" [ 0 ] (I.in_nodes t);
+  check_ints "OUT = neighbours" [ 1; 2; 3 ] (I.out_nodes t);
+  check_int "size 1" 1 (I.size t);
+  check_bool "valid" true (I.is_valid ~graph:g t)
+
+let test_singleton_leaf () =
+  let g = B.path 3 in
+  let t = I.singleton ~graph:g 2 in
+  check_ints "OUT" [ 1 ] (I.out_nodes t)
+
+let test_route_singleton () =
+  let g = B.star 4 in
+  let t = I.singleton ~graph:g 0 in
+  check_ints "origin to out" [ 0; 2 ] (I.route t ~src:0 ~dst:2);
+  check_ints "out to out" [ 1; 0; 2 ] (I.route t ~src:1 ~dst:2);
+  check_ints "self" [ 0 ] (I.route t ~src:0 ~dst:0)
+
+let test_route_unrecorded_rejected () =
+  let g = B.path 4 in
+  let t = I.singleton ~graph:g 0 in
+  check_bool "raises" true
+    (try ignore (I.route t ~src:0 ~dst:3); false with Invalid_argument _ -> true)
+
+let test_merge_simple () =
+  let g = B.path 3 in
+  (* 0 captures 1's domain through entry 1 *)
+  let w = I.singleton ~graph:g 0 and v = I.singleton ~graph:g 1 in
+  let m = I.merge ~winner:w ~victim:v ~entry:1 in
+  check_int "origin stays" 0 (I.origin m);
+  check_ints "IN" [ 0; 1 ] (I.in_nodes m);
+  check_ints "OUT" [ 2 ] (I.out_nodes m);
+  check_int "size" 2 (I.size m);
+  check_bool "valid" true (I.is_valid ~graph:g m);
+  check_ints "route across merge" [ 0; 1; 2 ] (I.route m ~src:0 ~dst:2)
+
+let test_merge_entry_must_be_winner_out () =
+  let g = B.path 4 in
+  let w = I.singleton ~graph:g 0 and v = I.singleton ~graph:g 3 in
+  check_bool "raises" true
+    (try ignore (I.merge ~winner:w ~victim:v ~entry:3); false
+     with Invalid_argument _ -> true)
+
+let test_merge_entry_must_be_victim_in () =
+  let g = B.path 3 in
+  let w = I.singleton ~graph:g 0 and v = I.singleton ~graph:g 2 in
+  check_bool "raises" true
+    (try ignore (I.merge ~winner:w ~victim:v ~entry:1); false
+     with Invalid_argument _ -> true)
+
+let test_merge_overlapping_outs () =
+  (* triangle: both domains have the third node in OUT *)
+  let g = B.complete 3 in
+  let w = I.singleton ~graph:g 0 and v = I.singleton ~graph:g 1 in
+  let m = I.merge ~winner:w ~victim:v ~entry:1 in
+  check_ints "OUT deduplicated" [ 2 ] (I.out_nodes m);
+  check_bool "valid" true (I.is_valid ~graph:g m)
+
+let test_merge_chain_routes_stay_linear () =
+  (* absorb a path one domain at a time; routes never exceed the
+     member count *)
+  let n = 10 in
+  let g = B.path n in
+  let t = ref (I.singleton ~graph:g 0) in
+  for v = 1 to n - 1 do
+    let victim = I.singleton ~graph:g v in
+    t := I.merge ~winner:!t ~victim ~entry:v;
+    check_bool "valid at each step" true (I.is_valid ~graph:g !t)
+  done;
+  check_int "all IN" n (I.size !t);
+  check_ints "OUT empty" [] (I.out_nodes !t);
+  let route = I.route !t ~src:0 ~dst:(n - 1) in
+  check_bool "linear route" true (List.length route <= n)
+
+let test_merge_nested_domains () =
+  (* 1 captures 2; then 0 captures 1's merged domain *)
+  let g = B.path 4 in
+  let d1 = I.merge ~winner:(I.singleton ~graph:g 1)
+      ~victim:(I.singleton ~graph:g 2) ~entry:2 in
+  let d0 = I.merge ~winner:(I.singleton ~graph:g 0) ~victim:d1 ~entry:1 in
+  check_ints "IN" [ 0; 1; 2 ] (I.in_nodes d0);
+  check_ints "OUT" [ 3 ] (I.out_nodes d0);
+  check_bool "valid" true (I.is_valid ~graph:g d0);
+  (* route from the deep node back to the origin *)
+  check_ints "route 2 -> 0" [ 2; 1; 0 ] (I.route d0 ~src:2 ~dst:0)
+
+let test_spanning_tree_when_out_empty () =
+  let g = B.ring 5 in
+  let t = ref (I.singleton ~graph:g 0) in
+  List.iter
+    (fun v -> t := I.merge ~winner:!t ~victim:(I.singleton ~graph:g v) ~entry:v)
+    [ 1; 4; 2; 3 ];
+  check_ints "OUT empty" [] (I.out_nodes !t);
+  let tree = I.spanning_tree !t in
+  check_bool "spans the ring" true (Netgraph.Tree.spans tree g)
+
+let qcheck_random_merge_sequences =
+  QCheck.Test.make ~name:"random capture sequences keep invariants" ~count:60
+    QCheck.(pair (int_range 3 25) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Sim.Rng.create ~seed in
+      let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
+      let domains = Hashtbl.create n in
+      for v = 0 to n - 1 do
+        Hashtbl.replace domains v (I.singleton ~graph:g v)
+      done;
+      (* every node remembers the origin of the domain that holds it *)
+      let owner = Array.init n Fun.id in
+      let rec owner_of v = if owner.(v) = v then v else owner_of owner.(v) in
+      let ok = ref true in
+      while !ok && Hashtbl.length domains > 1 do
+        let origins = Hashtbl.fold (fun k _ a -> k :: a) domains [] in
+        let winner_o = Sim.Rng.pick rng origins in
+        let w = Hashtbl.find domains winner_o in
+        match I.out_nodes w with
+        | [] -> ok := false  (* impossible on a connected graph *)
+        | outs ->
+            let entry = Sim.Rng.pick rng outs in
+            let victim_o = owner_of entry in
+            let v = Hashtbl.find domains victim_o in
+            let merged = I.merge ~winner:w ~victim:v ~entry in
+            if not (I.is_valid ~graph:g merged) then ok := false;
+            Hashtbl.remove domains victim_o;
+            Hashtbl.replace domains winner_o merged;
+            owner.(victim_o) <- winner_o
+      done;
+      !ok
+      && Hashtbl.fold (fun _ d acc -> acc && I.size d = n) domains true)
+
+let suite =
+  [
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "singleton leaf" `Quick test_singleton_leaf;
+    Alcotest.test_case "route singleton" `Quick test_route_singleton;
+    Alcotest.test_case "route unrecorded" `Quick test_route_unrecorded_rejected;
+    Alcotest.test_case "merge simple" `Quick test_merge_simple;
+    Alcotest.test_case "merge entry winner OUT" `Quick test_merge_entry_must_be_winner_out;
+    Alcotest.test_case "merge entry victim IN" `Quick test_merge_entry_must_be_victim_in;
+    Alcotest.test_case "merge overlapping OUTs" `Quick test_merge_overlapping_outs;
+    Alcotest.test_case "chain of merges" `Quick test_merge_chain_routes_stay_linear;
+    Alcotest.test_case "nested domains" `Quick test_merge_nested_domains;
+    Alcotest.test_case "spanning tree at the end" `Quick test_spanning_tree_when_out_empty;
+    QCheck_alcotest.to_alcotest qcheck_random_merge_sequences;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for Core.Lower_bound: the Theorem 3 machinery. *)
+
+module LB = Core.Lower_bound
+module B = Netgraph.Builders
+module S = Netgraph.Spanning
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let binary_tree depth = S.bfs_tree (B.complete_binary_tree ~depth) ~root:0
+
+let rounds strategy tree =
+  match LB.simulate ~tree ~strategy ~max_rounds:10_000 with
+  | Some r -> r
+  | None -> Alcotest.fail "strategy did not finish"
+
+let test_claim_inequalities () =
+  check_bool "t=1..55" true (LB.verify_claim ~max_t:55);
+  check_bool "t=1" true (LB.claim_inequality_holds ~t:1)
+
+let test_claim_rejects_bad_t () =
+  check_bool "t=0 rejected" true
+    (try ignore (LB.claim_inequality_holds ~t:0); false
+     with Invalid_argument _ -> true)
+
+let test_rounds_lower_bound_values () =
+  (* depth D = log2(n+1) - 1; bound = max 1 ((D-5)/5) *)
+  check_int "small trees" 1 (LB.rounds_lower_bound ~n:7);
+  check_int "depth 10" 1 (LB.rounds_lower_bound ~n:2047);
+  check_int "depth 15" 2 (LB.rounds_lower_bound ~n:(65536 - 1));
+  check_int "depth 20" 3 (LB.rounds_lower_bound ~n:((1 lsl 21) - 1))
+
+let test_branching_paths_rounds () =
+  (* on a complete binary tree every chain is one edge: depth rounds *)
+  List.iter
+    (fun d -> check_int "depth rounds" d (rounds LB.branching_paths_strategy (binary_tree d)))
+    [ 1; 2; 4; 6; 8 ]
+
+let test_all_strategies_respect_bound () =
+  List.iter
+    (fun d ->
+      let tree = binary_tree d in
+      let n = B.binary_tree_nodes ~depth:d in
+      List.iter
+        (fun s -> check_bool "above the bound" true (rounds s tree >= LB.rounds_lower_bound ~n))
+        [ LB.branching_paths_strategy; LB.greedy_strategy; LB.eager_single_edge_strategy ])
+    [ 2; 4; 6; 8; 10 ]
+
+let test_upper_bound_meets_theorem_2 () =
+  (* branching paths on binary trees is within log2 n + 1 *)
+  List.iter
+    (fun d ->
+      let n = float_of_int (B.binary_tree_nodes ~depth:d) in
+      check_bool "O(log n) rounds" true
+        (float_of_int (rounds LB.branching_paths_strategy (binary_tree d))
+        <= Sim.Stats.log2 n +. 1.0))
+    [ 2; 5; 9 ]
+
+let test_path_tree_one_round () =
+  (* on a path, one downward path covers everything in a round *)
+  let tree = S.bfs_tree (B.path 20) ~root:0 in
+  check_int "greedy 1 round" 1 (rounds LB.greedy_strategy tree);
+  check_int "bpaths 1 round" 1 (rounds LB.branching_paths_strategy tree)
+
+let test_flood_strategy_takes_depth () =
+  let tree = binary_tree 6 in
+  check_int "one level per round" 6 (rounds LB.eager_single_edge_strategy tree)
+
+let test_validation_uninformed_sender () =
+  let tree = binary_tree 2 in
+  let bad ~tree:_ ~informed:_ ~round:_ =
+    [ { LB.sender = 5; path = [ 5; 11 ] } ]  (* node 5 starts uninformed *)
+  in
+  check_bool "rejected" true
+    (try ignore (LB.simulate ~tree ~strategy:bad ~max_rounds:5); false
+     with Invalid_argument _ -> true)
+
+let test_validation_upward_path () =
+  let tree = binary_tree 2 in
+  let upward ~tree:_ ~informed:_ ~round:_ =
+    [ { LB.sender = 0; path = [ 0; 1 ] }; { LB.sender = 0; path = [ 0; 2; 0 ] } ]
+  in
+  check_bool "upward step rejected" true
+    (try ignore (LB.simulate ~tree ~strategy:upward ~max_rounds:5); false
+     with Invalid_argument _ -> true)
+
+let test_validation_duplicate_link () =
+  let tree = binary_tree 2 in
+  let bad ~tree:_ ~informed:_ ~round:_ =
+    [ { LB.sender = 0; path = [ 0; 1; 3 ] }; { LB.sender = 0; path = [ 0; 1; 4 ] } ]
+  in
+  check_bool "two paths through one child link rejected" true
+    (try ignore (LB.simulate ~tree ~strategy:bad ~max_rounds:5); false
+     with Invalid_argument _ -> true)
+
+let test_lazy_strategy_times_out () =
+  let tree = binary_tree 3 in
+  let lazy_strategy ~tree:_ ~informed:_ ~round:_ = [] in
+  check_bool "never finishes" true
+    (LB.simulate ~tree ~strategy:lazy_strategy ~max_rounds:5 = None)
+
+let qcheck_greedy_on_random_trees =
+  QCheck.Test.make ~name:"greedy one-way broadcast covers any tree" ~count:60
+    QCheck.(int_range 2 50)
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(n * 41) in
+      let g = B.random_tree rng ~n in
+      let tree = S.bfs_tree g ~root:0 in
+      match LB.simulate ~tree ~strategy:LB.greedy_strategy ~max_rounds:(n + 1) with
+      | Some r -> r >= 1 && r <= n
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "claim inequalities" `Quick test_claim_inequalities;
+    Alcotest.test_case "claim rejects t=0" `Quick test_claim_rejects_bad_t;
+    Alcotest.test_case "bound values" `Quick test_rounds_lower_bound_values;
+    Alcotest.test_case "branching paths rounds" `Quick test_branching_paths_rounds;
+    Alcotest.test_case "strategies respect bound" `Quick test_all_strategies_respect_bound;
+    Alcotest.test_case "upper bound log n" `Quick test_upper_bound_meets_theorem_2;
+    Alcotest.test_case "path tree one round" `Quick test_path_tree_one_round;
+    Alcotest.test_case "flood takes depth" `Quick test_flood_strategy_takes_depth;
+    Alcotest.test_case "uninformed sender rejected" `Quick test_validation_uninformed_sender;
+    Alcotest.test_case "upward path rejected" `Quick test_validation_upward_path;
+    Alcotest.test_case "duplicate link rejected" `Quick test_validation_duplicate_link;
+    Alcotest.test_case "lazy never finishes" `Quick test_lazy_strategy_times_out;
+    QCheck_alcotest.to_alcotest qcheck_greedy_on_random_trees;
+  ]

@@ -1,0 +1,73 @@
+(* Tests for Hardware.Metrics. *)
+
+module M = Hardware.Metrics
+
+let check_int = Alcotest.(check int)
+
+let test_fresh () =
+  let m = M.create ~n:4 in
+  check_int "hops" 0 (M.hops m);
+  check_int "syscalls" 0 (M.syscalls m);
+  check_int "sends" 0 (M.sends m);
+  check_int "drops" 0 (M.drops m);
+  check_int "n" 4 (M.n m)
+
+let test_counters () =
+  let m = M.create ~n:3 in
+  M.record_hop m;
+  M.record_hop m;
+  M.record_syscall m ~node:1 ~label:"a";
+  M.record_syscall m ~node:1 ~label:"b";
+  M.record_syscall m ~node:2 ~label:"a";
+  M.record_send m ~header_len:5;
+  M.record_send m ~header_len:3;
+  M.record_drop m;
+  check_int "hops" 2 (M.hops m);
+  check_int "syscalls" 3 (M.syscalls m);
+  check_int "per-node 1" 2 (M.syscalls_at m 1);
+  check_int "per-node 0" 0 (M.syscalls_at m 0);
+  check_int "label a" 2 (M.syscalls_labelled m "a");
+  check_int "label missing" 0 (M.syscalls_labelled m "zzz");
+  check_int "sends" 2 (M.sends m);
+  check_int "max header" 5 (M.max_header m);
+  check_int "drops" 1 (M.drops m)
+
+let test_snapshot_independent () =
+  let m = M.create ~n:2 in
+  M.record_hop m;
+  let snap = M.snapshot m in
+  M.record_hop m;
+  M.record_syscall m ~node:0 ~label:"x";
+  check_int "snapshot frozen hops" 1 (M.hops snap);
+  check_int "snapshot frozen syscalls" 0 (M.syscalls snap);
+  check_int "live advanced" 2 (M.hops m)
+
+let test_diff () =
+  let m = M.create ~n:2 in
+  M.record_syscall m ~node:0 ~label:"x";
+  M.record_hop m;
+  let before = M.snapshot m in
+  M.record_syscall m ~node:1 ~label:"x";
+  M.record_syscall m ~node:1 ~label:"y";
+  M.record_hop m;
+  M.record_hop m;
+  let d = M.diff (M.snapshot m) before in
+  check_int "hops delta" 2 (M.hops d);
+  check_int "syscalls delta" 2 (M.syscalls d);
+  check_int "per-node delta" 2 (M.syscalls_at d 1);
+  check_int "label x delta" 1 (M.syscalls_labelled d "x");
+  check_int "label y delta" 1 (M.syscalls_labelled d "y")
+
+let test_diff_size_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (M.diff (M.create ~n:2) (M.create ~n:3)); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "fresh" `Quick test_fresh;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "snapshot independent" `Quick test_snapshot_independent;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "diff size mismatch" `Quick test_diff_size_mismatch;
+  ]

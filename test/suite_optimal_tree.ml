@@ -1,0 +1,253 @@
+(* Tests for Core.Optimal_tree: the Section 5 recursion, its worked
+   examples (equations 4-11), and the schedule predictor. *)
+
+module OT = Core.Optimal_tree
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let new_model = { OT.c = 0.0; p = 1.0 }
+let fib_model = { OT.c = 1.0; p = 1.0 }
+
+let test_base_cases () =
+  check_int "S(t<P) = 0" 0 (OT.s_of new_model 0.5);
+  check_int "S(P<=t<2P+C) = 1" 1 (OT.s_of new_model 1.0);
+  check_int "S just below 2P+C" 1 (OT.s_of fib_model 2.9);
+  check_int "S at 2P+C" 2 (OT.s_of fib_model 3.0);
+  check_int "negative time" 0 (OT.s_of fib_model (-1.0))
+
+let test_example_1_binomial () =
+  (* C=0, P=1: S(k) = 2^(k-1), equation (6) *)
+  for k = 1 to 20 do
+    check_int "2^(k-1)" (1 lsl (k - 1)) (OT.s_of new_model (float_of_int k))
+  done
+
+let test_example_2_traditional_unbounded () =
+  let traditional = { OT.c = 1.0; p = 0.0 } in
+  check_int "t<C still 1" 1 (OT.s_of traditional 0.5);
+  check_bool "blows up at t>=C" true
+    (try ignore (OT.s_of traditional 1.0); false with OT.Unbounded -> true);
+  check_bool "optimal_time unbounded" true
+    (try ignore (OT.optimal_time traditional ~n:5); false with OT.Unbounded -> true)
+
+let test_example_3_fibonacci () =
+  (* C=1, P=1: S(k) = Fib(k), equation (11) *)
+  for k = 1 to 25 do
+    check_int "Fib(k)" (OT.fib k) (OT.s_of fib_model (float_of_int k))
+  done
+
+let test_fib_values () =
+  Alcotest.(check (list int)) "first fibs" [ 1; 1; 2; 3; 5; 8; 13; 21 ]
+    (List.map OT.fib [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_ot_sizes_match_s () =
+  List.iter
+    (fun params ->
+      List.iter
+        (fun t ->
+          match OT.ot params t with
+          | Some tree -> check_int "OT size = S" (OT.s_of params t) (OT.size tree)
+          | None -> check_int "none when 0" 0 (OT.s_of params t))
+        [ 0.5; 1.0; 3.0; 5.0; 8.0; 12.0 ])
+    [ new_model; fib_model; { OT.c = 2.5; p = 0.5 } ]
+
+let test_ot_structure_binomial () =
+  (* OT at integer time k under C=0,P=1 is the binomial tree B_(k-1) *)
+  let rec same a b =
+    OT.size a = OT.size b
+    && List.length a.OT.children = List.length b.OT.children
+    && List.for_all2 same
+         (List.sort compare a.OT.children)
+         (List.sort compare b.OT.children)
+  in
+  for k = 1 to 8 do
+    match OT.ot new_model (float_of_int k) with
+    | Some tree -> check_bool "binomial shape" true (same tree (OT.binomial (k - 1)))
+    | None -> Alcotest.fail "must exist"
+  done
+
+let test_binomial_props () =
+  let b5 = OT.binomial 5 in
+  check_int "size 32" 32 (OT.size b5);
+  check_int "depth 5" 5 (OT.depth b5);
+  check_int "root degree 5" 5 (OT.root_degree b5)
+
+let test_fibonacci_props () =
+  let f10 = OT.fibonacci 10 in
+  check_int "size Fib 10" 55 (OT.size f10)
+
+let test_star_chain () =
+  check_int "star size" 9 (OT.size (OT.star 9));
+  check_int "star depth" 1 (OT.depth (OT.star 9));
+  check_int "chain depth" 8 (OT.depth (OT.chain 9))
+
+let test_nodes_per_depth () =
+  Alcotest.(check (list int)) "binomial 3 profile" [ 1; 3; 3; 1 ]
+    (OT.nodes_per_depth (OT.binomial 3));
+  Alcotest.(check (list int)) "star profile" [ 1; 4 ]
+    (OT.nodes_per_depth (OT.star 5))
+
+let test_optimal_time_monotone_in_n () =
+  let params = { OT.c = 0.7; p = 1.3 } in
+  let prev = ref 0.0 in
+  for n = 1 to 40 do
+    let t = OT.optimal_time params ~n in
+    check_bool "monotone" true (t >= !prev -. 1e-9);
+    prev := t
+  done
+
+let test_optimal_time_values () =
+  check_float "n=1 takes P" 1.0 (OT.optimal_time new_model ~n:1);
+  check_float "n=2 takes 2P+C" 2.0 (OT.optimal_time new_model ~n:2);
+  check_float "binomial: n=64 at k=7" 7.0 (OT.optimal_time new_model ~n:64);
+  check_float "fib: n=8 at k=6" 6.0 (OT.optimal_time fib_model ~n:8)
+
+let test_optimal_tree_exact_size () =
+  List.iter
+    (fun params ->
+      List.iter
+        (fun n ->
+          let tree = OT.optimal_tree params ~n in
+          check_int "exact n" n (OT.size tree))
+        [ 1; 2; 3; 7; 10; 33; 64 ])
+    [ new_model; fib_model; { OT.c = 4.0; p = 1.0 }; { OT.c = 0.25; p = 1.0 } ]
+
+let test_optimal_tree_meets_deadline () =
+  List.iter
+    (fun params ->
+      List.iter
+        (fun n ->
+          let t = OT.optimal_time params ~n in
+          let tree = OT.optimal_tree params ~n in
+          check_bool "schedule fits" true
+            (OT.predicted_completion params tree <= t +. 1e-9))
+        [ 2; 5; 13; 40 ])
+    [ new_model; fib_model; { OT.c = 3.0; p = 0.5 } ]
+
+let test_predicted_completion_base () =
+  check_float "leaf is P" 1.0 (OT.predicted_completion new_model OT.leaf);
+  check_float "pair is 2P+C" 3.0
+    (OT.predicted_completion fib_model (OT.graft OT.leaf OT.leaf))
+
+let test_predicted_completion_star () =
+  (* root processes n-1 arrivals serially: P + C ... but arrivals all at
+     P + C, so finish = max(P, P+C) + (n-1)*P *)
+  let n = 10 in
+  let expected = Float.max 1.0 (1.0 +. 1.0) +. (9.0 *. 1.0) in
+  check_float "star completion" expected
+    (OT.predicted_completion fib_model (OT.star n))
+
+let test_predicted_completion_ot_equals_t () =
+  (* on the full OT(t) the schedule uses the deadline exactly for
+     integer-grid times where S grows *)
+  List.iter
+    (fun k ->
+      match OT.ot fib_model (float_of_int k) with
+      | Some tree ->
+          check_float "OT(t) finishes at t" (float_of_int k)
+            (OT.predicted_completion fib_model tree)
+      | None -> Alcotest.fail "exists")
+    [ 3; 5; 8; 11 ]
+
+let test_crossover_star_vs_binomial () =
+  (* the Section 5 moral: tree shape optimality depends on C/P *)
+  let n = 64 in
+  let binom = OT.binomial 6 and star = OT.star n in
+  let at c =
+    let params = { OT.c; p = 1.0 } in
+    ( OT.predicted_completion params binom,
+      OT.predicted_completion params star )
+  in
+  let b0, s0 = at 0.0 in
+  check_bool "C=0: binomial wins" true (b0 < s0);
+  let b16, s16 = at 16.0 in
+  check_bool "C=16: star wins" true (s16 < b16)
+
+let test_graft_size () =
+  let t = OT.graft (OT.binomial 2) (OT.binomial 3) in
+  check_int "size adds" 12 (OT.size t);
+  check_int "degree grows" 3 (OT.root_degree t)
+
+let test_negative_params_rejected () =
+  check_bool "raises" true
+    (try ignore (OT.s_of { OT.c = -1.0; p = 1.0 } 3.0); false
+     with Invalid_argument _ -> true)
+
+let test_enumerate_shapes_counts () =
+  (* OEIS A000081: rooted unordered trees per isomorphism class *)
+  Alcotest.(check (list int)) "A000081"
+    [ 1; 1; 2; 4; 9; 20; 48; 115; 286 ]
+    (List.map (fun n -> List.length (OT.enumerate_shapes n)) (List.init 9 (fun i -> i + 1)))
+
+let test_enumerate_shapes_sizes () =
+  List.iter
+    (fun n ->
+      List.iter (fun s -> check_int "size" n (OT.size s)) (OT.enumerate_shapes n))
+    [ 1; 4; 7 ]
+
+let test_recursion_optimal_by_brute_force () =
+  (* Theorem 6 + the S(t) recursion, verified exhaustively: no tree
+     shape on n <= 9 nodes beats optimal_time, and some shape attains
+     it, for several (C, P) *)
+  List.iter
+    (fun (c, p) ->
+      let params = { OT.c; p } in
+      for n = 2 to 9 do
+        let best =
+          List.fold_left
+            (fun acc s -> Float.min acc (OT.predicted_completion params s))
+            infinity (OT.enumerate_shapes n)
+        in
+        check_float
+          (Printf.sprintf "brute force c=%g p=%g n=%d" c p n)
+          (OT.optimal_time params ~n) best
+      done)
+    [ (0.0, 1.0); (1.0, 1.0); (3.0, 1.0); (0.5, 2.0); (8.0, 1.0) ]
+
+let qcheck_s_monotone_in_t =
+  QCheck.Test.make ~name:"S(t) is non-decreasing in t" ~count:100
+    QCheck.(triple (float_bound_inclusive 3.0) (float_bound_inclusive 3.0) (float_bound_inclusive 15.0))
+    (fun (c, p, t) ->
+      let p = p +. 0.1 in
+      let params = { OT.c; p } in
+      OT.s_of params t <= OT.s_of params (t +. 0.5))
+
+let qcheck_prune_never_slower =
+  QCheck.Test.make ~name:"optimal_tree schedule <= optimal_time" ~count:60
+    QCheck.(pair (int_range 1 40) (pair (int_range 0 4) (int_range 1 4)))
+    (fun (n, (ci, pi)) ->
+      let params = { OT.c = float_of_int ci; p = float_of_int pi } in
+      let t = OT.optimal_time params ~n in
+      let tree = OT.optimal_tree params ~n in
+      OT.size tree = n && OT.predicted_completion params tree <= t +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "base cases" `Quick test_base_cases;
+    Alcotest.test_case "Example 1: binomial" `Quick test_example_1_binomial;
+    Alcotest.test_case "Example 2: traditional blows up" `Quick test_example_2_traditional_unbounded;
+    Alcotest.test_case "Example 3: Fibonacci" `Quick test_example_3_fibonacci;
+    Alcotest.test_case "fib values" `Quick test_fib_values;
+    Alcotest.test_case "OT size = S" `Quick test_ot_sizes_match_s;
+    Alcotest.test_case "OT binomial shape" `Quick test_ot_structure_binomial;
+    Alcotest.test_case "binomial props" `Quick test_binomial_props;
+    Alcotest.test_case "fibonacci props" `Quick test_fibonacci_props;
+    Alcotest.test_case "star and chain" `Quick test_star_chain;
+    Alcotest.test_case "nodes per depth" `Quick test_nodes_per_depth;
+    Alcotest.test_case "optimal time monotone" `Quick test_optimal_time_monotone_in_n;
+    Alcotest.test_case "optimal time values" `Quick test_optimal_time_values;
+    Alcotest.test_case "optimal tree exact size" `Quick test_optimal_tree_exact_size;
+    Alcotest.test_case "optimal tree meets deadline" `Quick test_optimal_tree_meets_deadline;
+    Alcotest.test_case "completion base cases" `Quick test_predicted_completion_base;
+    Alcotest.test_case "completion star" `Quick test_predicted_completion_star;
+    Alcotest.test_case "completion OT(t) = t" `Quick test_predicted_completion_ot_equals_t;
+    Alcotest.test_case "crossover star/binomial" `Quick test_crossover_star_vs_binomial;
+    Alcotest.test_case "graft size" `Quick test_graft_size;
+    Alcotest.test_case "negative params rejected" `Quick test_negative_params_rejected;
+    Alcotest.test_case "enumerate shapes counts" `Quick test_enumerate_shapes_counts;
+    Alcotest.test_case "enumerate shapes sizes" `Quick test_enumerate_shapes_sizes;
+    Alcotest.test_case "recursion optimal (brute force)" `Slow test_recursion_optimal_by_brute_force;
+    QCheck_alcotest.to_alcotest qcheck_s_monotone_in_t;
+    QCheck_alcotest.to_alcotest qcheck_prune_never_slower;
+  ]

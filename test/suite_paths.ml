@@ -1,0 +1,94 @@
+(* Tests for Netgraph.Paths. *)
+
+module B = Netgraph.Builders
+module P = Netgraph.Paths
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_shortest_path_endpoints () =
+  match P.shortest_path (B.path 5) ~src:0 ~dst:4 with
+  | Some walk ->
+      Alcotest.(check (list int)) "full path" [ 0; 1; 2; 3; 4 ] walk
+  | None -> Alcotest.fail "disconnected?"
+
+let test_shortest_path_self () =
+  check_bool "self" true (P.shortest_path (B.path 3) ~src:1 ~dst:1 = Some [ 1 ])
+
+let test_shortest_path_disconnected () =
+  let g = Netgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "none" true (P.shortest_path g ~src:0 ~dst:3 = None)
+
+let test_shortest_path_length () =
+  let g = B.torus ~rows:5 ~cols:5 in
+  let d = Netgraph.Traversal.distances g ~root:0 in
+  Netgraph.Graph.iter_nodes
+    (fun v ->
+      match P.shortest_path g ~src:0 ~dst:v with
+      | Some walk -> check_int "length matches BFS" d.(v) (List.length walk - 1)
+      | None -> Alcotest.fail "connected graph")
+    g
+
+let test_eccentricity () =
+  check_int "path end" 4 (P.eccentricity (B.path 5) 0);
+  check_int "path middle" 2 (P.eccentricity (B.path 5) 2)
+
+let test_diameter_radius () =
+  check_int "path diameter" 4 (P.diameter (B.path 5));
+  check_int "path radius" 2 (P.radius (B.path 5));
+  check_int "complete diameter" 1 (P.diameter (B.complete 5));
+  check_int "ring diameter" 3 (P.diameter (B.ring 6));
+  check_int "star diameter" 2 (P.diameter (B.star 5))
+
+let test_diameter_disconnected_rejected () =
+  let g = Netgraph.Graph.of_edges ~n:3 [ (0, 1) ] in
+  check_bool "raises" true
+    (try ignore (P.diameter g); false with Invalid_argument _ -> true)
+
+let test_all_pairs () =
+  let g = B.ring 5 in
+  let d = P.all_pairs_distances g in
+  check_int "d(0,2)" 2 d.(0).(2);
+  check_int "d(0,3)" 2 d.(0).(3);
+  check_int "symmetric" d.(1).(4) d.(4).(1)
+
+let test_is_path_in_graph () =
+  let g = B.path 4 in
+  check_bool "valid" true (P.is_path_in_graph g [ 0; 1; 2; 1; 0 ]);
+  check_bool "chord invalid" false (P.is_path_in_graph g [ 0; 2 ]);
+  check_bool "trivial" true (P.is_path_in_graph g [ 3 ]);
+  check_bool "empty" true (P.is_path_in_graph g [])
+
+let test_grid_diameter () =
+  check_int "grid diameter = (r-1)+(c-1)" 7 (P.diameter (B.grid ~rows:4 ~cols:5))
+
+let qcheck_shortest_path_valid =
+  QCheck.Test.make ~name:"shortest paths are valid graph walks" ~count:100
+    QCheck.(int_range 2 25)
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(n * 13) in
+      let g = B.random_connected rng ~n ~extra_edges:n in
+      List.for_all
+        (fun dst ->
+          match P.shortest_path g ~src:0 ~dst with
+          | Some walk ->
+              P.is_path_in_graph g walk
+              && List.hd walk = 0
+              && List.nth walk (List.length walk - 1) = dst
+          | None -> false)
+        (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "shortest path endpoints" `Quick test_shortest_path_endpoints;
+    Alcotest.test_case "shortest path self" `Quick test_shortest_path_self;
+    Alcotest.test_case "shortest path disconnected" `Quick test_shortest_path_disconnected;
+    Alcotest.test_case "shortest path length" `Quick test_shortest_path_length;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "diameter and radius" `Quick test_diameter_radius;
+    Alcotest.test_case "diameter disconnected" `Quick test_diameter_disconnected_rejected;
+    Alcotest.test_case "all pairs" `Quick test_all_pairs;
+    Alcotest.test_case "is_path_in_graph" `Quick test_is_path_in_graph;
+    Alcotest.test_case "grid diameter" `Quick test_grid_diameter;
+    QCheck_alcotest.to_alcotest qcheck_shortest_path_valid;
+  ]

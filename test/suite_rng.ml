@@ -1,0 +1,122 @@
+(* Tests for Sim.Rng: determinism, ranges, split independence. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_deterministic () =
+  let a = Sim.Rng.create ~seed:42 and b = Sim.Rng.create ~seed:42 in
+  let draws r = List.init 100 (fun _ -> Sim.Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (draws a) (draws b)
+
+let test_different_seeds () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let draws r = List.init 50 (fun _ -> Sim.Rng.int r 1_000_000) in
+  check "different seeds diverge" true (draws a <> draws b)
+
+let test_int_range () =
+  let r = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int r 17 in
+    check "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let r = Sim.Rng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_int_in () =
+  let r = Sim.Rng.create ~seed:9 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 2000 do
+    let x = Sim.Rng.int_in r (-3) 3 in
+    check "in [-3,3]" true (x >= -3 && x <= 3);
+    Hashtbl.replace seen x ()
+  done;
+  check_int "all 7 values hit" 7 (Hashtbl.length seen)
+
+let test_float_range () =
+  let r = Sim.Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.float r 2.5 in
+    check "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_chance_extremes () =
+  let r = Sim.Rng.create ~seed:3 in
+  check "p=0 never" false (Sim.Rng.chance r 0.0);
+  check "p=1 always" true (Sim.Rng.chance r 1.0);
+  check "p<0 never" false (Sim.Rng.chance r (-0.5));
+  check "p>1 always" true (Sim.Rng.chance r 1.5)
+
+let test_exponential_positive () =
+  let r = Sim.Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    check "positive" true (Sim.Rng.exponential r ~mean:2.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let r = Sim.Rng.create ~seed:13 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Sim.Rng.exponential r ~mean:3.0
+  done;
+  let mean = !total /. float_of_int n in
+  check "mean within 10%" true (Float.abs (mean -. 3.0) < 0.3)
+
+let test_pick () =
+  let r = Sim.Rng.create ~seed:17 in
+  for _ = 1 to 100 do
+    check "member" true (List.mem (Sim.Rng.pick r [ 1; 5; 9 ]) [ 1; 5; 9 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Sim.Rng.pick r []))
+
+let test_shuffle_permutation () =
+  let r = Sim.Rng.create ~seed:19 in
+  let original = List.init 20 Fun.id in
+  for _ = 1 to 50 do
+    let shuffled = Sim.Rng.shuffle r original in
+    Alcotest.(check (list int)) "permutation" original (List.sort compare shuffled)
+  done
+
+let test_split_independence () =
+  let parent = Sim.Rng.create ~seed:23 in
+  let child1 = Sim.Rng.split parent in
+  let child2 = Sim.Rng.split parent in
+  let draws r = List.init 20 (fun _ -> Sim.Rng.int r 1_000_000) in
+  check "siblings differ" true (draws child1 <> draws child2)
+
+let test_split_deterministic () =
+  let mk () =
+    let parent = Sim.Rng.create ~seed:29 in
+    let child = Sim.Rng.split parent in
+    List.init 20 (fun _ -> Sim.Rng.int child 1_000_000)
+  in
+  Alcotest.(check (list int)) "split reproducible" (mk ()) (mk ())
+
+let qcheck_shuffle_preserves =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, xs) ->
+      let r = Sim.Rng.create ~seed in
+      List.sort compare (Sim.Rng.shuffle r xs) = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int rejects nonpositive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int_in inclusive" `Quick test_int_in;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_shuffle_preserves;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for Core.Sensitive. *)
+
+module S = Core.Sensitive
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fold () =
+  check_int "sum mod 10" 4 (S.fold (S.sum_mod 10) [ 7; 3; 4 ]);
+  check_int "max" 9 (S.fold (S.max_spec ~hi:9) [ 2; 9; 5 ]);
+  check_int "xor" 6 (S.fold (S.xor_spec ~bits:3) [ 5; 3 ])
+
+let test_fold_empty_rejected () =
+  check_bool "raises" true
+    (try ignore (S.fold (S.sum_mod 5) []); false with Invalid_argument _ -> true)
+
+let test_axioms () =
+  List.iter
+    (fun name_ok ->
+      let name, ok = name_ok in
+      check_bool name true ok)
+    [
+      ("sum mod 7", S.is_associative_and_commutative (S.sum_mod 7));
+      ("max", S.is_associative_and_commutative (S.max_spec ~hi:6));
+      ("xor", S.is_associative_and_commutative (S.xor_spec ~bits:4));
+      ("and", S.is_associative_and_commutative S.bool_and);
+      ("or", S.is_associative_and_commutative S.bool_or);
+      ("gcd", S.is_associative_and_commutative (S.gcd_spec ~values:[ 12; 18; 30 ]));
+    ]
+
+let test_non_associative_rejected () =
+  let bad = { S.name = "minus"; op = ( - ); alphabet = [ 0; 1; 2 ] } in
+  check_bool "subtraction fails" false (S.is_associative_and_commutative bad)
+
+let test_non_closed_rejected () =
+  let bad = { S.name = "plus"; op = ( + ); alphabet = [ 0; 1 ] } in
+  check_bool "not closed" false (S.is_associative_and_commutative bad)
+
+let test_sum_always_sensitive () =
+  let spec = S.sum_mod 5 in
+  check_bool "any vector sensitive" true
+    (S.is_globally_sensitive_vector spec [| 0; 3; 1; 4; 2; 2 |])
+
+let test_max_sensitivity_depends_on_vector () =
+  let spec = S.max_spec ~hi:5 in
+  check_bool "all-zero sensitive" true
+    (S.is_globally_sensitive_vector spec [| 0; 0; 0 |]);
+  check_bool "containing two maxima insensitive" false
+    (S.is_globally_sensitive_vector spec [| 5; 5; 0 |])
+
+let test_and_sensitivity () =
+  check_bool "all-true sensitive" true
+    (S.is_globally_sensitive_vector S.bool_and [| true; true; true |]);
+  check_bool "with a false insensitive" false
+    (S.is_globally_sensitive_vector S.bool_and [| true; false; true |])
+
+let test_find_sensitive_vector () =
+  (match S.find_sensitive_vector (S.max_spec ~hi:3) ~n:6 with
+  | Some v -> check_bool "found is sensitive" true
+      (S.is_globally_sensitive_vector (S.max_spec ~hi:3) v)
+  | None -> Alcotest.fail "max has a sensitive vector (all zero)");
+  check_bool "sum is globally sensitive" true
+    (S.is_globally_sensitive (S.sum_mod 3) ~n:10)
+
+let test_gcd_alphabet_closed () =
+  let spec = S.gcd_spec ~values:[ 12; 18 ] in
+  check_bool "contains gcd" true (List.mem 6 spec.S.alphabet);
+  check_bool "closed" true (S.is_associative_and_commutative spec)
+
+let test_gcd_sensitive () =
+  let spec = S.gcd_spec ~values:[ 4; 6; 12 ] in
+  check_bool "gcd is globally sensitive" true
+    (S.is_globally_sensitive ~rng:(Sim.Rng.create ~seed:3) spec ~n:5)
+
+let test_exhaustive_decision () =
+  check_bool "sum mod 3 sensitive (exhaustive)" true
+    (S.is_globally_sensitive_exhaustive (S.sum_mod 3) ~n:4);
+  check_bool "max sensitive (exhaustive)" true
+    (S.is_globally_sensitive_exhaustive (S.max_spec ~hi:2) ~n:4);
+  check_bool "and sensitive (exhaustive)" true
+    (S.is_globally_sensitive_exhaustive S.bool_and ~n:6);
+  (* a genuinely insensitive function: the constant operation *)
+  let constant = { S.name = "const"; op = (fun _ _ -> 0); alphabet = [ 0; 1 ] } in
+  check_bool "constant op is assoc+comm" true
+    (S.is_associative_and_commutative constant);
+  check_bool "but never globally sensitive" false
+    (S.is_globally_sensitive_exhaustive constant ~n:3);
+  check_bool "space bound enforced" true
+    (try ignore (S.is_globally_sensitive_exhaustive (S.sum_mod 10) ~n:10); false
+     with Invalid_argument _ -> true)
+
+let qcheck_sum_mod_sensitive =
+  QCheck.Test.make ~name:"every sum-mod-k vector is globally sensitive" ~count:200
+    QCheck.(pair (int_range 2 8) (list_of_size Gen.(1 -- 10) small_nat))
+    (fun (k, xs) ->
+      let spec = S.sum_mod k in
+      let v = Array.of_list (List.map (fun x -> x mod k) xs) in
+      S.is_globally_sensitive_vector spec v)
+
+let qcheck_fold_order_independent =
+  QCheck.Test.make ~name:"fold is permutation invariant (assoc+comm)" ~count:200
+    QCheck.(pair (int_range 0 1000) (list_of_size Gen.(1 -- 12) (int_range 0 15)))
+    (fun (seed, xs) ->
+      let spec = S.xor_spec ~bits:4 in
+      let rng = Sim.Rng.create ~seed in
+      S.fold spec xs = S.fold spec (Sim.Rng.shuffle rng xs))
+
+let suite =
+  [
+    Alcotest.test_case "fold" `Quick test_fold;
+    Alcotest.test_case "fold empty rejected" `Quick test_fold_empty_rejected;
+    Alcotest.test_case "axioms hold for built-ins" `Quick test_axioms;
+    Alcotest.test_case "non-associative rejected" `Quick test_non_associative_rejected;
+    Alcotest.test_case "non-closed rejected" `Quick test_non_closed_rejected;
+    Alcotest.test_case "sum always sensitive" `Quick test_sum_always_sensitive;
+    Alcotest.test_case "max sensitivity varies" `Quick test_max_sensitivity_depends_on_vector;
+    Alcotest.test_case "and sensitivity" `Quick test_and_sensitivity;
+    Alcotest.test_case "find sensitive vector" `Quick test_find_sensitive_vector;
+    Alcotest.test_case "gcd alphabet closed" `Quick test_gcd_alphabet_closed;
+    Alcotest.test_case "gcd sensitive" `Quick test_gcd_sensitive;
+    Alcotest.test_case "exhaustive decision" `Quick test_exhaustive_decision;
+    QCheck_alcotest.to_alcotest qcheck_sum_mod_sensitive;
+    QCheck_alcotest.to_alcotest qcheck_fold_order_independent;
+  ]

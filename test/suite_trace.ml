@@ -1,0 +1,74 @@
+(* Tests for Sim.Trace. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let hop t = Sim.Trace.Hop { src = 0; dst = 1; time = t }
+let syscall t = Sim.Trace.Syscall { node = 0; time = t; label = "x" }
+
+let test_record_order () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t (hop 1.0);
+  Sim.Trace.record t (syscall 2.0);
+  Sim.Trace.record t (hop 3.0);
+  check_int "length" 3 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9)))
+    "chronological" [ 1.0; 2.0; 3.0 ]
+    (List.map Sim.Trace.time_of (Sim.Trace.events t))
+
+let test_disabled () =
+  let t = Sim.Trace.disabled () in
+  Sim.Trace.record t (hop 1.0);
+  check_int "nothing recorded" 0 (Sim.Trace.length t)
+
+let test_capacity_keeps_recent () =
+  let t = Sim.Trace.create ~capacity:10 () in
+  for i = 1 to 100 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  let events = Sim.Trace.events t in
+  check_bool "at most capacity" true (List.length events <= 10);
+  (* the newest event must be present *)
+  check_bool "newest kept" true
+    (List.exists (fun e -> Sim.Trace.time_of e = 100.0) events)
+
+let test_clear () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t (hop 1.0);
+  Sim.Trace.clear t;
+  check_int "cleared" 0 (Sim.Trace.length t)
+
+let test_filter_count () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t (hop 1.0);
+  Sim.Trace.record t (syscall 2.0);
+  Sim.Trace.record t (hop 3.0);
+  let is_hop = function Sim.Trace.Hop _ -> true | _ -> false in
+  check_int "filter" 2 (List.length (Sim.Trace.filter is_hop t));
+  check_int "count" 2 (Sim.Trace.count is_hop t)
+
+let test_time_of_variants () =
+  let check_time e expected = check_bool "time_of" true (Sim.Trace.time_of e = expected) in
+  check_time (Sim.Trace.Send { node = 0; time = 1.5; msg_id = 0; label = "" }) 1.5;
+  check_time (Sim.Trace.Receive { node = 0; time = 2.5; msg_id = 0; label = "" }) 2.5;
+  check_time (Sim.Trace.Drop { node = 0; time = 3.5; reason = "" }) 3.5;
+  check_time (Sim.Trace.Link_change { u = 0; v = 1; up = false; time = 4.5 }) 4.5;
+  check_time (Sim.Trace.Custom { time = 5.5; label = "" }) 5.5
+
+let test_pp_smoke () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t (hop 1.0);
+  Sim.Trace.record t (syscall 2.0);
+  let s = Format.asprintf "%a" Sim.Trace.pp t in
+  check_bool "renders" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "record order" `Quick test_record_order;
+    Alcotest.test_case "disabled" `Quick test_disabled;
+    Alcotest.test_case "capacity keeps recent" `Quick test_capacity_keeps_recent;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "filter and count" `Quick test_filter_count;
+    Alcotest.test_case "time_of variants" `Quick test_time_of_variants;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

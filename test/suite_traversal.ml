@@ -1,0 +1,73 @@
+(* Tests for Netgraph.Traversal. *)
+
+module B = Netgraph.Builders
+module T = Netgraph.Traversal
+
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let test_distances_path () =
+  let d = T.distances (B.path 5) ~root:0 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |] d
+
+let test_distances_unreachable () =
+  let g = Netgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let d = T.distances g ~root:0 in
+  check_int "reachable" 1 d.(1);
+  check_int "unreachable" (-1) d.(2)
+
+let test_bfs_order () =
+  (* star: root first then leaves ascending *)
+  check_ints "star order" [ 0; 1; 2; 3 ] (T.bfs_order (B.star 4) ~root:0)
+
+let test_bfs_layers () =
+  let layers = T.bfs_layers (B.path 4) ~root:1 in
+  Alcotest.(check (list (list int))) "layers" [ [ 1 ]; [ 0; 2 ]; [ 3 ] ] layers
+
+let test_dfs_preorder () =
+  check_ints "path dfs" [ 0; 1; 2; 3 ] (T.dfs_preorder (B.path 4) ~root:0);
+  check_ints "from middle" [ 2; 1; 0; 3 ] (T.dfs_preorder (B.path 4) ~root:2)
+
+let test_reachable () =
+  let g = Netgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check (array bool)) "reach" [| true; true; false; false |]
+    (T.reachable g ~root:0)
+
+let test_component_of () =
+  let g = Netgraph.Graph.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  check_ints "component 1" [ 0; 1; 2 ] (T.component_of g 1);
+  check_ints "component 4" [ 3; 4 ] (T.component_of g 4)
+
+let test_components () =
+  let g = Netgraph.Graph.of_edges ~n:6 [ (0, 1); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (list int))) "components"
+    [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ] ]
+    (T.components g)
+
+let test_bfs_covers_connected () =
+  let rng = Sim.Rng.create ~seed:77 in
+  let g = B.random_connected rng ~n:50 ~extra_edges:20 in
+  check_int "covers all" 50 (List.length (T.bfs_order g ~root:0))
+
+let qcheck_distances_triangle_inequality =
+  QCheck.Test.make ~name:"BFS distance drops by <=1 along an edge" ~count:100
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:(n * 31) in
+      let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
+      let d = T.distances g ~root:0 in
+      List.for_all (fun (u, v) -> abs (d.(u) - d.(v)) <= 1) (Netgraph.Graph.edges g))
+
+let suite =
+  [
+    Alcotest.test_case "distances path" `Quick test_distances_path;
+    Alcotest.test_case "distances unreachable" `Quick test_distances_unreachable;
+    Alcotest.test_case "bfs order" `Quick test_bfs_order;
+    Alcotest.test_case "bfs layers" `Quick test_bfs_layers;
+    Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "component_of" `Quick test_component_of;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "bfs covers connected" `Quick test_bfs_covers_connected;
+    QCheck_alcotest.to_alcotest qcheck_distances_triangle_inequality;
+  ]

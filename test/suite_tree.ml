@@ -1,0 +1,130 @@
+(* Tests for Netgraph.Tree. *)
+
+module T = Netgraph.Tree
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+(* 0 -> 1 -> 3, 1 -> 4, 0 -> 2 *)
+let sample () = T.of_parents ~root:0 ~parents:[ (1, 0); (2, 0); (3, 1); (4, 1) ]
+
+let test_singleton () =
+  let t = T.singleton 7 in
+  check_int "size" 1 (T.size t);
+  check_int "root" 7 (T.root t);
+  check_ints "nodes" [ 7 ] (T.nodes t);
+  check_bool "no parent" true (T.parent t 7 = None);
+  check_int "height" 0 (T.height t)
+
+let test_structure () =
+  let t = sample () in
+  check_int "size" 5 (T.size t);
+  check_ints "children of 0" [ 1; 2 ] (T.children t 0);
+  check_ints "children of 1" [ 3; 4 ] (T.children t 1);
+  check_ints "leaves" [ 3; 4; 2 ] (T.leaves t);
+  check_bool "parent of 3" true (T.parent t 3 = Some 1)
+
+let test_preorder () =
+  check_ints "preorder" [ 0; 1; 3; 4; 2 ] (T.nodes (sample ()))
+
+let test_depth_height () =
+  let t = sample () in
+  check_int "depth root" 0 (T.depth_of t 0);
+  check_int "depth 4" 2 (T.depth_of t 4);
+  check_int "height" 2 (T.height t)
+
+let test_subtree () =
+  let t = sample () in
+  check_int "subtree size of 1" 3 (T.subtree_size t 1);
+  check_ints "subtree nodes of 1" [ 1; 3; 4 ] (T.subtree_nodes t 1)
+
+let test_ancestry () =
+  let t = sample () in
+  check_bool "0 anc of 4" true (T.is_ancestor t ~anc:0 ~desc:4);
+  check_bool "reflexive" true (T.is_ancestor t ~anc:4 ~desc:4);
+  check_bool "2 not anc of 4" false (T.is_ancestor t ~anc:2 ~desc:4)
+
+let test_paths () =
+  let t = sample () in
+  check_ints "path from root" [ 0; 1; 4 ] (T.path_from_root t 4);
+  check_bool "between 3 and 2" true (T.path_between t 3 2 = Some [ 3; 1; 0; 2 ]);
+  check_bool "between 3 and 4" true (T.path_between t 3 4 = Some [ 3; 1; 4 ]);
+  check_bool "self path" true (T.path_between t 1 1 = Some [ 1 ]);
+  check_bool "non-member" true (T.path_between t 0 99 = None)
+
+let test_edges () =
+  Alcotest.(check (list (pair int int)))
+    "parent-child pairs" [ (0, 1); (1, 3); (1, 4); (0, 2) ]
+    (T.edges (sample ()))
+
+let test_cycle_rejected () =
+  Alcotest.(check bool) "cycle raises" true
+    (try ignore (T.of_parents ~root:0 ~parents:[ (1, 2); (2, 1) ]); false
+     with Invalid_argument _ -> true)
+
+let test_root_with_parent_rejected () =
+  Alcotest.(check bool) "root parent raises" true
+    (try ignore (T.of_parents ~root:0 ~parents:[ (0, 1); (1, 0) ]); false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_rejected () =
+  Alcotest.(check bool) "dup raises" true
+    (try ignore (T.of_parents ~root:0 ~parents:[ (1, 0); (1, 0) ]); false
+     with Invalid_argument _ -> true)
+
+let test_orphan_parent_rejected () =
+  Alcotest.(check bool) "orphan raises" true
+    (try ignore (T.of_parents ~root:0 ~parents:[ (1, 9) ]); false
+     with Invalid_argument _ -> true)
+
+let test_non_member_queries () =
+  let t = sample () in
+  Alcotest.(check bool) "children of stranger raises" true
+    (try ignore (T.children t 42); false with Invalid_argument _ -> true)
+
+let test_map_nodes () =
+  let t = T.map_nodes (fun v -> v + 10) (sample ()) in
+  check_int "root" 10 (T.root t);
+  check_ints "children" [ 11; 12 ] (T.children t 10)
+
+let test_spans () =
+  let g = Netgraph.Builders.path 3 in
+  let t = T.of_parents ~root:0 ~parents:[ (1, 0); (2, 1) ] in
+  check_bool "spans path" true (T.spans t g);
+  let partial = T.of_parents ~root:0 ~parents:[ (1, 0) ] in
+  check_bool "partial does not span" false (T.spans partial g);
+  check_bool "partial is subgraph" true (T.is_subgraph partial g);
+  let bad = T.of_parents ~root:0 ~parents:[ (2, 0) ] in
+  check_bool "chord not subgraph" false (T.is_subgraph bad g)
+
+let qcheck_random_tree_roundtrip =
+  QCheck.Test.make ~name:"random parent arrays make valid trees" ~count:200
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let rng = Sim.Rng.create ~seed:n in
+      let parents = List.init (n - 1) (fun i -> (i + 1, Sim.Rng.int rng (i + 1))) in
+      let t = T.of_parents ~root:0 ~parents in
+      T.size t = n
+      && List.length (T.nodes t) = n
+      && List.for_all (fun v -> T.is_ancestor t ~anc:0 ~desc:v) (T.nodes t))
+
+let suite =
+  [
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "preorder" `Quick test_preorder;
+    Alcotest.test_case "depth and height" `Quick test_depth_height;
+    Alcotest.test_case "subtree" `Quick test_subtree;
+    Alcotest.test_case "ancestry" `Quick test_ancestry;
+    Alcotest.test_case "paths" `Quick test_paths;
+    Alcotest.test_case "edges" `Quick test_edges;
+    Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "root parent rejected" `Quick test_root_with_parent_rejected;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "orphan parent rejected" `Quick test_orphan_parent_rejected;
+    Alcotest.test_case "non-member queries" `Quick test_non_member_queries;
+    Alcotest.test_case "map_nodes" `Quick test_map_nodes;
+    Alcotest.test_case "spans / subgraph" `Quick test_spans;
+    QCheck_alcotest.to_alcotest qcheck_random_tree_roundtrip;
+  ]
