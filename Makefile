@@ -1,4 +1,4 @@
-.PHONY: all build test bench experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json experiments figures examples clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 bench:
 	dune exec bench/main.exe -- bench
+
+bench-smoke:
+	dune exec bench/main.exe -- bench --smoke
+
+# Scaling suite (n = 64..4096) writing one BENCH_<n>.json per size:
+# the perf trajectory future PRs regress against (see DESIGN.md §7).
+bench-json:
+	dune exec bench/main.exe -- bench --json
 
 experiments:
 	dune exec bench/main.exe -- all

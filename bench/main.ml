@@ -1,18 +1,33 @@
 (* The experiment harness.
 
-   - `main.exe`            : regenerate every experiment table (E1-E9)
-                             and run the bechamel timing suite.
-   - `main.exe e4 e6 ...`  : regenerate the named experiments only.
-   - `main.exe figures`    : render the paper's Figures 1-5.
-   - `main.exe bench`      : the bechamel timing suite only.
+   - `main.exe`                 : regenerate every experiment table (E1-E9)
+                                  and run the bechamel timing suite.
+   - `main.exe e4 e6 ...`       : regenerate the named experiments only.
+   - `main.exe figures`         : render the paper's Figures 1-5.
+   - `main.exe bench [FLAGS]`   : the bechamel timing suite only.
+
+   Bench flags:
+   - `--smoke`      : tiny quota and n=64 only — a fast CI sanity check.
+   - `--json`       : additionally write one BENCH_<n>.json per scaling
+                      size (name, ns/run, n, git rev) into the current
+                      directory, so successive PRs accumulate a perf
+                      trajectory to regress against.
+   - `--sizes LIST` : comma-separated scaling sizes (default
+                      64,256,1024,4096).
 
    The tables reproduce the paper's claims (see DESIGN.md section 3 and
    EXPERIMENTS.md); the bechamel suite times the implementations
-   themselves - one Test.make per experiment family. *)
+   themselves — the classic per-experiment microbenchmarks plus a
+   scaling suite (broadcast / election / maintenance at n = 64 .. 4096)
+   that exercises the switching-fabric fast path. *)
 
 open Bechamel
 
-let bench_tests =
+let default_sizes = [ 64; 256; 1024; 4096 ]
+
+(* -- classic per-experiment microbenchmarks (fixed small sizes) ------- *)
+
+let classic_tests () =
   let rng = Sim.Rng.create ~seed:42 in
   let g64 = Netgraph.Builders.random_connected rng ~n:64 ~extra_edges:32 in
   let ring64 = Netgraph.Builders.ring 64 in
@@ -26,13 +41,6 @@ let bench_tests =
       ~root:0
   in
   [
-    (* E1: per-broadcast costs *)
-    Test.make ~name:"e1/branching-paths-broadcast-n64"
-      (Staged.stage (fun () -> Core.Branching_paths.run ~graph:g64 ~root:0 ()));
-    Test.make ~name:"e1/flooding-broadcast-n64"
-      (Staged.stage (fun () -> Core.Flooding.run ~graph:g64 ~root:0 ()));
-    Test.make ~name:"e1/dfs-broadcast-n64"
-      (Staged.stage (fun () -> Core.Dfs_broadcast.run ~graph:g64 ~root:0 ()));
     (* E2: labelling *)
     Test.make ~name:"e2/labels-n64"
       (Staged.stage (fun () -> Core.Labels.compute tree_for_labels));
@@ -42,20 +50,7 @@ let bench_tests =
            Core.Lower_bound.simulate ~tree:binary10
              ~strategy:Core.Lower_bound.eager_single_edge_strategy
              ~max_rounds:100));
-    (* E4/E5: a maintenance round *)
-    Test.make ~name:"e5/maintenance-2-rounds-n24"
-      (Staged.stage (fun () ->
-           let params =
-             { (Core.Topo_maintenance.default_params ()) with max_rounds = 2 }
-           in
-           let g =
-             Netgraph.Builders.random_connected (Sim.Rng.create ~seed:1)
-               ~n:24 ~extra_edges:12
-           in
-           Core.Topo_maintenance.run ~params ~graph:g ~events:[] ()));
-    (* E6: elections *)
-    Test.make ~name:"e6/election-ring64"
-      (Staged.stage (fun () -> Core.Election.run ~graph:ring64 ()));
+    (* E6: the classical baseline *)
     Test.make ~name:"e6/hirschberg-sinclair-ring64"
       (Staged.stage (fun () ->
            Core.Election_baselines.run_hirschberg_sinclair ~n:64 ()));
@@ -71,6 +66,11 @@ let bench_tests =
     Test.make ~name:"e9/convergecast-n64"
       (Staged.stage (fun () ->
            Core.Convergecast.run ~params:fib_model ~shape ~spec ()));
+    (* E1 variants not in the scaling sweep *)
+    Test.make ~name:"e1/dfs-broadcast-n64"
+      (Staged.stage (fun () -> Core.Dfs_broadcast.run ~graph:g64 ~root:0 ()));
+    Test.make ~name:"e6/election-ring64"
+      (Staged.stage (fun () -> Core.Election.run ~graph:ring64 ()));
     (* A1: the multicast ablation *)
     Test.make ~name:"a1/bpaths-no-multicast-star64"
       (Staged.stage (fun () ->
@@ -80,51 +80,274 @@ let bench_tests =
     Test.make ~name:"a4/aggregate-grid8x8"
       (Staged.stage (fun () ->
            Core.Aggregate.run ~c:1.0 ~p:1.0
-             ~graph:(Netgraph.Builders.grid ~rows:8 ~cols:8) ~spec ()));
+             ~graph:(Netgraph.Builders.grid ~rows:8 ~cols:8)
+             ~spec ()));
   ]
 
-let run_bechamel () =
-  print_endline "\n###### bechamel timing suite ######";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+(* -- the scaling suite: broadcast / election / maintenance ------------ *)
+
+(* One bechamel test list per size [n], exercising the packet fast path
+   on seed-equivalent graphs: the same generator and seed as the seed
+   repo's `random_connected ~seed:42 ~n:64 ~extra_edges:32`, scaled so
+   extra_edges = n/2. *)
+let scaling_tests ~n =
+  let g =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:42)
+      ~n ~extra_edges:(n / 2)
+  in
+  let ring = Netgraph.Builders.ring n in
+  (* A full maintenance round costs Theta(n) broadcasts of Theta(n)
+     system calls each; keep the biggest sizes to one round so the
+     suite stays runnable. Not a silent cap: the round count is in the
+     benchmark name. *)
+  let maintenance_rounds = if n >= 1024 then 1 else 2 in
+  let maintenance_graph =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:1)
+      ~n ~extra_edges:(n / 2)
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "e1/flooding-broadcast-n%d" n)
+      (Staged.stage (fun () -> Core.Flooding.run ~graph:g ~root:0 ()));
+    Test.make
+      ~name:(Printf.sprintf "e1/branching-paths-broadcast-n%d" n)
+      (Staged.stage (fun () -> Core.Branching_paths.run ~graph:g ~root:0 ()));
+    Test.make
+      ~name:(Printf.sprintf "e6/election-ring%d" n)
+      (Staged.stage (fun () -> Core.Election.run ~graph:ring ()));
+    Test.make
+      ~name:
+        (Printf.sprintf "e5/maintenance-%d-rounds-n%d" maintenance_rounds n)
+      (Staged.stage (fun () ->
+           let params =
+             {
+               (Core.Topo_maintenance.default_params ()) with
+               max_rounds = maintenance_rounds;
+             }
+           in
+           Core.Topo_maintenance.run ~params ~graph:maintenance_graph
+             ~events:[] ()));
+  ]
+
+(* -- measurement ------------------------------------------------------ *)
+
+let measure ~quota tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let grouped = Test.make_grouped ~name:"futurenet" bench_tests in
+  let grouped = Test.make_grouped ~name:"futurenet" tests in
   let raw = Benchmark.all cfg instances grouped in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort compare rows in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, Some est) :: acc
+        | _ -> (name, None) :: acc)
+      results []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let print_rows rows =
   Printf.printf "%-45s %15s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 61 '-');
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some (est :: _) -> Printf.printf "%-45s %15.0f\n" name est
-      | _ -> Printf.printf "%-45s %15s\n" name "n/a")
-    rows
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-45s %15.0f\n" name est
+      | None -> Printf.printf "%-45s %15s\n" name "n/a")
+    rows;
+  flush stdout
+
+(* -- JSON output ------------------------------------------------------ *)
+
+(* The current git revision, read straight from .git so the bench binary
+   needs no subprocess machinery. *)
+let git_rev () =
+  let read_line_of path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+        close_in ic;
+        line
+  in
+  let rec from_dir dir depth =
+    if depth > 8 then None
+    else
+      let head = Filename.concat dir ".git/HEAD" in
+      match read_line_of head with
+      | Some line ->
+          let prefix = "ref: " in
+          if String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+          then
+            let ref_path =
+              String.sub line (String.length prefix)
+                (String.length line - String.length prefix)
+            in
+            read_line_of (Filename.concat dir (Filename.concat ".git" ref_path))
+          else Some line
+      | None ->
+          let parent = Filename.dirname dir in
+          if parent = dir then None else from_dir parent (depth + 1)
+  in
+  Option.value ~default:"unknown" (from_dir (Sys.getcwd ()) 0)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~n ~rev rows =
+  let file = Printf.sprintf "BENCH_%d.json" n in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"n\": %d,\n  \"git_rev\": \"%s\",\n  \"results\": [\n"
+    n (json_escape rev);
+  let total = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let sep = if i = total - 1 then "" else "," in
+      match est with
+      | Some est ->
+          Printf.fprintf oc
+            "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+            (json_escape name) est sep
+      | None ->
+          Printf.fprintf oc
+            "    { \"name\": \"%s\", \"ns_per_run\": null }%s\n"
+            (json_escape name) sep)
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d results)\n%!" file total
+
+(* Strip the "futurenet/" group prefix bechamel prepends. *)
+let strip_group name =
+  match String.index_opt name '/' with
+  | Some i when String.sub name 0 i = "futurenet" ->
+      String.sub name (i + 1) (String.length name - i - 1)
+  | _ -> name
+
+let run_bechamel ~smoke ~json ~sizes () =
+  print_endline "\n###### bechamel timing suite ######";
+  let sizes = if smoke then [ 64 ] else sizes in
+  let quota = if smoke then 0.01 else 0.25 in
+  if not smoke then begin
+    let rows =
+      List.map (fun (name, est) -> (strip_group name, est))
+        (measure ~quota (classic_tests ()))
+    in
+    print_rows rows
+  end;
+  let rev = git_rev () in
+  List.iter
+    (fun n ->
+      Printf.printf "\n-- scaling suite, n = %d --\n%!" n;
+      let rows =
+        List.map (fun (name, est) -> (strip_group name, est))
+          (measure ~quota (scaling_tests ~n))
+      in
+      print_rows rows;
+      if json then write_bench_json ~n ~rev rows)
+    sizes
+
+(* -- argv ------------------------------------------------------------- *)
+
+let parse_sizes s =
+  match
+    List.map
+      (fun part ->
+        match int_of_string_opt (String.trim part) with
+        | Some n when n >= 4 -> n
+        | _ -> raise Exit)
+      (String.split_on_char ',' s)
+  with
+  | sizes when sizes <> [] -> Some sizes
+  | _ -> None
+  | exception Exit -> None
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [all | figures | bench | e1..e9 | a1..a5]...\n\
+    \       main.exe bench [--smoke] [--json] [--sizes N,N,...]"
+
+(* Run the named experiments / the bench suite.  Unknown arguments are
+   reported but do not abort the rest of the list; the exit code
+   reflects whether everything was recognised. *)
+let run_args args =
+  let failed = ref false in
+  let complain fmt =
+    failed := true;
+    Printf.eprintf fmt
+  in
+  let rec loop = function
+    | [] -> ()
+    | "figures" :: rest ->
+        Experiments.figures ();
+        loop rest
+    | "all" :: rest ->
+        Experiments.run_all ();
+        loop rest
+    | "bench" :: rest ->
+        (* bench consumes its flags, then continues with what is left *)
+        let smoke = ref false and json = ref false in
+        let sizes = ref default_sizes in
+        let rec flags = function
+          | "--smoke" :: rest ->
+              smoke := true;
+              flags rest
+          | "--json" :: rest ->
+              json := true;
+              flags rest
+          | "--sizes" :: value :: rest -> (
+              match parse_sizes value with
+              | Some s ->
+                  sizes := s;
+                  flags rest
+              | None ->
+                  complain "bad --sizes value %S (want e.g. 64,256)\n" value;
+                  flags rest)
+          | "--sizes" :: [] ->
+              complain "--sizes needs a value\n";
+              []
+          | rest -> rest
+        in
+        let rest = flags rest in
+        run_bechamel ~smoke:!smoke ~json:!json ~sizes:!sizes ();
+        loop rest
+    | id :: rest ->
+        (match Experiments.find id with
+        | Some (_, description, run) ->
+            Printf.printf "\n###### %s - %s ######\n"
+              (String.uppercase_ascii id)
+              description;
+            run ()
+        | None ->
+            complain
+              "unknown experiment %S (known: e1..e9, figures, bench, all)\n" id);
+        loop rest
+  in
+  loop args;
+  if !failed then begin
+    usage ();
+    exit 2
+  end
 
 let () =
   match Array.to_list Sys.argv with
-  | _ :: ([ _ ] | _ :: _ as args) when args <> [] ->
-      List.iter
-        (fun arg ->
-          match arg with
-          | "figures" -> Experiments.figures ()
-          | "bench" -> run_bechamel ()
-          | "all" -> Experiments.run_all ()
-          | id -> (
-              match Experiments.find id with
-              | Some (_, description, run) ->
-                  Printf.printf "\n###### %s - %s ######\n"
-                    (String.uppercase_ascii id) description;
-                  run ()
-              | None ->
-                  Printf.eprintf
-                    "unknown experiment %S (known: e1..e9, figures, bench, all)\n"
-                    arg;
-                  exit 2))
-        args
+  | _ :: (_ :: _ as args) -> run_args args
   | _ ->
       Experiments.run_all ();
-      run_bechamel ()
+      run_bechamel ~smoke:false ~json:false ~sizes:default_sizes ()

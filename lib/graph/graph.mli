@@ -30,7 +30,15 @@ val m : t -> int
 (** Number of edges, |E|. *)
 
 val neighbors : t -> node -> node list
-(** Adjacent nodes, in increasing order. *)
+(** Adjacent nodes, in increasing order.  Allocates a fresh list; hot
+    paths should prefer {!iter_neighbors} / {!fold_neighbors}. *)
+
+val iter_neighbors : (node -> unit) -> t -> node -> unit
+(** Apply to each neighbour in increasing order, without allocating. *)
+
+val fold_neighbors : (node -> 'a -> 'a) -> t -> node -> 'a -> 'a
+(** Fold over the neighbours in increasing order, without allocating
+    an intermediate list. *)
 
 val degree : t -> node -> int
 
@@ -50,6 +58,35 @@ val peer_via : t -> node -> int -> node
 (** [peer_via g u i] is the node at the far end of [u]'s local link
     [i].  Inverse of {!link_index}.
     @raise Not_found if [u] has no link with index [i]. *)
+
+(** {1 Flat directed-edge indexing}
+
+    The adjacency is stored as a single CSR (compressed sparse row)
+    layout: every (node, local link index) pair names one of the [2m]
+    {e directed edge ids}, densely numbered so per-link runtime state
+    (FIFO clocks, link records) can live in flat arrays.  The two
+    directions of one physical link share an {e undirected edge id}
+    in [0, m).  See DESIGN.md, "The switching-fabric fast path". *)
+
+val directed_edge_count : t -> int
+(** [2 * m g]: one id per (node, incident link) pair. *)
+
+val edge_id : t -> node -> int -> int
+(** [edge_id g u i] is the directed edge id of [u]'s local link [i]
+    (with [1 <= i <= degree g u]; index 0 is the NCU and has no edge).
+    @raise Not_found if [u] has no link with index [i]. *)
+
+val edge_target : t -> int -> node
+(** The node a directed edge id points at: [edge_target g (edge_id g
+    u i) = peer_via g u i], without bounds checks. *)
+
+val edge_uid : t -> int -> int
+(** The undirected edge id ([0 <= id < m g]) of a directed edge id;
+    equal for the two directions of one physical link. *)
+
+val undirected_edge_id : t -> node -> node -> int
+(** The undirected edge id of the link between two adjacent nodes.
+    @raise Not_found if the nodes are not adjacent. *)
 
 val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
 

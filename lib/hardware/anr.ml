@@ -35,6 +35,25 @@ let of_walk_marked g walk =
 let hops t = List.length (List.filter (fun e -> e.link > 0) t)
 let length t = List.length t
 
+(* -- compiled routes (the switching-fabric fast path) ----------------- *)
+
+(* One int per element, [(link lsl 1) lor copy]: the switching
+   subsystem advances an int cursor instead of walking a list, so a
+   packet in flight allocates nothing per hop. *)
+type route = int array
+
+let compile t =
+  let codes = Array.make (List.length t) 0 in
+  List.iteri
+    (fun i e -> codes.(i) <- (e.link lsl 1) lor (if e.copy then 1 else 0))
+    t;
+  codes
+
+let route_length r = Array.length r
+let route_link r i = r.(i) lsr 1
+let route_copy r i = r.(i) land 1 <> 0
+let route_elem r i = { link = route_link r i; copy = route_copy r i }
+
 let concat a b =
   match List.rev a with
   | { link = 0; copy = false } :: rev_prefix -> List.rev_append rev_prefix b

@@ -55,6 +55,31 @@ val length : t -> int
 (** Number of header elements — the path-length measure that [dmax]
     bounds (Section 2, "path length restriction"). *)
 
+(** {1 Compiled routes}
+
+    The list form is the construction/inspection API; the switching
+    fabric consumes a {!route}: the same elements packed into one
+    immutable int array, compiled once per {!Network.send} and then
+    advanced by an integer cursor at every hop, so forwarding a packet
+    allocates nothing. *)
+
+type route
+(** A compiled header: one int per element, cursor-addressed. *)
+
+val compile : t -> route
+
+val route_length : route -> int
+(** Number of elements — equals {!length} of the source header. *)
+
+val route_link : route -> int -> int
+(** The link id of the element at a cursor position. *)
+
+val route_copy : route -> int -> bool
+(** The copy flag of the element at a cursor position. *)
+
+val route_elem : route -> int -> elem
+(** The element at a cursor position, re-materialised (testing aid). *)
+
 val concat : t -> t -> t
 (** [concat a b] splices two headers: [a]'s terminating NCU element is
     dropped and [b] is appended, so a packet follows [a]'s walk and

@@ -6,7 +6,9 @@ type t = {
   mutable drops : int;
   mutable max_header : int;
   per_node : int array;
-  by_label : (string, int) Hashtbl.t;
+  (* int refs so the steady-state increment is [incr], not a
+     remove-and-reinsert that allocates on every system call *)
+  by_label : (string, int ref) Hashtbl.t;
 }
 
 let create ~n =
@@ -29,7 +31,7 @@ let drops t = t.drops
 let syscalls_at t v = t.per_node.(v)
 
 let syscalls_labelled t label =
-  Option.value ~default:0 (Hashtbl.find_opt t.by_label label)
+  match Hashtbl.find_opt t.by_label label with Some r -> !r | None -> 0
 
 let max_header t = t.max_header
 let record_hop t = t.hops <- t.hops + 1
@@ -37,13 +39,20 @@ let record_hop t = t.hops <- t.hops + 1
 let record_syscall t ~node ~label =
   t.syscalls <- t.syscalls + 1;
   t.per_node.(node) <- t.per_node.(node) + 1;
-  Hashtbl.replace t.by_label label (syscalls_labelled t label + 1)
+  match Hashtbl.find_opt t.by_label label with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.by_label label (ref 1)
 
 let record_send t ~header_len =
   t.sends <- t.sends + 1;
   if header_len > t.max_header then t.max_header <- header_len
 
 let record_drop t = t.drops <- t.drops + 1
+
+let copy_labels by_label =
+  let fresh = Hashtbl.create (Hashtbl.length by_label) in
+  Hashtbl.iter (fun label r -> Hashtbl.replace fresh label (ref !r)) by_label;
+  fresh
 
 let snapshot t =
   {
@@ -54,16 +63,17 @@ let snapshot t =
     drops = t.drops;
     max_header = t.max_header;
     per_node = Array.copy t.per_node;
-    by_label = Hashtbl.copy t.by_label;
+    by_label = copy_labels t.by_label;
   }
 
 let diff later earlier =
   if later.size <> earlier.size then invalid_arg "Metrics.diff: size mismatch";
-  let by_label = Hashtbl.copy later.by_label in
+  let by_label = copy_labels later.by_label in
   Hashtbl.iter
     (fun label count ->
-      let current = Option.value ~default:0 (Hashtbl.find_opt by_label label) in
-      Hashtbl.replace by_label label (current - count))
+      match Hashtbl.find_opt by_label label with
+      | Some r -> r := !r - !count
+      | None -> Hashtbl.replace by_label label (ref (- !count)))
     earlier.by_label;
   {
     size = later.size;

@@ -2,6 +2,15 @@ module Graph = Netgraph.Graph
 
 type link_record = { mutable up : bool; mutable epoch : int }
 
+(* Runtime state of the switching fabric, laid out densely over the
+   graph's flat edge ids (see Graph's CSR layout and DESIGN.md, "The
+   switching-fabric fast path"):
+   - [link_state.(Graph.edge_uid ...)] is the shared record of one
+     physical link (both directions);
+   - [fifo.(directed edge id)] is the last scheduled arrival on that
+     directed link, enforcing per-direction FIFO order.
+   A packet in flight is a compiled {!Anr.route} plus an int cursor;
+   forwarding it allocates nothing beyond the scheduled closure. *)
 type 'msg t = {
   graph : Graph.t;
   engine : Sim.Engine.t;
@@ -12,10 +21,11 @@ type 'msg t = {
   dmax_policy : [ `Raise | `Drop ];
   detection_delay : float;
   handlers : 'msg handlers array;
-  links : (int * int, link_record) Hashtbl.t;  (* key: (min, max) *)
-  fifo : (int * int, float) Hashtbl.t;  (* per directed link: last arrival *)
+  link_state : link_record array;  (* by undirected edge id *)
+  fifo : float array;  (* by directed edge id: last scheduled arrival *)
   ncu_busy_until : float array;
-  dead : (int, unit) Hashtbl.t;
+  dead : bool array;
+  mutable contexts : 'msg context array;  (* one preallocated per node *)
   mutable next_msg_id : int;
 }
 
@@ -37,39 +47,40 @@ let default_handlers =
 let create ?trace ?dmax ?(dmax_policy = `Raise) ?(detection_delay = 0.0)
     ~engine ~cost ~graph ~handlers () =
   let n = Graph.n graph in
-  let links = Hashtbl.create (Graph.m graph) in
-  List.iter
-    (fun (u, v) -> Hashtbl.replace links (u, v) { up = true; epoch = 0 })
-    (Graph.edges graph);
-  {
-    graph;
-    engine;
-    cost;
-    metrics = Metrics.create ~n;
-    trace = (match trace with Some t -> t | None -> Sim.Trace.disabled ());
-    dmax;
-    dmax_policy;
-    detection_delay;
-    handlers = Array.init n handlers;
-    links;
-    fifo = Hashtbl.create (2 * Graph.m graph);
-    ncu_busy_until = Array.make n 0.0;
-    dead = Hashtbl.create 4;
-    next_msg_id = 0;
-  }
+  let t =
+    {
+      graph;
+      engine;
+      cost;
+      metrics = Metrics.create ~n;
+      trace = (match trace with Some t -> t | None -> Sim.Trace.disabled ());
+      dmax;
+      dmax_policy;
+      detection_delay;
+      handlers = Array.init n handlers;
+      link_state =
+        Array.init (Graph.m graph) (fun _ -> { up = true; epoch = 0 });
+      fifo = Array.make (Graph.directed_edge_count graph) neg_infinity;
+      ncu_busy_until = Array.make n 0.0;
+      dead = Array.make n false;
+      contexts = [||];
+      next_msg_id = 0;
+    }
+  in
+  t.contexts <- Array.init n (fun node -> { net = t; node });
+  t
 
 let graph t = t.graph
 let engine t = t.engine
 let metrics t = t.metrics
 let cost t = t.cost
 let trace t = t.trace
-
-let link_key u v = (min u v, max u v)
+let tracing t = Sim.Trace.enabled t.trace
 
 let link_record t u v =
-  match Hashtbl.find_opt t.links (link_key u v) with
-  | Some r -> r
-  | None ->
+  match Graph.undirected_edge_id t.graph u v with
+  | id -> t.link_state.(id)
+  | exception Not_found ->
       invalid_arg (Printf.sprintf "Network: no link between %d and %d" u v)
 
 let link_is_up t u v = (link_record t u v).up
@@ -82,72 +93,73 @@ let preset_link t u v ~up =
   end
 
 let active_neighbors t u =
-  List.filter (fun v -> link_is_up t u v) (Graph.neighbors t.graph u)
+  let g = t.graph in
+  let acc = ref [] in
+  for i = Graph.degree g u downto 1 do
+    let e = Graph.edge_id g u i in
+    if t.link_state.(Graph.edge_uid g e).up then
+      acc := Graph.edge_target g e :: !acc
+  done;
+  !acc
 
 (* -- NCU activations: single-server FIFO queue per node ------------- *)
 
 (* Run [f] on node [v]'s NCU: the activation starts when both the
    triggering event has arrived and the processor is free, and
    completes one software delay later; effects of [f] (sends, state
-   changes) take place at completion. *)
-let activate t v ~label ~kind f =
+   changes) take place at completion.  [msg_id >= 0] marks a packet
+   delivery; a negative id a software activation. *)
+let activate t v ~label ~msg_id f =
   let arrival = Sim.Engine.now t.engine in
   let start = Float.max arrival t.ncu_busy_until.(v) in
   let finish = start +. t.cost.Cost_model.sys_delay () in
   t.ncu_busy_until.(v) <- finish;
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
       Metrics.record_syscall t.metrics ~node:v ~label;
-      (match kind with
-      | `Message msg_id ->
-          Sim.Trace.record t.trace
-            (Sim.Trace.Receive { node = v; time = finish; msg_id; label })
-      | `Software ->
-          Sim.Trace.record t.trace
-            (Sim.Trace.Syscall { node = v; time = finish; label }));
+      if tracing t then
+        Sim.Trace.record t.trace
+          (if msg_id >= 0 then
+             Sim.Trace.Receive { node = v; time = finish; msg_id; label }
+           else Sim.Trace.Syscall { node = v; time = finish; label });
       f ())
 
 (* -- Switching hardware ---------------------------------------------- *)
 
+(* [via < 0] encodes "no incoming link" without allocating an option
+   on every hop. *)
 let deliver_to_ncu t v ~via ~label ~msg_id payload =
-  activate t v ~label ~kind:(`Message msg_id) (fun () ->
-      let ctx = { net = t; node = v } in
-      t.handlers.(v).on_message ctx ~via payload)
+  activate t v ~label ~msg_id (fun () ->
+      let via = if via < 0 then None else Some via in
+      t.handlers.(v).on_message t.contexts.(v) ~via payload)
+
+(* For constant [reason] strings only — a dynamically built reason
+   must be constructed under its own [tracing] guard so the untraced
+   path stays allocation-free. *)
+let drop t ~node reason =
+  Metrics.record_drop t.metrics;
+  if tracing t then
+    Sim.Trace.record t.trace
+      (Sim.Trace.Drop { node; time = Sim.Engine.now t.engine; reason })
 
 (* Process the packet at node [u]'s switching subsystem; [via] is the
-   node the packet arrived from. *)
-let rec switch t u ~via header ~label ~msg_id payload =
-  match header with
-  | [] ->
-      Metrics.record_drop t.metrics;
-      Sim.Trace.record t.trace
-        (Sim.Trace.Drop
-           { node = u; time = Sim.Engine.now t.engine; reason = "empty header" })
-  | { Anr.link = 0; copy = false } :: rest ->
-      if rest <> [] then begin
-        Metrics.record_drop t.metrics;
-        Sim.Trace.record t.trace
-          (Sim.Trace.Drop
-             {
-               node = u;
-               time = Sim.Engine.now t.engine;
-               reason = "elements after NCU delivery";
-             })
-      end
+   node the packet arrived from ([-1] at the injector).  [cursor]
+   indexes the next header element of the compiled [route]. *)
+let rec switch t u ~via route cursor ~label ~msg_id payload =
+  let len = Anr.route_length route in
+  if cursor >= len then drop t ~node:u "empty header"
+  else
+    let link = Anr.route_link route cursor in
+    let copy = Anr.route_copy route cursor in
+    if link = 0 then begin
+      if copy then drop t ~node:u "copy flag on NCU link"
+      else if cursor < len - 1 then drop t ~node:u "elements after NCU delivery"
       else deliver_to_ncu t u ~via ~label ~msg_id payload
-  | { Anr.link = 0; copy = true } :: _ ->
-      Metrics.record_drop t.metrics;
-      Sim.Trace.record t.trace
-        (Sim.Trace.Drop
-           {
-             node = u;
-             time = Sim.Engine.now t.engine;
-             reason = "copy flag on NCU link";
-           })
-  | { Anr.link; copy } :: rest -> (
+    end
+    else begin
       if copy then deliver_to_ncu t u ~via ~label ~msg_id payload;
-      match Graph.peer_via t.graph u link with
-      | exception Not_found ->
-          Metrics.record_drop t.metrics;
+      if link > Graph.degree t.graph u then begin
+        Metrics.record_drop t.metrics;
+        if tracing t then
           Sim.Trace.record t.trace
             (Sim.Trace.Drop
                {
@@ -155,10 +167,14 @@ let rec switch t u ~via header ~label ~msg_id payload =
                  time = Sim.Engine.now t.engine;
                  reason = Printf.sprintf "dangling link id %d" link;
                })
-      | v ->
-          let record = link_record t u v in
-          if not record.up then begin
-            Metrics.record_drop t.metrics;
+      end
+      else begin
+        let dedge = Graph.edge_id t.graph u link in
+        let v = Graph.edge_target t.graph dedge in
+        let record = t.link_state.(Graph.edge_uid t.graph dedge) in
+        if not record.up then begin
+          Metrics.record_drop t.metrics;
+          if tracing t then
             Sim.Trace.record t.trace
               (Sim.Trace.Drop
                  {
@@ -166,44 +182,33 @@ let rec switch t u ~via header ~label ~msg_id payload =
                    time = Sim.Engine.now t.engine;
                    reason = Printf.sprintf "link to %d inactive" v;
                  })
-          end
-          else begin
-            let epoch = record.epoch in
-            let now = Sim.Engine.now t.engine in
-            let proposed = now +. t.cost.Cost_model.hop_delay () in
-            (* FIFO per directed link: never deliver before an earlier
-               packet on the same link. *)
-            let previous =
-              Option.value ~default:neg_infinity
-                (Hashtbl.find_opt t.fifo (u, v))
-            in
-            let arrival = Float.max proposed previous in
-            Hashtbl.replace t.fifo (u, v) arrival;
-            Metrics.record_hop t.metrics;
-            Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
-                if record.up && record.epoch = epoch then begin
+        end
+        else begin
+          let epoch = record.epoch in
+          let now = Sim.Engine.now t.engine in
+          let proposed = now +. t.cost.Cost_model.hop_delay () in
+          (* FIFO per directed link: never deliver before an earlier
+             packet on the same link. *)
+          let arrival = Float.max proposed t.fifo.(dedge) in
+          t.fifo.(dedge) <- arrival;
+          Metrics.record_hop t.metrics;
+          Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
+              if record.up && record.epoch = epoch then begin
+                if tracing t then
                   Sim.Trace.record t.trace
                     (Sim.Trace.Hop { src = u; dst = v; time = arrival });
-                  switch t v ~via:(Some u) rest ~label ~msg_id payload
-                end
-                else begin
-                  Metrics.record_drop t.metrics;
-                  Sim.Trace.record t.trace
-                    (Sim.Trace.Drop
-                       {
-                         node = v;
-                         time = arrival;
-                         reason = "lost in flight (link failed)";
-                       })
-                end)
-          end)
+                switch t v ~via:u route (cursor + 1) ~label ~msg_id payload
+              end
+              else drop t ~node:v "lost in flight (link failed)")
+        end
+      end
+    end
 
 (* -- Public: global side --------------------------------------------- *)
 
 let start ?(label = "start") t v =
-  activate t v ~label ~kind:`Software (fun () ->
-      let ctx = { net = t; node = v } in
-      t.handlers.(v).on_start ctx)
+  activate t v ~label ~msg_id:(-1) (fun () ->
+      t.handlers.(v).on_start t.contexts.(v))
 
 let start_all ?(label = "start") t =
   Graph.iter_nodes (fun v -> start ~label t v) t.graph
@@ -213,33 +218,34 @@ let set_link t u v ~up =
   if record.up <> up then begin
     record.up <- up;
     record.epoch <- record.epoch + 1;
-    Sim.Trace.record t.trace
-      (Sim.Trace.Link_change
-         { u = min u v; v = max u v; up; time = Sim.Engine.now t.engine });
+    if tracing t then
+      Sim.Trace.record t.trace
+        (Sim.Trace.Link_change
+           { u = min u v; v = max u v; up; time = Sim.Engine.now t.engine });
     let notify endpoint peer =
       Sim.Engine.schedule t.engine ~delay:t.detection_delay (fun () ->
-          activate t endpoint ~label:"link-change" ~kind:`Software (fun () ->
-              let ctx = { net = t; node = endpoint } in
-              t.handlers.(endpoint).on_link_change ctx ~peer ~up))
+          activate t endpoint ~label:"link-change" ~msg_id:(-1) (fun () ->
+              t.handlers.(endpoint).on_link_change t.contexts.(endpoint) ~peer
+                ~up))
     in
     notify u v;
     notify v u
   end
 
-let node_is_alive t v = not (Hashtbl.mem t.dead v)
+let node_is_alive t v = not t.dead.(v)
 
 let fail_node t v =
   if node_is_alive t v then begin
-    Hashtbl.replace t.dead v ();
-    List.iter (fun u -> set_link t v u ~up:false) (Graph.neighbors t.graph v)
+    t.dead.(v) <- true;
+    Graph.iter_neighbors (fun u -> set_link t v u ~up:false) t.graph v
   end
 
 let restore_node t v =
   if not (node_is_alive t v) then begin
-    Hashtbl.remove t.dead v;
-    List.iter
+    t.dead.(v) <- false;
+    Graph.iter_neighbors
       (fun u -> if node_is_alive t u then set_link t v u ~up:true)
-      (Graph.neighbors t.graph v)
+      t.graph v
   end
 
 (* -- Public: node side ------------------------------------------------ *)
@@ -250,35 +256,35 @@ let now ctx = Sim.Engine.now ctx.net.engine
 
 let send ?(label = "") ctx ~route payload =
   let t = ctx.net in
+  let header_len = Anr.length route in
   let oversized =
-    match t.dmax with
-    | Some bound -> Anr.length route > bound
-    | None -> false
+    match t.dmax with Some bound -> header_len > bound | None -> false
   in
   if oversized && t.dmax_policy = `Raise then
     invalid_arg
       (Printf.sprintf "Network.send: header length %d exceeds dmax %d"
-         (Anr.length route)
-         (Option.get t.dmax))
+         header_len (Option.get t.dmax))
   else if oversized then begin
     (* the hardware refuses headers it cannot buffer *)
     Metrics.record_drop t.metrics;
-    Sim.Trace.record t.trace
-      (Sim.Trace.Drop
-         {
-           node = ctx.node;
-           time = Sim.Engine.now t.engine;
-           reason = "header exceeds dmax";
-         })
+    if tracing t then
+      Sim.Trace.record t.trace
+        (Sim.Trace.Drop
+           {
+             node = ctx.node;
+             time = Sim.Engine.now t.engine;
+             reason = "header exceeds dmax";
+           })
   end
   else begin
-  let msg_id = t.next_msg_id in
-  t.next_msg_id <- msg_id + 1;
-  Metrics.record_send t.metrics ~header_len:(Anr.length route);
-  Sim.Trace.record t.trace
-    (Sim.Trace.Send
-       { node = ctx.node; time = Sim.Engine.now t.engine; msg_id; label });
-  switch t ctx.node ~via:None route ~label ~msg_id payload
+    let msg_id = t.next_msg_id in
+    t.next_msg_id <- msg_id + 1;
+    Metrics.record_send t.metrics ~header_len;
+    if tracing t then
+      Sim.Trace.record t.trace
+        (Sim.Trace.Send
+           { node = ctx.node; time = Sim.Engine.now t.engine; msg_id; label });
+    switch t ctx.node ~via:(-1) (Anr.compile route) 0 ~label ~msg_id payload
   end
 
 let send_walk ?label ?copy_at ctx ~walk payload =
@@ -289,11 +295,18 @@ let send_walk ?label ?copy_at ctx ~walk payload =
   send ?label ctx ~route payload
 
 let neighbors ctx =
-  List.map
-    (fun v -> (v, link_is_up ctx.net ctx.node v))
-    (Graph.neighbors ctx.net.graph ctx.node)
+  let t = ctx.net in
+  let g = t.graph in
+  let u = ctx.node in
+  let acc = ref [] in
+  for i = Graph.degree g u downto 1 do
+    let e = Graph.edge_id g u i in
+    acc :=
+      (Graph.edge_target g e, t.link_state.(Graph.edge_uid g e).up) :: !acc
+  done;
+  !acc
 
 let set_timer ?(label = "timer") ctx ~delay f =
   let t = ctx.net in
   Sim.Engine.schedule t.engine ~delay (fun () ->
-      activate t ctx.node ~label ~kind:`Software f)
+      activate t ctx.node ~label ~msg_id:(-1) f)

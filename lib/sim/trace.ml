@@ -16,6 +16,7 @@ type t = {
 
 let create ?capacity () = { items = []; count = 0; capacity; enabled = true }
 let disabled () = { items = []; count = 0; capacity = None; enabled = false }
+let enabled t = t.enabled
 
 let record t e =
   if t.enabled then begin

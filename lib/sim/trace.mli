@@ -28,6 +28,10 @@ val create : ?capacity:int -> unit -> t
 val disabled : unit -> t
 (** A recorder that discards every event (zero-cost tracing off). *)
 
+val enabled : t -> bool
+(** Whether {!record} retains events.  Hot paths test this before
+    building an event, so tracing-off costs no allocation at all. *)
+
 val record : t -> event -> unit
 val events : t -> event list
 (** Events in chronological (recording) order. *)

@@ -19,6 +19,7 @@ let () =
       ("hardware.metrics", Suite_metrics.suite);
       ("hardware.network", Suite_network.suite);
       ("hardware.network_fuzz", Suite_network_fuzz.suite);
+      ("hardware.network_fastpath", Suite_network_fastpath.suite);
       ("core.labels", Suite_labels.suite);
       ("core.walks", Suite_walks.suite);
       ("core.broadcasts", Suite_broadcasts.suite);
