@@ -9,9 +9,13 @@
    Bench flags:
    - `--smoke`      : tiny quota and n=64 only — a fast CI sanity check.
    - `--json`       : additionally write one BENCH_<n>.json per scaling
-                      size (name, ns/run, n, git rev) into the current
-                      directory, so successive PRs accumulate a perf
-                      trajectory to regress against.
+                      size (name, ns/run, plus the semantic system-call /
+                      hop / drop counts of each workload, n, git rev)
+                      into the current directory, so successive PRs
+                      accumulate a perf trajectory to regress against.
+   - `--monitors`   : after timing, re-run one checked execution per
+                      size with the paper-bound monitors in fail mode
+                      (exit 3 on any violated bound).
    - `--sizes LIST` : comma-separated scaling sizes (default
                       64,256,1024,4096).
 
@@ -210,6 +214,67 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* One extra, untimed run of each scaling workload with a metrics
+   registry attached: a perf trajectory is only interpretable if the
+   work done per run is stable, so BENCH_<n>.json also records the
+   semantic costs (system calls, hops, drops) the paper bounds. *)
+let semantic_rows ~n =
+  let g =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:42)
+      ~n ~extra_edges:(n / 2)
+  in
+  let ring = Netgraph.Builders.ring n in
+  let maintenance_rounds = if n >= 1024 then 1 else 2 in
+  let maintenance_graph =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:1)
+      ~n ~extra_edges:(n / 2)
+  in
+  let counters run =
+    let reg = Hardware.Registry.create () in
+    run reg;
+    let v name =
+      match Hardware.Registry.find_counter reg name with
+      | Some c -> Hardware.Registry.counter_value c
+      | None -> 0
+    in
+    (v "net.syscalls", v "net.hops", v "net.drops")
+  in
+  let bcast_config reg =
+    { (Core.Broadcast.default_config ()) with registry = Some reg }
+  in
+  [
+    ( Printf.sprintf "e1/flooding-broadcast-n%d" n,
+      counters (fun reg ->
+          ignore
+            (Core.Flooding.run ~config:(bcast_config reg) ~graph:g ~root:0 ()
+              : Core.Broadcast.result)) );
+    ( Printf.sprintf "e1/branching-paths-broadcast-n%d" n,
+      counters (fun reg ->
+          ignore
+            (Core.Branching_paths.run ~config:(bcast_config reg) ~graph:g
+               ~root:0 ()
+              : Core.Broadcast.result)) );
+    ( Printf.sprintf "e6/election-ring%d" n,
+      counters (fun reg ->
+          ignore (Core.Election.run ~registry:reg ~graph:ring ()
+                   : Core.Election.outcome)) );
+    ( Printf.sprintf "e5/maintenance-%d-rounds-n%d" maintenance_rounds n,
+      counters (fun reg ->
+          let params =
+            {
+              (Core.Topo_maintenance.default_params ()) with
+              max_rounds = maintenance_rounds;
+              registry = Some reg;
+            }
+          in
+          ignore
+            (Core.Topo_maintenance.run ~params ~graph:maintenance_graph
+               ~events:[] ()
+              : Core.Topo_maintenance.outcome)) );
+  ]
+
 let write_bench_json ~n ~rev rows =
   let file = Printf.sprintf "BENCH_%d.json" n in
   let oc = open_out file in
@@ -229,9 +294,57 @@ let write_bench_json ~n ~rev rows =
             "    { \"name\": \"%s\", \"ns_per_run\": null }%s\n"
             (json_escape name) sep)
     rows;
+  output_string oc "  ],\n  \"workloads\": [\n";
+  let sem = semantic_rows ~n in
+  let total = List.length sem in
+  List.iteri
+    (fun i (name, (syscalls, hops, drops)) ->
+      let sep = if i = total - 1 then "" else "," in
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"syscalls\": %d, \"hops\": %d, \"drops\": \
+         %d }%s\n"
+        (json_escape name) syscalls hops drops sep)
+    sem;
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d results)\n%!" file total
+
+(* One checked execution per size: the paper-bound monitors in fail
+   mode, so a CI bench run re-verifies Theorem 2 and the 6n election
+   budget on the sizes it times. *)
+let run_monitor_checks ~n =
+  let g =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:42)
+      ~n ~extra_edges:(n / 2)
+  in
+  let ring = Netgraph.Builders.ring n in
+  let trace = Sim.Trace.create () in
+  let config =
+    { (Core.Broadcast.default_config ()) with trace = Some trace }
+  in
+  let b = Core.Branching_paths.run ~config ~graph:g ~root:0 () in
+  let e = Core.Election.run ~graph:ring () in
+  let reports =
+    [
+      Hardware.Monitor.theorem2_broadcast ~n ~syscalls:b.Core.Broadcast.syscalls
+        ~time:b.Core.Broadcast.time ();
+      Hardware.Monitor.one_way_delivery ~n ~syscalls:b.Core.Broadcast.syscalls;
+      Hardware.Monitor.fifo_per_link trace;
+      Hardware.Monitor.election_budget ~n
+        ~election_syscalls:e.Core.Election.election_syscalls;
+      Hardware.Monitor.dmax_ceiling ~dmax:((2 * n) + 2)
+        ~max_header:e.Core.Election.max_route;
+    ]
+  in
+  List.iter
+    (fun r -> Format.printf "%a@." Hardware.Monitor.pp_report r)
+    reports;
+  match Hardware.Monitor.enforce Hardware.Monitor.Fail reports with
+  | _ -> ()
+  | exception Hardware.Monitor.Violation failed ->
+      Printf.eprintf "n=%d: %d monitor violation(s)\n" n (List.length failed);
+      exit 3
 
 (* Strip the "futurenet/" group prefix bechamel prepends. *)
 let strip_group name =
@@ -240,7 +353,7 @@ let strip_group name =
       String.sub name (i + 1) (String.length name - i - 1)
   | _ -> name
 
-let run_bechamel ~smoke ~json ~sizes () =
+let run_bechamel ~smoke ~json ~monitors ~sizes () =
   print_endline "\n###### bechamel timing suite ######";
   let sizes = if smoke then [ 64 ] else sizes in
   let quota = if smoke then 0.01 else 0.25 in
@@ -260,7 +373,11 @@ let run_bechamel ~smoke ~json ~sizes () =
           (measure ~quota (scaling_tests ~n))
       in
       print_rows rows;
-      if json then write_bench_json ~n ~rev rows)
+      if json then write_bench_json ~n ~rev rows;
+      if monitors then begin
+        Printf.printf "\n-- paper-bound monitors, n = %d --\n%!" n;
+        run_monitor_checks ~n
+      end)
     sizes
 
 (* -- argv ------------------------------------------------------------- *)
@@ -281,7 +398,7 @@ let parse_sizes s =
 let usage () =
   prerr_endline
     "usage: main.exe [all | figures | bench | e1..e9 | a1..a5]...\n\
-    \       main.exe bench [--smoke] [--json] [--sizes N,N,...]"
+    \       main.exe bench [--smoke] [--json] [--monitors] [--sizes N,N,...]"
 
 (* Run the named experiments / the bench suite.  Unknown arguments are
    reported but do not abort the rest of the list; the exit code
@@ -302,7 +419,7 @@ let run_args args =
         loop rest
     | "bench" :: rest ->
         (* bench consumes its flags, then continues with what is left *)
-        let smoke = ref false and json = ref false in
+        let smoke = ref false and json = ref false and monitors = ref false in
         let sizes = ref default_sizes in
         let rec flags = function
           | "--smoke" :: rest ->
@@ -310,6 +427,9 @@ let run_args args =
               flags rest
           | "--json" :: rest ->
               json := true;
+              flags rest
+          | "--monitors" :: rest ->
+              monitors := true;
               flags rest
           | "--sizes" :: value :: rest -> (
               match parse_sizes value with
@@ -325,7 +445,8 @@ let run_args args =
           | rest -> rest
         in
         let rest = flags rest in
-        run_bechamel ~smoke:!smoke ~json:!json ~sizes:!sizes ();
+        run_bechamel ~smoke:!smoke ~json:!json ~monitors:!monitors
+          ~sizes:!sizes ();
         loop rest
     | id :: rest ->
         (match Experiments.find id with
@@ -350,4 +471,5 @@ let () =
   | _ :: (_ :: _ as args) -> run_args args
   | _ ->
       Experiments.run_all ();
-      run_bechamel ~smoke:false ~json:false ~sizes:default_sizes ()
+      run_bechamel ~smoke:false ~json:false ~monitors:false
+        ~sizes:default_sizes ()

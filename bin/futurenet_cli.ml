@@ -5,6 +5,7 @@
      figures     render the paper's Figures 1-5 as ASCII
      broadcast   run one topology broadcast and report its costs
      election    run one leader election and report its costs
+     trace       run a scenario and export its structured trace
      tree        print the optimal computation tree for given C, P, n *)
 
 open Cmdliner
@@ -14,37 +15,66 @@ open Cmdliner
 let build_graph topology n seed =
   let rng = Sim.Rng.create ~seed in
   match topology with
-  | "path" -> Netgraph.Builders.path n
-  | "ring" -> Netgraph.Builders.ring n
-  | "star" -> Netgraph.Builders.star n
-  | "complete" -> Netgraph.Builders.complete n
-  | "grid" ->
+  | `Path -> Netgraph.Builders.path n
+  | `Ring -> Netgraph.Builders.ring n
+  | `Star -> Netgraph.Builders.star n
+  | `Complete -> Netgraph.Builders.complete n
+  | `Grid ->
       let side = max 2 (int_of_float (sqrt (float_of_int n))) in
       Netgraph.Builders.grid ~rows:side ~cols:((n + side - 1) / side)
-  | "hypercube" ->
+  | `Hypercube ->
       let rec dim d = if 1 lsl d >= n then d else dim (d + 1) in
       Netgraph.Builders.hypercube (dim 0)
-  | "binary" ->
+  | `Binary ->
       let rec depth d =
         if Netgraph.Builders.binary_tree_nodes ~depth:d >= n then d
         else depth (d + 1)
       in
       Netgraph.Builders.complete_binary_tree ~depth:(depth 0)
-  | "random" -> Netgraph.Builders.random_connected rng ~n ~extra_edges:(n / 2)
-  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  | `Random -> Netgraph.Builders.random_connected rng ~n ~extra_edges:(n / 2)
+
+(* an Arg.enum, so an unknown family is a proper Cmdliner error: non-zero
+   exit and a usage message listing the valid names *)
+let topology_conv =
+  Arg.enum
+    [
+      ("path", `Path); ("ring", `Ring); ("star", `Star); ("complete", `Complete);
+      ("grid", `Grid); ("hypercube", `Hypercube); ("binary", `Binary);
+      ("random", `Random);
+    ]
+
+let topology_name = function
+  | `Path -> "path" | `Ring -> "ring" | `Star -> "star"
+  | `Complete -> "complete" | `Grid -> "grid" | `Hypercube -> "hypercube"
+  | `Binary -> "binary" | `Random -> "random"
 
 let topology_arg =
   let doc =
-    "Topology family: path, ring, star, complete, grid, hypercube, binary, \
-     random.  grid/hypercube/binary round n up to the nearest valid size."
+    "Topology family: $(b,path), $(b,ring), $(b,star), $(b,complete), \
+     $(b,grid), $(b,hypercube), $(b,binary) or $(b,random).  \
+     grid/hypercube/binary round n up to the nearest valid size."
   in
-  Arg.(value & opt string "random" & info [ "t"; "topology" ] ~docv:"FAMILY" ~doc)
+  Arg.(value & opt topology_conv `Random
+         & info [ "t"; "topology" ] ~docv:"FAMILY" ~doc)
 
 let n_arg =
   Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
 
 let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let json_flag =
+  Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the result as one JSON object on stdout.")
+
+(* JSON helpers shared by --json output paths; floats use %.12g like
+   the trace exporters so output is deterministic *)
+let json_float f = Printf.sprintf "%.12g" f
+
+let json_obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields)
+  ^ "}"
 
 (* -- experiment -------------------------------------------------------- *)
 
@@ -90,79 +120,257 @@ let timeline_cmd =
 
 (* -- broadcast ----------------------------------------------------------- *)
 
+let algo_conv =
+  Arg.enum
+    [
+      ("bpaths", `Bpaths); ("flood", `Flood); ("dfs", `Dfs);
+      ("direct", `Direct); ("layered", `Layered);
+    ]
+
+let algo_name = function
+  | `Bpaths -> "bpaths" | `Flood -> "flood" | `Dfs -> "dfs"
+  | `Direct -> "direct" | `Layered -> "layered"
+
+let run_broadcast algo ?config ~graph ~root () =
+  match algo with
+  | `Bpaths -> Core.Branching_paths.run ?config ~graph ~root ()
+  | `Flood -> Core.Flooding.run ?config ~graph ~root ()
+  | `Dfs -> Core.Dfs_broadcast.run ?config ~graph ~root ()
+  | `Direct -> Core.Direct_broadcast.run ?config ~graph ~root ()
+  | `Layered -> Core.Layered_broadcast.run ?config ~graph ~root ()
+
+let broadcast_json ~algo ~topology ~graph ~root (r : Core.Broadcast.result) =
+  json_obj
+    [
+      ("command", "\"broadcast\"");
+      ("algorithm", Printf.sprintf "%S" (algo_name algo));
+      ("topology", Printf.sprintf "%S" (topology_name topology));
+      ("n", string_of_int (Netgraph.Graph.n graph));
+      ("m", string_of_int (Netgraph.Graph.m graph));
+      ("root", string_of_int root);
+      ("reached", string_of_int (Core.Broadcast.coverage r));
+      ("syscalls", string_of_int r.Core.Broadcast.syscalls);
+      ("hops", string_of_int r.hops);
+      ("sends", string_of_int r.sends);
+      ("drops", string_of_int r.drops);
+      ("max_header", string_of_int r.max_header);
+      ("time", json_float r.time);
+    ]
+
 let broadcast_cmd =
   let algo_arg =
-    Arg.(value & opt string "bpaths"
+    Arg.(value & opt algo_conv `Bpaths
            & info [ "a"; "algorithm" ] ~docv:"ALGO"
-               ~doc:"bpaths, flood, dfs, direct or layered.")
+               ~doc:"$(b,bpaths), $(b,flood), $(b,dfs), $(b,direct) or \
+                     $(b,layered).")
   in
   let root_arg =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
   in
-  let run topology n seed algo root =
+  let run topology n seed algo root json =
     let graph = build_graph topology n seed in
-    let result =
-      match algo with
-      | "bpaths" -> Core.Branching_paths.run ~graph ~root ()
-      | "flood" -> Core.Flooding.run ~graph ~root ()
-      | "dfs" -> Core.Dfs_broadcast.run ~graph ~root ()
-      | "direct" -> Core.Direct_broadcast.run ~graph ~root ()
-      | "layered" -> Core.Layered_broadcast.run ~graph ~root ()
-      | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
-    in
-    Printf.printf
-      "%s on %s (n=%d, m=%d) from node %d:\n\
-      \  reached    : %d/%d\n\
-      \  syscalls   : %d\n\
-      \  hops       : %d\n\
-      \  time       : %g\n\
-      \  max header : %d elements\n"
-      algo topology (Netgraph.Graph.n graph) (Netgraph.Graph.m graph) root
-      (Core.Broadcast.coverage result)
-      (Netgraph.Graph.n graph)
-      result.Core.Broadcast.syscalls result.hops result.time result.max_header
+    let result = run_broadcast algo ~graph ~root () in
+    if json then
+      print_endline (broadcast_json ~algo ~topology ~graph ~root result)
+    else
+      Printf.printf
+        "%s on %s (n=%d, m=%d) from node %d:\n\
+        \  reached    : %d/%d\n\
+        \  syscalls   : %d\n\
+        \  hops       : %d\n\
+        \  time       : %g\n\
+        \  max header : %d elements\n"
+        (algo_name algo) (topology_name topology) (Netgraph.Graph.n graph)
+        (Netgraph.Graph.m graph) root
+        (Core.Broadcast.coverage result)
+        (Netgraph.Graph.n graph)
+        result.Core.Broadcast.syscalls result.hops result.time result.max_header
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Run one topology broadcast.")
-    Term.(const run $ topology_arg $ n_arg $ seed_arg $ algo_arg $ root_arg)
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ algo_arg $ root_arg
+          $ json_flag)
 
 (* -- election ------------------------------------------------------------ *)
 
+let election_json ~topology ~n (o : Core.Election.outcome) =
+  json_obj
+    [
+      ("command", "\"election\"");
+      ("topology", Printf.sprintf "%S" (topology_name topology));
+      ("n", string_of_int n);
+      ("leader", string_of_int o.Core.Election.leader);
+      ("election_syscalls", string_of_int o.election_syscalls);
+      ("theorem5_bound", string_of_int (6 * n));
+      ("announce_syscalls", string_of_int o.announce_syscalls);
+      ("total_syscalls", string_of_int o.total_syscalls);
+      ("hops", string_of_int o.hops);
+      ("tours", string_of_int o.tours);
+      ("captures", string_of_int o.captures);
+      ("max_route", string_of_int o.max_route);
+      ("time", json_float o.time);
+      ( "everyone_informed",
+        string_of_bool
+          (Array.for_all
+             (fun b -> b = Some o.Core.Election.leader)
+             o.believed_leader) );
+    ]
+
 let election_cmd =
-  let run topology n seed =
+  let run topology n seed json =
     let graph = build_graph topology n seed in
     let o = Core.Election.run ~graph () in
     let n = Netgraph.Graph.n graph in
-    Printf.printf
-      "election on %s (n=%d):\n\
-      \  leader            : %d\n\
-      \  election syscalls : %d  (Theorem 5 bound: %d)\n\
-      \  announce syscalls : %d\n\
-      \  tours / captures  : %d / %d\n\
-      \  time              : %g\n\
-      \  everyone informed : %b\n"
-      topology n o.Core.Election.leader o.election_syscalls (6 * n)
-      o.announce_syscalls o.tours o.captures o.time
-      (Array.for_all (fun b -> b = Some o.Core.Election.leader) o.believed_leader)
+    if json then print_endline (election_json ~topology ~n o)
+    else
+      Printf.printf
+        "election on %s (n=%d):\n\
+        \  leader            : %d\n\
+        \  election syscalls : %d  (Theorem 5 bound: %d)\n\
+        \  announce syscalls : %d\n\
+        \  tours / captures  : %d / %d\n\
+        \  time              : %g\n\
+        \  everyone informed : %b\n"
+        (topology_name topology) n o.Core.Election.leader o.election_syscalls
+        (6 * n) o.announce_syscalls o.tours o.captures o.time
+        (Array.for_all
+           (fun b -> b = Some o.Core.Election.leader)
+           o.believed_leader)
   in
   Cmd.v
     (Cmd.info "election" ~doc:"Run one leader election.")
-    Term.(const run $ topology_arg $ n_arg $ seed_arg)
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ json_flag)
+
+(* -- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let scenario_conv =
+    Arg.enum
+      [
+        ("bpaths", `Bpaths); ("flood", `Flood); ("dfs", `Dfs);
+        ("direct", `Direct); ("layered", `Layered); ("election", `Election);
+      ]
+  in
+  let scenario_arg =
+    Arg.(value & opt scenario_conv `Bpaths
+           & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+               ~doc:"What to run and trace: a broadcast algorithm \
+                     ($(b,bpaths), $(b,flood), $(b,dfs), $(b,direct), \
+                     $(b,layered)) or $(b,election).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace"
+           & info [ "o"; "out" ] ~docv:"PREFIX"
+               ~doc:"Output prefix: writes $(docv).jsonl and \
+                     $(docv).chrome.json.")
+  in
+  let monitors_conv =
+    Arg.enum [ ("off", Hardware.Monitor.Off); ("warn", Hardware.Monitor.Warn);
+               ("fail", Hardware.Monitor.Fail) ]
+  in
+  let monitors_arg =
+    Arg.(value & opt monitors_conv Hardware.Monitor.Warn
+           & info [ "monitors" ] ~docv:"MODE"
+               ~doc:"Paper-bound monitors: $(b,off), $(b,warn) (print \
+                     violations) or $(b,fail) (non-zero exit on violation).")
+  in
+  let root_arg =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let run topology n seed scenario root out mode =
+    let graph = build_graph topology n seed in
+    let n = Netgraph.Graph.n graph in
+    let trace = Sim.Trace.create () in
+    let registry = Hardware.Registry.create () in
+    let reports =
+      match scenario with
+      | (`Bpaths | `Flood | `Dfs | `Direct | `Layered) as algo ->
+          let config =
+            { (Core.Broadcast.default_config ()) with
+              trace = Some trace; registry = Some registry }
+          in
+          let r = run_broadcast algo ~config ~graph ~root () in
+          Printf.printf "%s on %s (n=%d): %d/%d reached, %d syscalls, time %g\n"
+            (algo_name algo) (topology_name topology) n
+            (Core.Broadcast.coverage r) n r.Core.Broadcast.syscalls r.time;
+          let always =
+            [
+              Hardware.Monitor.fifo_per_link trace;
+              Hardware.Monitor.one_way_delivery ~n
+                ~syscalls:r.Core.Broadcast.syscalls;
+            ]
+          in
+          if algo = `Bpaths then
+            Hardware.Monitor.theorem2_broadcast ~n
+              ~syscalls:r.Core.Broadcast.syscalls ~time:r.time ()
+            :: always
+          else if algo = `Flood then [ List.hd always ]  (* floods re-activate *)
+          else always
+      | `Election ->
+          let o = Core.Election.run ~trace ~registry ~graph () in
+          Printf.printf
+            "election on %s (n=%d): leader %d, %d election syscalls (6n=%d)\n"
+            (topology_name topology) n o.Core.Election.leader
+            o.election_syscalls (6 * n);
+          [
+            Hardware.Monitor.election_budget ~n
+              ~election_syscalls:o.election_syscalls;
+            Hardware.Monitor.dmax_ceiling ~dmax:((2 * n) + 2)
+              ~max_header:o.max_route;
+            Hardware.Monitor.fifo_per_link trace;
+          ]
+    in
+    let jsonl_path = out ^ ".jsonl" in
+    let chrome_path = out ^ ".chrome.json" in
+    write_file jsonl_path (Sim.Trace_export.jsonl trace);
+    write_file chrome_path (Sim.Trace_export.chrome trace);
+    Printf.printf "wrote %s (%d events) and %s\n" jsonl_path
+      (Sim.Trace.length trace) chrome_path;
+    print_endline "registry:";
+    Format.printf "%a@?" Hardware.Registry.pp_summary registry;
+    print_endline "monitors:";
+    List.iter (fun r -> Format.printf "%a@." Hardware.Monitor.pp_report r) reports;
+    match Hardware.Monitor.enforce mode reports with
+    | _ -> ()
+    | exception Hardware.Monitor.Violation failed ->
+        Printf.eprintf "%d monitor violation(s)\n" (List.length failed);
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one scenario, export its trace as JSONL and Chrome \
+             trace_event JSON, print the metrics registry, and check the \
+             paper-bound monitors.")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ scenario_arg
+          $ root_arg $ out_arg $ monitors_arg)
 
 (* -- maintenance ----------------------------------------------------------- *)
 
 let maintenance_cmd =
+  let method_conv =
+    Arg.enum
+      [
+        ("bpaths", Core.Topo_maintenance.Branching);
+        ("flood", Core.Topo_maintenance.Flood);
+        ("dfs", Core.Topo_maintenance.Dfs_token);
+      ]
+  in
   let method_arg =
-    Arg.(value & opt string "bpaths"
+    Arg.(value & opt method_conv Core.Topo_maintenance.Branching
            & info [ "m"; "method" ] ~docv:"METHOD"
-               ~doc:"bpaths, flood or dfs.")
+               ~doc:"$(b,bpaths), $(b,flood) or $(b,dfs).")
   in
   let failures_arg =
     Arg.(value & opt int 2
            & info [ "f"; "failures" ] ~docv:"K"
                ~doc:"Number of random links to fail mid-run.")
   in
-  let run topology n seed method_name failures =
+  let run topology n seed method_ failures =
     let graph = build_graph topology n seed in
     let rng = Sim.Rng.create ~seed:(seed + 1) in
     let edges = Array.of_list (Netgraph.Graph.edges graph) in
@@ -177,12 +385,11 @@ let maintenance_cmd =
             up = false;
           })
     in
-    let method_ =
-      match method_name with
-      | "bpaths" -> Core.Topo_maintenance.Branching
-      | "flood" -> Core.Topo_maintenance.Flood
-      | "dfs" -> Core.Topo_maintenance.Dfs_token
-      | other -> failwith (Printf.sprintf "unknown method %S" other)
+    let method_name =
+      match method_ with
+      | Core.Topo_maintenance.Branching -> "bpaths"
+      | Core.Topo_maintenance.Flood -> "flood"
+      | Core.Topo_maintenance.Dfs_token -> "dfs"
     in
     let params =
       { (Core.Topo_maintenance.default_params ()) with method_; preseed = true }
@@ -193,8 +400,9 @@ let maintenance_cmd =
       \  converged : %b after %d rounds\n\
       \  syscalls  : %d, hops %d\n\
       \  consistent nodes per round: %s\n"
-      method_name topology (Netgraph.Graph.n graph) (List.length events)
-      o.Core.Topo_maintenance.converged o.rounds o.syscalls o.hops
+      method_name (topology_name topology) (Netgraph.Graph.n graph)
+      (List.length events) o.Core.Topo_maintenance.converged o.rounds
+      o.syscalls o.hops
       (String.concat " " (List.map string_of_int o.correct_per_round))
   in
   Cmd.v
@@ -242,5 +450,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
-            election_cmd; maintenance_cmd; tree_cmd;
+            election_cmd; trace_cmd; maintenance_cmd; tree_cmd;
           ]))

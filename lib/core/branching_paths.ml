@@ -11,12 +11,25 @@ let predicted_time_units tree = Labels.max_path_depth (Labels.compute tree)
 let tree_of_msg m =
   Tree.of_parents ~root:m.origin ~parents:m.tree_edges
 
+(* Registry lookups happen only on protocol events (one per relaying
+   node), never on the per-hop path, so by-name registration here is
+   within the fast-path budget. *)
+let publish_paths ctx k =
+  if k > 0 then
+    match Network.registry (Network.network ctx) with
+    | Some r when Hardware.Registry.enabled r ->
+        Hardware.Registry.add
+          (Hardware.Registry.counter r "bpaths.paths_sent") k
+    | _ -> ()
+
 let send_paths ~multicast ctx labelling m =
   let self = Network.self ctx in
   let send path =
     Network.send_walk ~label:"bpaths" ~copy_at:(fun _ -> true) ctx ~walk:path m
   in
-  match Labels.paths_from labelling self with
+  let paths = Labels.paths_from labelling self in
+  publish_paths ctx (List.length paths);
+  match paths with
   | [] -> ()
   | paths when multicast ->
       (* one activation ships every path: they leave through distinct

@@ -21,22 +21,33 @@ type config = {
   failed : (int * int) list;
   dmax : int option;
   view : Graph.t option;
+  trace : Sim.Trace.t option;
+  registry : Hardware.Registry.t option;
 }
 
 let default_config () =
-  { cost = Cost_model.new_model (); failed = []; dmax = None; view = None }
+  {
+    cost = Cost_model.new_model ();
+    failed = [];
+    dmax = None;
+    view = None;
+    trace = None;
+    registry = None;
+  }
 
 type 'msg spec =
   reached:bool array -> view:Graph.t -> int -> 'msg Network.handlers
 
 let execute ~config ~graph ~root ~spec () =
   let engine = Sim.Engine.create () in
-  let trace = Sim.Trace.create () in
+  let trace =
+    match config.trace with Some t -> t | None -> Sim.Trace.create ()
+  in
   let view = Option.value ~default:graph config.view in
   let reached = Array.make (Graph.n graph) false in
   let net =
-    Network.create ~trace ?dmax:config.dmax ~engine ~cost:config.cost ~graph
-      ~handlers:(spec ~reached ~view) ()
+    Network.create ~trace ?registry:config.registry ?dmax:config.dmax ~engine
+      ~cost:config.cost ~graph ~handlers:(spec ~reached ~view) ()
   in
   List.iter (fun (u, v) -> Network.preset_link net u v ~up:false) config.failed;
   reached.(root) <- true;
@@ -46,6 +57,7 @@ let execute ~config ~graph ~root ~spec () =
   | Sim.Engine.Time_limit | Sim.Engine.Event_limit ->
       (* unreachable: no horizon/budget given *)
       assert false);
+  Network.publish_distributions net;
   let m = Network.metrics net in
   let time =
     List.fold_left

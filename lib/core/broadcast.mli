@@ -34,10 +34,19 @@ type config = {
   dmax : int option;
   view : Netgraph.Graph.t option;
       (** the root's believed topology; defaults to the true graph *)
+  trace : Sim.Trace.t option;
+      (** when given, the run records into this trace (so the caller
+          can export it afterwards) instead of a fresh internal one.
+          Completion time is computed from the trace, so a disabled
+          recorder yields [time = 0]. *)
+  registry : Hardware.Registry.t option;
+      (** when given, the hardware [net.*] family and the algorithm's
+          own counters are published here *)
 }
 
 val default_config : unit -> config
-(** [new_model] cost (C=0, P=1), no failures, no [dmax], true view. *)
+(** [new_model] cost (C=0, P=1), no failures, no [dmax], true view,
+    no external trace or registry. *)
 
 (** {1 Internal executor used by the algorithm modules} *)
 

@@ -55,11 +55,38 @@ let phase size =
 
 let level_of_token t = (t.tsize, t.torigin)
 
+let route_len_buckets =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
+
 let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
-    ?(notify_supporters = false) ~graph () =
+    ?(notify_supporters = false) ?trace ?registry ~graph () =
   let n = Graph.n graph in
   if not (Graph.is_connected graph) then
     invalid_arg "Election.run: the graph must be connected";
+  let obs =
+    match registry with
+    | Some r when Hardware.Registry.enabled r ->
+        Some
+          ( Hardware.Registry.counter r "election.tours"
+              ~help:"tours undertaken across all candidates",
+            Hardware.Registry.counter r "election.captures"
+              ~help:"domain captures",
+            Hardware.Registry.histogram r "election.route_len"
+              ~help:"direct-message route length (header elements)"
+              ~buckets:route_len_buckets )
+    | _ -> None
+  in
+  let obs_tour () =
+    match obs with Some (c, _, _) -> Hardware.Registry.incr c | None -> ()
+  in
+  let obs_capture () =
+    match obs with Some (_, c, _) -> Hardware.Registry.incr c | None -> ()
+  in
+  let obs_route len =
+    match obs with
+    | Some (_, _, h) -> Hardware.Registry.observe h (float_of_int len)
+    | None -> ()
+  in
   let starters =
     match starters with
     | None -> List.init n Fun.id
@@ -75,6 +102,7 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
 
   let send ctx ~label walk m =
     max_route := max !max_route (List.length walk - 1);
+    obs_route (List.length walk - 1);
     Network.send_walk ~label ctx ~walk m
   in
 
@@ -105,6 +133,7 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     match roles.(v) with
     | Origin st ->
         incr captures;
+        obs_capture ();
         let home = walk_home v token in
         roles.(v) <- Captured { frozen = st.inout; parent_walk = home };
         send ctx ~label:"election" home
@@ -148,6 +177,7 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
             in
             st.cstatus <- `Touring;
             incr tours;
+            obs_tour ();
             send ctx ~label:"election" walk (Tour token))
     | Captured _ | Unstarted -> assert false
 
@@ -272,12 +302,14 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
      most two linear routes, and the announcement tour is < 2n, so a
      hard dmax of 2n + 2 must never fire - enforced live *)
   let net =
-    Network.create ~dmax:((2 * n) + 2) ~engine ~cost ~graph ~handlers ()
+    Network.create ?trace ?registry ~dmax:((2 * n) + 2) ~engine ~cost ~graph
+      ~handlers ()
   in
   List.iter (fun v -> Network.start ~label:"start" net v) starters;
   (match Sim.Engine.run engine with
   | Sim.Engine.Quiescent -> ()
   | Sim.Engine.Time_limit | Sim.Engine.Event_limit -> assert false);
+  Network.publish_distributions net;
   let leader =
     let found = ref None in
     Array.iteri

@@ -47,6 +47,8 @@ val run :
   ?starters:int list ->
   ?rng:Sim.Rng.t ->
   ?notify_supporters:bool ->
+  ?trace:Sim.Trace.t ->
+  ?registry:Hardware.Registry.t ->
   graph:Netgraph.Graph.t ->
   unit ->
   outcome
@@ -63,6 +65,11 @@ val run :
     The extra deliveries (reported in [notify_syscalls]) grow as
     Θ(n log n), demonstrating why the algorithm leaves supporters
     un-notified.
+
+    [trace] records the hardware events of the run for export;
+    [registry] additionally receives the [net.*] instruments plus
+    [election.tours], [election.captures] and the [election.route_len]
+    histogram.
 
     @raise Invalid_argument if the graph is disconnected or
     [starters] is empty. *)

@@ -4,11 +4,20 @@ type msg = { origin : int }
 
 let forward ctx ~except m =
   let self = Network.self ctx in
+  let forwarded = ref 0 in
   List.iter
     (fun (peer, up) ->
-      if up && Some peer <> except then
-        Network.send_walk ~label:"flood" ctx ~walk:[ self; peer ] m)
-    (Network.neighbors ctx)
+      if up && Some peer <> except then begin
+        incr forwarded;
+        Network.send_walk ~label:"flood" ctx ~walk:[ self; peer ] m
+      end)
+    (Network.neighbors ctx);
+  if !forwarded > 0 then
+    match Network.registry (Network.network ctx) with
+    | Some r when Hardware.Registry.enabled r ->
+        Hardware.Registry.add
+          (Hardware.Registry.counter r "flood.forwards") !forwarded
+    | _ -> ()
 
 let spec ~reached ~view:_ v =
   let seen = ref false in

@@ -16,6 +16,8 @@ type params = {
   dfs_child_order : (self:int -> children:int list -> int list) option;
   dmax : int option;
   stagger : Sim.Rng.t option;
+  trace : Sim.Trace.t option;
+  registry : Hardware.Registry.t option;
 }
 
 let default_params () =
@@ -29,6 +31,8 @@ let default_params () =
     dfs_child_order = None;
     dmax = None;
     stagger = None;
+    trace = None;
+    registry = None;
   }
 
 type event = { at : float; edge : int * int; up : bool }
@@ -119,7 +123,18 @@ let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
     let st = states.(v) in
     { Topology.origin = v; seq = st.seq; links = st.local_links }
   in
+  let obs_broadcasts =
+    match params.registry with
+    | Some r when Hardware.Registry.enabled r ->
+        Some
+          (Hardware.Registry.counter r "maint.broadcasts"
+             ~help:"periodic topology broadcasts initiated")
+    | _ -> None
+  in
   let broadcast ctx =
+    (match obs_broadcasts with
+    | Some c -> Hardware.Registry.incr c
+    | None -> ());
     let v = Network.self ctx in
     let st = states.(v) in
     st.seq <- st.seq + 1;
@@ -240,8 +255,9 @@ let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
     }
   in
   let net =
-    Network.create ?dmax:params.dmax ~dmax_policy:`Drop ~engine
-      ~cost:params.cost ~graph ~handlers ()
+    Network.create ?trace:params.trace ?registry:params.registry
+      ?dmax:params.dmax ~dmax_policy:`Drop ~engine ~cost:params.cost ~graph
+      ~handlers ()
   in
   if params.preseed then
     Array.iteri
@@ -289,6 +305,14 @@ let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
     else rounds_loop (k + 1) progress
   in
   let converged, rounds, progress = rounds_loop 1 [] in
+  Network.publish_distributions net;
+  (match params.registry with
+  | Some r when Hardware.Registry.enabled r ->
+      Hardware.Registry.set
+        (Hardware.Registry.gauge r "maint.rounds"
+           ~help:"broadcast rounds at the final convergence check")
+        (float_of_int rounds)
+  | _ -> ());
   let m = Network.metrics net in
   {
     converged;

@@ -45,6 +45,11 @@ type params = {
       (** when set, each node's periodic broadcasts start at a uniform
           random offset within the first period instead of in
           lockstep — eventual consistency must be schedule-independent *)
+  trace : Sim.Trace.t option;
+      (** when set, the run records hardware events into this trace *)
+  registry : Hardware.Registry.t option;
+      (** when set, receives the [net.*] instruments plus
+          [maint.broadcasts] and the [maint.rounds] gauge *)
 }
 
 val default_params : unit -> params

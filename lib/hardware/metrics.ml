@@ -81,11 +81,30 @@ let diff later earlier =
     syscalls = later.syscalls - earlier.syscalls;
     sends = later.sends - earlier.sends;
     drops = later.drops - earlier.drops;
-    max_header = later.max_header;
+    (* max_header only ever grows, so if [later] exceeds [earlier] the
+       interval provably witnessed exactly that maximum; otherwise the
+       interval set no new maximum and 0 is the honest answer — the old
+       behaviour reported [later.max_header] even for an empty interval *)
+    max_header =
+      (if later.max_header > earlier.max_header then later.max_header else 0);
     per_node = Array.init later.size (fun i -> later.per_node.(i) - earlier.per_node.(i));
     by_label;
   }
 
-let pp ppf t =
+let pp ?(by_label = false) ?(per_node = false) ppf t =
   Format.fprintf ppf "hops=%d syscalls=%d sends=%d drops=%d max_header=%d"
-    t.hops t.syscalls t.sends t.drops t.max_header
+    t.hops t.syscalls t.sends t.drops t.max_header;
+  if by_label then begin
+    let labels =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun l r acc -> (l, !r) :: acc) t.by_label [])
+    in
+    List.iter
+      (fun (label, count) -> Format.fprintf ppf "@ %s=%d" label count)
+      labels
+  end;
+  if per_node then
+    Array.iteri
+      (fun v c -> if c <> 0 then Format.fprintf ppf "@ node%d=%d" v c)
+      t.per_node

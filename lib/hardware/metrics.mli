@@ -44,6 +44,13 @@ val snapshot : t -> t
 
 val diff : t -> t -> t
 (** [diff later earlier] subtracts counters; per-node and per-label
-    counts are subtracted pointwise. *)
+    counts are subtracted pointwise.  [max_header] is not a counter:
+    since it only grows, the result's [max_header] is [later]'s value
+    when the interval set a new maximum, and [0] otherwise (meaning
+    "no new maximum in this interval" — the interval's true maximum is
+    unobservable from two snapshots). *)
 
-val pp : Format.formatter -> t -> unit
+val pp : ?by_label:bool -> ?per_node:bool -> Format.formatter -> t -> unit
+(** One line of [key=value] pairs.  [by_label] appends per-label
+    system-call counts (sorted by label); [per_node] appends the
+    non-zero per-node counts.  Both default to [false]. *)

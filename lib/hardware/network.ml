@@ -11,12 +11,26 @@ type link_record = { mutable up : bool; mutable epoch : int }
      directed link, enforcing per-direction FIFO order.
    A packet in flight is a compiled {!Anr.route} plus an int cursor;
    forwarding it allocates nothing beyond the scheduled closure. *)
+(* Pre-registered registry handles: one option match on the hot path,
+   no name lookups per event, nothing at all when no registry is
+   attached (the zero-allocation disabled path of DESIGN.md §7). *)
+type obs = {
+  o_hops : Registry.counter;
+  o_syscalls : Registry.counter;
+  o_sends : Registry.counter;
+  o_drops : Registry.counter;
+  o_hop_latency : Registry.histogram;
+  o_header_len : Registry.histogram;
+}
+
 type 'msg t = {
   graph : Graph.t;
   engine : Sim.Engine.t;
   cost : Cost_model.t;
   metrics : Metrics.t;
   trace : Sim.Trace.t;
+  registry : Registry.t option;
+  obs : obs option;
   dmax : int option;
   dmax_policy : [ `Raise | `Drop ];
   detection_delay : float;
@@ -44,8 +58,32 @@ let default_handlers =
     on_link_change = (fun _ ~peer:_ ~up:_ -> ());
   }
 
-let create ?trace ?dmax ?(dmax_policy = `Raise) ?(detection_delay = 0.0)
-    ~engine ~cost ~graph ~handlers () =
+let hop_latency_buckets = [| 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
+let header_len_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+let syscalls_per_node_buckets = [| 0.0; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
+
+let make_obs registry =
+  match registry with
+  | Some r when Registry.enabled r ->
+      Some
+        {
+          o_hops = Registry.counter r "net.hops" ~help:"packets through switches";
+          o_syscalls = Registry.counter r "net.syscalls" ~help:"NCU activations";
+          o_sends = Registry.counter r "net.sends" ~help:"packet injections";
+          o_drops = Registry.counter r "net.drops" ~help:"packets that died";
+          o_hop_latency =
+            Registry.histogram r "net.hop_latency"
+              ~help:"per-hop delay incl. FIFO queueing"
+              ~buckets:hop_latency_buckets;
+          o_header_len =
+            Registry.histogram r "net.header_len"
+              ~help:"ANR header length of injected packets (elements)"
+              ~buckets:header_len_buckets;
+        }
+  | _ -> None
+
+let create ?trace ?registry ?dmax ?(dmax_policy = `Raise)
+    ?(detection_delay = 0.0) ~engine ~cost ~graph ~handlers () =
   let n = Graph.n graph in
   let t =
     {
@@ -54,6 +92,8 @@ let create ?trace ?dmax ?(dmax_policy = `Raise) ?(detection_delay = 0.0)
       cost;
       metrics = Metrics.create ~n;
       trace = (match trace with Some t -> t | None -> Sim.Trace.disabled ());
+      registry;
+      obs = make_obs registry;
       dmax;
       dmax_policy;
       detection_delay;
@@ -76,6 +116,24 @@ let metrics t = t.metrics
 let cost t = t.cost
 let trace t = t.trace
 let tracing t = Sim.Trace.enabled t.trace
+let registry t = t.registry
+
+let obs_drop t =
+  match t.obs with Some o -> Registry.incr o.o_drops | None -> ()
+
+let publish_distributions t =
+  match t.registry with
+  | Some r when Registry.enabled r ->
+      let h =
+        Registry.histogram r "net.syscalls_per_node"
+          ~help:"NCU activations per node over the run"
+          ~buckets:syscalls_per_node_buckets
+      in
+      Graph.iter_nodes
+        (fun v ->
+          Registry.observe h (float_of_int (Metrics.syscalls_at t.metrics v)))
+        t.graph
+  | _ -> ()
 
 let link_record t u v =
   match Graph.undirected_edge_id t.graph u v with
@@ -116,6 +174,7 @@ let activate t v ~label ~msg_id f =
   t.ncu_busy_until.(v) <- finish;
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
       Metrics.record_syscall t.metrics ~node:v ~label;
+      (match t.obs with Some o -> Registry.incr o.o_syscalls | None -> ());
       if tracing t then
         Sim.Trace.record t.trace
           (if msg_id >= 0 then
@@ -137,6 +196,7 @@ let deliver_to_ncu t v ~via ~label ~msg_id payload =
    path stays allocation-free. *)
 let drop t ~node reason =
   Metrics.record_drop t.metrics;
+  obs_drop t;
   if tracing t then
     Sim.Trace.record t.trace
       (Sim.Trace.Drop { node; time = Sim.Engine.now t.engine; reason })
@@ -159,6 +219,7 @@ let rec switch t u ~via route cursor ~label ~msg_id payload =
       if copy then deliver_to_ncu t u ~via ~label ~msg_id payload;
       if link > Graph.degree t.graph u then begin
         Metrics.record_drop t.metrics;
+        obs_drop t;
         if tracing t then
           Sim.Trace.record t.trace
             (Sim.Trace.Drop
@@ -174,6 +235,7 @@ let rec switch t u ~via route cursor ~label ~msg_id payload =
         let record = t.link_state.(Graph.edge_uid t.graph dedge) in
         if not record.up then begin
           Metrics.record_drop t.metrics;
+          obs_drop t;
           if tracing t then
             Sim.Trace.record t.trace
               (Sim.Trace.Drop
@@ -192,6 +254,11 @@ let rec switch t u ~via route cursor ~label ~msg_id payload =
           let arrival = Float.max proposed t.fifo.(dedge) in
           t.fifo.(dedge) <- arrival;
           Metrics.record_hop t.metrics;
+          (match t.obs with
+          | Some o ->
+              Registry.incr o.o_hops;
+              Registry.observe o.o_hop_latency (arrival -. now)
+          | None -> ());
           Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
               if record.up && record.epoch = epoch then begin
                 if tracing t then
@@ -267,6 +334,7 @@ let send ?(label = "") ctx ~route payload =
   else if oversized then begin
     (* the hardware refuses headers it cannot buffer *)
     Metrics.record_drop t.metrics;
+    obs_drop t;
     if tracing t then
       Sim.Trace.record t.trace
         (Sim.Trace.Drop
@@ -280,6 +348,11 @@ let send ?(label = "") ctx ~route payload =
     let msg_id = t.next_msg_id in
     t.next_msg_id <- msg_id + 1;
     Metrics.record_send t.metrics ~header_len;
+    (match t.obs with
+    | Some o ->
+        Registry.incr o.o_sends;
+        Registry.observe o.o_header_len (float_of_int header_len)
+    | None -> ());
     if tracing t then
       Sim.Trace.record t.trace
         (Sim.Trace.Send

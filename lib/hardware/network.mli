@@ -38,6 +38,7 @@ val default_handlers : 'msg handlers
 
 val create :
   ?trace:Sim.Trace.t ->
+  ?registry:Registry.t ->
   ?dmax:int ->
   ?dmax_policy:[ `Raise | `Drop ] ->
   ?detection_delay:float ->
@@ -53,7 +54,13 @@ val create :
     default) or is refused by the hardware and counted as a drop
     ([`Drop] — used to study protocols under a live dmax restriction).
     [detection_delay] (default [0.]) is the data-link detection
-    latency. *)
+    latency.
+
+    When [registry] is given (and enabled), the runtime publishes
+    [net.hops] / [net.syscalls] / [net.sends] / [net.drops] counters
+    and [net.hop_latency] / [net.header_len] histograms into it as the
+    simulation runs, through handles pre-registered here — the
+    disabled path stays allocation-free. *)
 
 (** {1 Global view (experiment harness side)} *)
 
@@ -62,6 +69,15 @@ val engine : 'msg t -> Sim.Engine.t
 val metrics : 'msg t -> Metrics.t
 val cost : 'msg t -> Cost_model.t
 val trace : 'msg t -> Sim.Trace.t
+
+val registry : 'msg t -> Registry.t option
+(** The registry handed to {!create}, if any — protocol layers use it
+    to publish their own instruments next to the [net.*] family. *)
+
+val publish_distributions : 'msg t -> unit
+(** Fold end-of-run distributions into the registry (currently the
+    [net.syscalls_per_node] histogram).  Call after the simulation has
+    quiesced; no-op without an enabled registry. *)
 
 val start : ?label:string -> 'msg t -> int -> unit
 (** Trigger [on_start] at the node.  The activation is charged as a

@@ -1,0 +1,185 @@
+(* Serialisation is hand-rolled: the event vocabulary is tiny, the
+   output must be byte-stable for golden tests, and the repo carries no
+   JSON dependency.  Field order is fixed; floats go through %.12g
+   (enough for the simulator's sums of C/P delays, and stable). *)
+
+let json_float f = Printf.sprintf "%.12g" f
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* -- JSONL ------------------------------------------------------------ *)
+
+let jsonl_of_event (e : Trace.event) =
+  match e with
+  | Trace.Hop { src; dst; time } ->
+      Printf.sprintf {|{"type":"hop","time":%s,"src":%d,"dst":%d}|}
+        (json_float time) src dst
+  | Trace.Syscall { node; time; label } ->
+      Printf.sprintf {|{"type":"syscall","time":%s,"node":%d,"label":%s}|}
+        (json_float time) node (json_string label)
+  | Trace.Send { node; time; msg_id; label } ->
+      Printf.sprintf
+        {|{"type":"send","time":%s,"node":%d,"msg_id":%d,"label":%s}|}
+        (json_float time) node msg_id (json_string label)
+  | Trace.Receive { node; time; msg_id; label } ->
+      Printf.sprintf
+        {|{"type":"receive","time":%s,"node":%d,"msg_id":%d,"label":%s}|}
+        (json_float time) node msg_id (json_string label)
+  | Trace.Drop { node; time; reason } ->
+      Printf.sprintf {|{"type":"drop","time":%s,"node":%d,"reason":%s}|}
+        (json_float time) node (json_string reason)
+  | Trace.Link_change { u; v; up; time } ->
+      Printf.sprintf {|{"type":"link_change","time":%s,"u":%d,"v":%d,"up":%b}|}
+        (json_float time) u v up
+  | Trace.Custom { time; label } ->
+      Printf.sprintf {|{"type":"custom","time":%s,"label":%s}|}
+        (json_float time) (json_string label)
+
+let to_jsonl buf t =
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (jsonl_of_event e);
+      Buffer.add_char buf '\n')
+    (Trace.events t)
+
+let jsonl t =
+  let buf = Buffer.create 4096 in
+  to_jsonl buf t;
+  Buffer.contents buf
+
+(* -- Chrome trace_event ----------------------------------------------- *)
+
+(* One simulated time unit = 1000 Chrome microseconds. *)
+let ts time = json_float (time *. 1000.0)
+
+let span_name label = if label = "" then "msg" else label
+
+let to_chrome ?(process_name = "futurenet") buf t =
+  let events = Trace.events t in
+  (* Every node mentioned anywhere gets a named track. *)
+  let nodes = Hashtbl.create 64 in
+  let mention v = if not (Hashtbl.mem nodes v) then Hashtbl.replace nodes v () in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e with
+      | Trace.Hop { src; dst; _ } ->
+          mention src;
+          mention dst
+      | Trace.Syscall { node; _ }
+      | Trace.Send { node; _ }
+      | Trace.Receive { node; _ }
+      | Trace.Drop { node; _ } ->
+          mention node
+      | Trace.Link_change { u; v; _ } ->
+          mention u;
+          mention v
+      | Trace.Custom _ -> ())
+    events;
+  let node_list = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) nodes []) in
+  (* Send events indexed by msg_id, so each Receive can be turned into
+     a span.  A copy route delivers one msg_id several times, so every
+     (send, receive) pair gets its own async id. *)
+  let sends = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e with
+      | Trace.Send { node; time; msg_id; label } ->
+          if not (Hashtbl.mem sends msg_id) then
+            Hashtbl.replace sends msg_id (node, time, label)
+      | _ -> ())
+    events;
+  let first = ref true in
+  let emit obj =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "    ";
+    Buffer.add_string buf obj
+  in
+  Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  emit
+    (Printf.sprintf
+       {|{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":%s}}|}
+       (json_string process_name));
+  List.iter
+    (fun v ->
+      emit
+        (Printf.sprintf
+           {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d"}}|}
+           v v))
+    node_list;
+  let next_span = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e with
+      | Trace.Hop { src; dst; time } ->
+          emit
+            (Printf.sprintf
+               {|{"name":"hop","ph":"i","s":"t","cat":"hw","pid":0,"tid":%d,"ts":%s,"args":{"dst":%d}}|}
+               src (ts time) dst)
+      | Trace.Syscall { node; time; label } ->
+          emit
+            (Printf.sprintf
+               {|{"name":%s,"ph":"i","s":"t","cat":"syscall","pid":0,"tid":%d,"ts":%s}|}
+               (json_string (span_name label)) node (ts time))
+      | Trace.Send { node; time; msg_id; label } ->
+          emit
+            (Printf.sprintf
+               {|{"name":%s,"ph":"i","s":"t","cat":"send","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+               (json_string (span_name label)) node (ts time) msg_id)
+      | Trace.Receive { node; time; msg_id; label } -> (
+          match Hashtbl.find_opt sends msg_id with
+          | Some (src, sent_at, send_label) ->
+              let id = !next_span in
+              incr next_span;
+              let name = json_string (span_name send_label) in
+              emit
+                (Printf.sprintf
+                   {|{"name":%s,"ph":"b","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+                   name id src (ts sent_at) msg_id);
+              emit
+                (Printf.sprintf
+                   {|{"name":%s,"ph":"e","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s}|}
+                   name id node (ts time))
+          | None ->
+              emit
+                (Printf.sprintf
+                   {|{"name":%s,"ph":"i","s":"t","cat":"recv","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+                   (json_string (span_name label)) node (ts time) msg_id))
+      | Trace.Drop { node; time; reason } ->
+          emit
+            (Printf.sprintf
+               {|{"name":"drop","ph":"i","s":"t","cat":"drop","pid":0,"tid":%d,"ts":%s,"args":{"reason":%s}}|}
+               node (ts time) (json_string reason))
+      | Trace.Link_change { u; v; up; time } ->
+          emit
+            (Printf.sprintf
+               {|{"name":%s,"ph":"i","s":"p","cat":"link","pid":0,"tid":%d,"ts":%s,"args":{"peer":%d}}|}
+               (json_string (if up then "link-up" else "link-down"))
+               u (ts time) v)
+      | Trace.Custom { time; label } ->
+          emit
+            (Printf.sprintf
+               {|{"name":%s,"ph":"i","s":"g","cat":"custom","pid":0,"tid":0,"ts":%s}|}
+               (json_string (span_name label)) (ts time)))
+    events;
+  Buffer.add_string buf "\n  ]\n}\n"
+
+let chrome ?process_name t =
+  let buf = Buffer.create 8192 in
+  to_chrome ?process_name buf t;
+  Buffer.contents buf

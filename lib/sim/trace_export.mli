@@ -1,0 +1,40 @@
+(** Machine-readable trace serialisation.
+
+    Two formats, both built from a {!Trace.t}:
+
+    - {e JSONL}: one JSON object per event, one event per line, in
+      chronological order — the stable interchange format consumed by
+      the golden tests, CI artifacts, and external analysis scripts;
+    - {e Chrome [trace_event]}: a JSON object loadable in
+      [chrome://tracing] / Perfetto.  Every node is rendered as its
+      own track (pid 0, tid = node id); matched [Send]/[Receive]
+      pairs (same [msg_id]) become async span events stretching from
+      injection at the sender to NCU delivery at the receiver, while
+      system calls, hops, drops and link transitions are instant
+      events on the track of the node they happen at.
+
+    Simulated time is unitless; both exporters scale one simulated
+    time unit to 1000 Chrome microseconds (1 ms) so the [C]/[P]
+    delay structure is visible at Perfetto's default zoom.
+
+    Output is deterministic byte-for-byte for a given trace: field
+    order is fixed and floats are printed with ["%.12g"].  This is
+    what makes golden-file testing of the exporters possible. *)
+
+val jsonl_of_event : Trace.event -> string
+(** One event as a single-line JSON object (no trailing newline).
+    Every object carries ["type"] and ["time"] fields plus the
+    event's own payload fields. *)
+
+val to_jsonl : Buffer.t -> Trace.t -> unit
+(** All events of the trace, one {!jsonl_of_event} line each,
+    newline-terminated, chronological order. *)
+
+val jsonl : Trace.t -> string
+
+val to_chrome : ?process_name:string -> Buffer.t -> Trace.t -> unit
+(** The whole trace as one Chrome [trace_event] JSON document:
+    [{"displayTimeUnit": "ms", "traceEvents": [...]}].
+    [process_name] (default ["futurenet"]) labels pid 0. *)
+
+val chrome : ?process_name:string -> Trace.t -> string

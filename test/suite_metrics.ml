@@ -58,6 +58,63 @@ let test_diff () =
   check_int "label x delta" 1 (M.syscalls_labelled d "x");
   check_int "label y delta" 1 (M.syscalls_labelled d "y")
 
+let test_diff_max_header_honest () =
+  let m = M.create ~n:2 in
+  M.record_send m ~header_len:9;
+  let before = M.snapshot m in
+  (* interval sets no new maximum: an honest diff reports 0, not 9 *)
+  M.record_send m ~header_len:4;
+  let quiet = M.diff (M.snapshot m) before in
+  check_int "no new maximum -> 0" 0 (M.max_header quiet);
+  (* interval grows the maximum: the diff witnessed exactly that value *)
+  M.record_send m ~header_len:12;
+  let grew = M.diff (M.snapshot m) before in
+  check_int "new maximum reported" 12 (M.max_header grew);
+  (* an empty interval must not inherit the pre-existing maximum *)
+  let s = M.snapshot m in
+  check_int "empty interval -> 0" 0 (M.max_header (M.diff (M.snapshot m) s))
+
+let render pp_call =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  pp_call ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_pp_breakdowns () =
+  let m = M.create ~n:3 in
+  M.record_syscall m ~node:1 ~label:"beta";
+  M.record_syscall m ~node:1 ~label:"alpha";
+  M.record_syscall m ~node:2 ~label:"alpha";
+  let plain = render (fun ppf -> M.pp ppf m) in
+  Alcotest.(check bool) "plain has totals" true (contains plain "syscalls=3");
+  Alcotest.(check bool) "plain has no labels" false (contains plain "alpha");
+  let labelled = render (fun ppf -> M.pp ~by_label:true ppf m) in
+  Alcotest.(check bool) "labels shown" true
+    (contains labelled "alpha=2" && contains labelled "beta=1");
+  Alcotest.(check bool) "labels sorted" true
+    (let index_of needle =
+       let nn = String.length needle in
+       let rec go i =
+         if i + nn > String.length labelled then -1
+         else if String.sub labelled i nn = needle then i
+         else go (i + 1)
+       in
+       go 0
+     in
+     index_of "alpha=" < index_of "beta=");
+  let nodes = render (fun ppf -> M.pp ~per_node:true ppf m) in
+  Alcotest.(check bool) "nonzero nodes shown" true
+    (contains nodes "node1=2" && contains nodes "node2=1");
+  Alcotest.(check bool) "zero nodes omitted" false (contains nodes "node0=")
+
 let test_diff_size_mismatch () =
   Alcotest.(check bool) "raises" true
     (try ignore (M.diff (M.create ~n:2) (M.create ~n:3)); false
@@ -69,5 +126,8 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "snapshot independent" `Quick test_snapshot_independent;
     Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "diff max_header honest" `Quick
+      test_diff_max_header_honest;
+    Alcotest.test_case "pp breakdowns" `Quick test_pp_breakdowns;
     Alcotest.test_case "diff size mismatch" `Quick test_diff_size_mismatch;
   ]

@@ -30,6 +30,7 @@ module type NET = sig
 
   val create :
     ?trace:Sim.Trace.t ->
+    ?registry:Hardware.Registry.t ->
     ?dmax:int ->
     ?dmax_policy:[ `Raise | `Drop ] ->
     ?detection_delay:float ->
@@ -93,8 +94,9 @@ module Refnet : NET = struct
     on_link_change : 'msg context -> peer:int -> up:bool -> unit;
   }
 
-  let create ?trace ?dmax ?(dmax_policy = `Raise) ?(detection_delay = 0.0)
-      ~engine ~cost ~graph ~handlers () =
+  (* the seed predates the registry; scenarios never pass one *)
+  let create ?trace ?registry:_ ?dmax ?(dmax_policy = `Raise)
+      ?(detection_delay = 0.0) ~engine ~cost ~graph ~handlers () =
     let n = Graph.n graph in
     let links = Hashtbl.create (Graph.m graph) in
     List.iter

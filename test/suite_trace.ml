@@ -32,6 +32,52 @@ let test_capacity_keeps_recent () =
   check_bool "newest kept" true
     (List.exists (fun e -> Sim.Trace.time_of e = 100.0) events)
 
+let times t = List.map Sim.Trace.time_of (Sim.Trace.events t)
+
+let test_capacity_wraparound_order () =
+  (* 20 records into an 8-slot ring: exactly the newest 8 survive, in
+     chronological order, through multiple lazy trims *)
+  let t = Sim.Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "length = capacity" 8 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9)))
+    "newest 8, oldest first"
+    [ 13.0; 14.0; 15.0; 16.0; 17.0; 18.0; 19.0; 20.0 ]
+    (times t)
+
+let test_capacity_boundaries () =
+  (* exactly at capacity: nothing dropped *)
+  let t = Sim.Trace.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "full, nothing lost" 4 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9)))
+    "all four in order" [ 1.0; 2.0; 3.0; 4.0 ] (times t);
+  (* one over: the oldest is the one to go *)
+  Sim.Trace.record t (hop 5.0);
+  check_int "still capacity" 4 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9)))
+    "oldest evicted" [ 2.0; 3.0; 4.0; 5.0 ] (times t)
+
+let test_capacity_clear_and_reuse () =
+  let t = Sim.Trace.create ~capacity:3 () in
+  for i = 1 to 7 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  Sim.Trace.clear t;
+  check_int "cleared" 0 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9))) "no events" [] (times t);
+  (* the ring keeps enforcing its capacity after a clear *)
+  for i = 10 to 16 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "capacity after clear" 3 (Sim.Trace.length t);
+  Alcotest.(check (list (float 1e-9)))
+    "newest three" [ 14.0; 15.0; 16.0 ] (times t)
+
 let test_clear () =
   let t = Sim.Trace.create () in
   Sim.Trace.record t (hop 1.0);
@@ -67,6 +113,11 @@ let suite =
     Alcotest.test_case "record order" `Quick test_record_order;
     Alcotest.test_case "disabled" `Quick test_disabled;
     Alcotest.test_case "capacity keeps recent" `Quick test_capacity_keeps_recent;
+    Alcotest.test_case "capacity wraparound order" `Quick
+      test_capacity_wraparound_order;
+    Alcotest.test_case "capacity boundaries" `Quick test_capacity_boundaries;
+    Alcotest.test_case "capacity clear and reuse" `Quick
+      test_capacity_clear_and_reuse;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "filter and count" `Quick test_filter_count;
     Alcotest.test_case "time_of variants" `Quick test_time_of_variants;

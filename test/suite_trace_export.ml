@@ -1,0 +1,117 @@
+(* Sim.Trace_export: shape assertions plus byte-stable golden files.
+
+   The golden scenario is a fixed-seed branching-paths broadcast with a
+   few hand-recorded events covering the remaining constructors.  The
+   exporters promise deterministic output (fixed field order, %.12g
+   floats), so the comparison is byte-for-byte.
+
+   Regenerate after an intentional format change with
+     GOLDEN_UPDATE=$PWD/test/golden dune exec test/test_futurenet.exe -- \
+       test sim.trace_export
+   and review the diff. *)
+
+module T = Sim.Trace
+module E = Sim.Trace_export
+module BC = Core.Broadcast
+module BP = Core.Branching_paths
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* the fixed-seed scenario every golden file is generated from *)
+let golden_trace () =
+  let t = T.create () in
+  let g =
+    Netgraph.Builders.random_connected (Sim.Rng.create ~seed:5) ~n:6
+      ~extra_edges:2
+  in
+  let config = { (BC.default_config ()) with trace = Some t } in
+  ignore (BP.run ~config ~graph:g ~root:0 () : BC.result);
+  (* the broadcast never drops or flaps links: record the remaining
+     event constructors by hand so the goldens pin their rendering *)
+  T.record t (T.Link_change { u = 0; v = 1; up = false; time = 9.0 });
+  T.record t (T.Drop { node = 1; time = 9.25; reason = "inactive link" });
+  T.record t (T.Custom { time = 10.5; label = "end of scenario" });
+  t
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let check_golden name rendered =
+  match Sys.getenv_opt "GOLDEN_UPDATE" with
+  | Some dir ->
+      write_file (Filename.concat dir name) rendered;
+      Printf.printf "regenerated %s/%s\n%!" dir name
+  | None -> (
+      (* dune runtest runs from _build/default/test (deps copied next
+         to the executable); dune exec from the workspace root *)
+      let candidates =
+        [ Filename.concat "golden" name;
+          Filename.concat "test/golden" name ]
+      in
+      match List.find_opt Sys.file_exists candidates with
+      | Some path -> check_string (name ^ " byte-stable") (read_file path) rendered
+      | None ->
+          Alcotest.failf "missing golden file %s (run with GOLDEN_UPDATE)" name)
+
+let test_jsonl_golden () = check_golden "trace_export.jsonl" (E.jsonl (golden_trace ()))
+
+let test_chrome_golden () =
+  check_golden "trace_export.chrome.json" (E.chrome (golden_trace ()))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_jsonl_event_shapes () =
+  check_string "hop"
+    {|{"type":"hop","time":1.5,"src":0,"dst":2}|}
+    (E.jsonl_of_event (T.Hop { src = 0; dst = 2; time = 1.5 }));
+  check_string "syscall escaping"
+    {|{"type":"syscall","time":2,"node":3,"label":"a\"b"}|}
+    (E.jsonl_of_event (T.Syscall { node = 3; time = 2.0; label = {|a"b|} }));
+  check_string "drop"
+    {|{"type":"drop","time":0.25,"node":1,"reason":"bad header"}|}
+    (E.jsonl_of_event (T.Drop { node = 1; time = 0.25; reason = "bad header" }))
+
+let test_chrome_is_parseable_shape () =
+  let doc = E.chrome (golden_trace ()) in
+  check_bool "declares ms" true (contains doc {|"displayTimeUnit": "ms"|});
+  check_bool "has metadata" true (contains doc {|"process_name"|});
+  (* every Send/Receive pair becomes an async b/e span *)
+  check_bool "opens spans" true (contains doc {|"ph":"b"|});
+  check_bool "closes spans" true (contains doc {|"ph":"e"|});
+  check_bool "balanced braces" true
+    (let depth = ref 0 in
+     String.iter
+       (fun c ->
+         if c = '{' then incr depth else if c = '}' then decr depth)
+       doc;
+     !depth = 0)
+
+let test_exports_of_empty_trace () =
+  let t = T.create () in
+  check_string "empty jsonl" "" (E.jsonl t);
+  let doc = E.chrome t in
+  check_bool "empty chrome still a document" true
+    (contains doc {|"traceEvents"|})
+
+let suite =
+  [
+    Alcotest.test_case "jsonl event shapes" `Quick test_jsonl_event_shapes;
+    Alcotest.test_case "chrome document shape" `Quick
+      test_chrome_is_parseable_shape;
+    Alcotest.test_case "empty trace exports" `Quick test_exports_of_empty_trace;
+    Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+    Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+  ]

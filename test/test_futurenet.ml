@@ -8,6 +8,7 @@ let () =
       ("sim.engine", Suite_engine.suite);
       ("sim.stats", Suite_stats.suite);
       ("sim.trace", Suite_trace.suite);
+      ("sim.trace_export", Suite_trace_export.suite);
       ("graph.graph", Suite_graph.suite);
       ("graph.tree", Suite_tree.suite);
       ("graph.traversal", Suite_traversal.suite);
@@ -20,6 +21,8 @@ let () =
       ("hardware.network", Suite_network.suite);
       ("hardware.network_fuzz", Suite_network_fuzz.suite);
       ("hardware.network_fastpath", Suite_network_fastpath.suite);
+      ("hardware.registry", Suite_registry.suite);
+      ("hardware.monitor", Suite_monitor.suite);
       ("core.labels", Suite_labels.suite);
       ("core.walks", Suite_walks.suite);
       ("core.broadcasts", Suite_broadcasts.suite);
