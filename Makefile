@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check experiments figures examples clean
 
 all: build
 
@@ -18,6 +18,14 @@ bench-smoke:
 # the perf trajectory future PRs regress against (see DESIGN.md §7).
 bench-json:
 	dune exec bench/main.exe -- bench --json
+
+# Regression gate: diff each committed BENCH_<n>.json against its seed
+# baseline.  A pure file comparison (nothing is re-timed), so it is
+# deterministic on any machine; exits 4 on > 15% slow-down.
+bench-check:
+	dune exec bench/main.exe -- bench \
+	  --check BENCH_64.seed.json --check BENCH_256.seed.json \
+	  --check BENCH_1024.seed.json --check BENCH_4096.seed.json
 
 experiments:
 	dune exec bench/main.exe -- all

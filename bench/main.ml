@@ -16,8 +16,18 @@
    - `--monitors`   : after timing, re-run one checked execution per
                       size with the paper-bound monitors in fail mode
                       (exit 3 on any violated bound).
+   - `--profile`    : one traced, untimed run of each scaling workload
+                      through the causal critical-path profiler
+                      (lib/analysis); the path summary is printed and,
+                      with `--json`, lands in BENCH_<n>.json.
    - `--sizes LIST` : comma-separated scaling sizes (default
                       64,256,1024,4096).
+   - `--check FILE` : regression gate — no timing at all.  Diff the
+                      BENCH_<n>.json next to the baseline FILE against
+                      that baseline and exit 4 if any benchmark got
+                      slower by more than the tolerance.  Repeatable.
+   - `--tolerance P`: allowed slow-down for `--check`, in percent
+                      (default 15).
 
    The tables reproduce the paper's claims (see DESIGN.md section 3 and
    EXPERIMENTS.md); the bechamel suite times the implementations
@@ -275,7 +285,88 @@ let semantic_rows ~n =
               : Core.Topo_maintenance.outcome)) );
   ]
 
-let write_bench_json ~n ~rev rows =
+(* -- causal critical-path profiles (bench --profile) ------------------ *)
+
+module CP = Analysis.Critical_path
+
+(* One traced, untimed run of each scaling workload through the
+   profiler, so BENCH_<n>.json tracks the *shape* of every execution
+   (critical-path length, C/P split) next to its wall-clock cost.  The
+   recorder is capped: a maintenance run at n=4096 emits tens of
+   millions of events, and a truncated profile is flagged in the output
+   rather than silently wrong. *)
+let profile_capacity = 1_000_000
+
+let profile_rows ~n =
+  let cost = Hardware.Cost_model.new_model () in
+  let g =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:42)
+      ~n ~extra_edges:(n / 2)
+  in
+  let ring = Netgraph.Builders.ring n in
+  let maintenance_rounds = if n >= 1024 then 1 else 2 in
+  let maintenance_graph =
+    Netgraph.Builders.random_connected
+      (Sim.Rng.create ~seed:1)
+      ~n ~extra_edges:(n / 2)
+  in
+  let profiled run =
+    let trace = Sim.Trace.create ~capacity:profile_capacity () in
+    run trace;
+    Analysis.Critical_path.compute ~cost (Analysis.Event_dag.of_trace trace)
+  in
+  let bcast_config trace =
+    { (Core.Broadcast.default_config ()) with trace = Some trace }
+  in
+  [
+    ( Printf.sprintf "e1/flooding-broadcast-n%d" n,
+      profiled (fun trace ->
+          ignore
+            (Core.Flooding.run ~config:(bcast_config trace) ~graph:g ~root:0 ()
+              : Core.Broadcast.result)) );
+    ( Printf.sprintf "e1/branching-paths-broadcast-n%d" n,
+      profiled (fun trace ->
+          ignore
+            (Core.Branching_paths.run ~config:(bcast_config trace) ~graph:g
+               ~root:0 ()
+              : Core.Broadcast.result)) );
+    ( Printf.sprintf "e6/election-ring%d" n,
+      profiled (fun trace ->
+          ignore (Core.Election.run ~trace ~graph:ring ()
+                   : Core.Election.outcome)) );
+    ( Printf.sprintf "e5/maintenance-%d-rounds-n%d" maintenance_rounds n,
+      profiled (fun trace ->
+          let params =
+            {
+              (Core.Topo_maintenance.default_params ()) with
+              max_rounds = maintenance_rounds;
+              trace = Some trace;
+            }
+          in
+          ignore
+            (Core.Topo_maintenance.run ~params ~graph:maintenance_graph
+               ~events:[] ()
+              : Core.Topo_maintenance.outcome)) );
+  ]
+
+let print_profiles profiles =
+  List.iter
+    (fun (name, cp) ->
+      match cp with
+      | Some (cp : CP.t) ->
+          Printf.printf "%-45s span %10.4g  %5d steps = %dP + %dC + %d sends%s\n"
+            name cp.CP.span (List.length cp.CP.steps)
+            (cp.CP.deliveries + cp.CP.activations)
+            cp.CP.hops cp.CP.sends
+            (if cp.CP.truncated > 0 then
+               Printf.sprintf "  [truncated: %d events lost]" cp.CP.truncated
+             else "")
+      | None -> Printf.printf "%-45s (no NCU activation in trace)\n" name)
+    profiles;
+  flush stdout
+
+let write_bench_json ~n ~rev ~profiles rows =
   let file = Printf.sprintf "BENCH_%d.json" n in
   let oc = open_out file in
   Printf.fprintf oc "{\n  \"n\": %d,\n  \"git_rev\": \"%s\",\n  \"results\": [\n"
@@ -305,9 +396,161 @@ let write_bench_json ~n ~rev rows =
          %d }%s\n"
         (json_escape name) syscalls hops drops sep)
     sem;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ]";
+  if profiles <> [] then begin
+    output_string oc ",\n  \"profile\": [\n";
+    let total = List.length profiles in
+    List.iteri
+      (fun i (name, cp) ->
+        let sep = if i = total - 1 then "" else "," in
+        match cp with
+        | Some (cp : CP.t) ->
+            Printf.fprintf oc
+              "    { \"name\": \"%s\", \"span\": %.12g, \"steps\": %d, \
+               \"deliveries\": %d, \"activations\": %d, \"hops\": %d, \
+               \"sends\": %d, \"p_time\": %.12g, \"c_time\": %.12g, \
+               \"queue_wait\": %.12g, \"fifo_wait\": %.12g, \"truncated\": \
+               %d }%s\n"
+              (json_escape name) cp.CP.span (List.length cp.CP.steps)
+              cp.CP.deliveries cp.CP.activations cp.CP.hops cp.CP.sends
+              cp.CP.p_time cp.CP.c_time cp.CP.queue_wait cp.CP.fifo_wait
+              cp.CP.truncated sep
+        | None ->
+            Printf.fprintf oc "    { \"name\": \"%s\", \"span\": null }%s\n"
+              (json_escape name) sep)
+      profiles;
+    output_string oc "  ]"
+  end;
+  output_string oc "\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d results)\n%!" file total
+
+(* -- bench regression gate (bench --check) ---------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let find_sub hay pat from =
+  let n = String.length hay and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Minimal extraction of what [write_bench_json] emits — enough to diff
+   two bench files without a JSON dependency.  Pairs each "name" key
+   with the "ns_per_run" that follows it before the next "name";
+   entries without one (the workloads/profile sections) parse to no
+   row. *)
+let number_after json key from until =
+  match find_sub json key from with
+  | Some i when i < until -> (
+      match String.index_from_opt json (i + String.length key) ':' with
+      | None -> None
+      | Some colon ->
+          let rec skip i =
+            if i < until && json.[i] = ' ' then skip (i + 1) else i
+          in
+          let start = skip (colon + 1) in
+          let rec stop i =
+            if i < until && not (List.mem json.[i] [ ','; '}'; '\n'; ' ' ])
+            then stop (i + 1)
+            else i
+          in
+          float_of_string_opt (String.sub json start (stop start - start)))
+  | _ -> None
+
+let bench_rows json =
+  let value_after key from until = number_after json key from until in
+  let rec collect acc i =
+    match find_sub json "\"name\"" i with
+    | None -> List.rev acc
+    | Some ni -> (
+        match
+          let q1 = String.index_from_opt json (ni + 6) '"' in
+          Option.bind q1 (fun q1 ->
+              Option.map
+                (fun q2 -> (q1, q2))
+                (String.index_from_opt json (q1 + 1) '"'))
+        with
+        | None -> List.rev acc
+        | Some (q1, q2) ->
+            let name = String.sub json (q1 + 1) (q2 - q1 - 1) in
+            let until =
+              match find_sub json "\"name\"" (q2 + 1) with
+              | Some next -> next
+              | None -> String.length json
+            in
+            let acc =
+              match value_after "\"ns_per_run\"" (q2 + 1) until with
+              | Some v -> (name, v) :: acc
+              | None -> acc
+            in
+            collect acc until)
+  in
+  collect [] 0
+
+let bench_n json =
+  Option.map int_of_float
+    (number_after json "\"n\"" 0 (String.length json))
+
+(* Diff the BENCH_<n>.json sitting next to [baseline_path] against that
+   baseline.  Pure file comparison — nothing is re-timed — so the gate
+   is deterministic on any machine.  A benchmark missing from the
+   current file is a failure: renames must update the baseline. *)
+let check_baseline ~tolerance baseline_path =
+  match read_file baseline_path with
+  | exception Sys_error msg ->
+      Printf.eprintf "bench check: %s\n" msg;
+      false
+  | baseline -> (
+      match bench_n baseline with
+      | None ->
+          Printf.eprintf "bench check: %s has no \"n\" field\n" baseline_path;
+          false
+      | Some n -> (
+          let current_path =
+            Filename.concat
+              (Filename.dirname baseline_path)
+              (Printf.sprintf "BENCH_%d.json" n)
+          in
+          match read_file current_path with
+          | exception Sys_error msg ->
+              Printf.eprintf "bench check: %s\n" msg;
+              false
+          | current ->
+              let rows = bench_rows baseline in
+              let current_rows = bench_rows current in
+              Printf.printf "\n-- bench check: %s vs %s (tolerance %g%%) --\n"
+                current_path baseline_path tolerance;
+              if rows = [] then begin
+                Printf.eprintf "bench check: no benchmarks in %s\n"
+                  baseline_path;
+                false
+              end
+              else
+                List.fold_left
+                  (fun ok (name, bv) ->
+                    match List.assoc_opt name current_rows with
+                    | None ->
+                        Printf.printf "  %-45s MISSING from %s\n" name
+                          current_path;
+                        false
+                    | Some cv ->
+                        let delta = (cv -. bv) /. bv *. 100.0 in
+                        let regressed =
+                          cv > bv *. (1.0 +. (tolerance /. 100.0))
+                        in
+                        Printf.printf "  %-45s %12.0f -> %12.0f  %+7.1f%%  %s\n"
+                          name bv cv delta
+                          (if regressed then "REGRESSION" else "ok");
+                        ok && not regressed)
+                  true rows))
 
 (* One checked execution per size: the paper-bound monitors in fail
    mode, so a CI bench run re-verifies Theorem 2 and the 6n election
@@ -353,7 +596,7 @@ let strip_group name =
       String.sub name (i + 1) (String.length name - i - 1)
   | _ -> name
 
-let run_bechamel ~smoke ~json ~monitors ~sizes () =
+let run_bechamel ~smoke ~json ~monitors ~profile ~sizes () =
   print_endline "\n###### bechamel timing suite ######";
   let sizes = if smoke then [ 64 ] else sizes in
   let quota = if smoke then 0.01 else 0.25 in
@@ -373,7 +616,12 @@ let run_bechamel ~smoke ~json ~monitors ~sizes () =
           (measure ~quota (scaling_tests ~n))
       in
       print_rows rows;
-      if json then write_bench_json ~n ~rev rows;
+      let profiles = if profile then profile_rows ~n else [] in
+      if profile then begin
+        Printf.printf "\n-- critical-path profiles, n = %d --\n%!" n;
+        print_profiles profiles
+      end;
+      if json then write_bench_json ~n ~rev ~profiles rows;
       if monitors then begin
         Printf.printf "\n-- paper-bound monitors, n = %d --\n%!" n;
         run_monitor_checks ~n
@@ -398,7 +646,9 @@ let parse_sizes s =
 let usage () =
   prerr_endline
     "usage: main.exe [all | figures | bench | e1..e9 | a1..a5]...\n\
-    \       main.exe bench [--smoke] [--json] [--monitors] [--sizes N,N,...]"
+    \       main.exe bench [--smoke] [--json] [--monitors] [--profile]\n\
+    \                      [--sizes N,N,...]\n\
+    \       main.exe bench --check BASELINE.json [--check ...] [--tolerance P]"
 
 (* Run the named experiments / the bench suite.  Unknown arguments are
    reported but do not abort the rest of the list; the exit code
@@ -420,7 +670,10 @@ let run_args args =
     | "bench" :: rest ->
         (* bench consumes its flags, then continues with what is left *)
         let smoke = ref false and json = ref false and monitors = ref false in
+        let profile = ref false in
         let sizes = ref default_sizes in
+        let checks = ref [] in
+        let tolerance = ref 15.0 in
         let rec flags = function
           | "--smoke" :: rest ->
               smoke := true;
@@ -431,6 +684,27 @@ let run_args args =
           | "--monitors" :: rest ->
               monitors := true;
               flags rest
+          | "--profile" :: rest ->
+              profile := true;
+              flags rest
+          | "--check" :: value :: rest ->
+              checks := value :: !checks;
+              flags rest
+          | "--check" :: [] ->
+              complain "--check needs a baseline file\n";
+              []
+          | "--tolerance" :: value :: rest -> (
+              match float_of_string_opt value with
+              | Some t when t >= 0.0 ->
+                  tolerance := t;
+                  flags rest
+              | _ ->
+                  complain "bad --tolerance value %S (want a percentage)\n"
+                    value;
+                  flags rest)
+          | "--tolerance" :: [] ->
+              complain "--tolerance needs a value\n";
+              []
           | "--sizes" :: value :: rest -> (
               match parse_sizes value with
               | Some s ->
@@ -445,8 +719,18 @@ let run_args args =
           | rest -> rest
         in
         let rest = flags rest in
-        run_bechamel ~smoke:!smoke ~json:!json ~monitors:!monitors
-          ~sizes:!sizes ();
+        if !checks <> [] then begin
+          (* the regression gate is a pure file diff: no timing *)
+          let all_ok =
+            List.fold_left
+              (fun ok b -> check_baseline ~tolerance:!tolerance b && ok)
+              true (List.rev !checks)
+          in
+          if not all_ok then exit 4
+        end
+        else
+          run_bechamel ~smoke:!smoke ~json:!json ~monitors:!monitors
+            ~profile:!profile ~sizes:!sizes ();
         loop rest
     | id :: rest ->
         (match Experiments.find id with
@@ -471,5 +755,5 @@ let () =
   | _ :: (_ :: _ as args) -> run_args args
   | _ ->
       Experiments.run_all ();
-      run_bechamel ~smoke:false ~json:false ~monitors:false
+      run_bechamel ~smoke:false ~json:false ~monitors:false ~profile:false
         ~sizes:default_sizes ()

@@ -349,6 +349,136 @@ let trace_cmd =
     Term.(const run $ topology_arg $ n_arg $ seed_arg $ scenario_arg
           $ root_arg $ out_arg $ monitors_arg)
 
+(* -- profile ---------------------------------------------------------------- *)
+
+(* The causal critical-path profiler (DESIGN.md §9): run one scenario
+   with tracing on, reconstruct the event DAG, walk the binding
+   constraints back from termination, and report where the time went in
+   the paper's two currencies (C·hops switching, P·syscalls
+   processing), plus slack for everything off the path. *)
+let profile_cmd =
+  let scenario_conv =
+    Arg.enum
+      [
+        ("bpaths", `Bpaths); ("flood", `Flood); ("dfs", `Dfs);
+        ("direct", `Direct); ("layered", `Layered); ("election", `Election);
+        ("maintenance", `Maintenance);
+      ]
+  in
+  let scenario_name = function
+    | `Bpaths -> "bpaths" | `Flood -> "flood" | `Dfs -> "dfs"
+    | `Direct -> "direct" | `Layered -> "layered" | `Election -> "election"
+    | `Maintenance -> "maintenance"
+  in
+  let scenario_arg =
+    Arg.(value & opt scenario_conv `Bpaths
+           & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+               ~doc:"What to run and profile: a broadcast algorithm \
+                     ($(b,bpaths), $(b,flood), $(b,dfs), $(b,direct), \
+                     $(b,layered)), $(b,election) or $(b,maintenance).")
+  in
+  let c_arg =
+    Arg.(value & opt float 0.0
+           & info [ "c" ] ~docv:"C" ~doc:"Per-hop switching delay bound.")
+  in
+  let p_arg =
+    Arg.(value & opt float 1.0
+           & info [ "p" ] ~docv:"P" ~doc:"Per-system-call processing delay bound.")
+  in
+  let root_arg =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
+  in
+  let out_arg =
+    Arg.(value & opt string "profile"
+           & info [ "o"; "out" ] ~docv:"PREFIX"
+               ~doc:"Output prefix: writes $(docv).chrome.json with the \
+                     critical path coloured for chrome://tracing.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let run topology n seed scenario root c p out json =
+    let graph = build_graph topology n seed in
+    let n = Netgraph.Graph.n graph in
+    let cost = Hardware.Cost_model.deterministic ~c ~p in
+    let trace = Sim.Trace.create () in
+    (match scenario with
+    | (`Bpaths | `Flood | `Dfs | `Direct | `Layered) as algo ->
+        let config =
+          { (Core.Broadcast.default_config ()) with cost; trace = Some trace }
+        in
+        ignore (run_broadcast algo ~config ~graph ~root () : Core.Broadcast.result)
+    | `Election ->
+        ignore (Core.Election.run ~cost ~trace ~graph () : Core.Election.outcome)
+    | `Maintenance ->
+        let params =
+          { (Core.Topo_maintenance.default_params ()) with
+            cost; trace = Some trace; max_rounds = 2 }
+        in
+        ignore
+          (Core.Topo_maintenance.run ~params ~graph ~events:[] ()
+            : Core.Topo_maintenance.outcome));
+    let dag = Analysis.Event_dag.of_trace trace in
+    match Analysis.Critical_path.compute ~cost dag with
+    | None ->
+        prerr_endline "profile: the trace contains no NCU activation";
+        exit 2
+    | Some cp ->
+        let stats = Analysis.Critical_path.slack_stats ~cost dag in
+        let critical = Hashtbl.create 64 in
+        List.iter
+          (fun i -> Hashtbl.replace critical i ())
+          (Analysis.Critical_path.critical_indices cp);
+        let decorate i =
+          if Hashtbl.mem critical i then {|,"cname":"terrible"|} else ""
+        in
+        let chrome_path = out ^ ".chrome.json" in
+        write_file chrome_path (Sim.Trace_export.chrome ~decorate trace);
+        let log2_bound = 1 + int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+        if json then
+          print_endline
+            (json_obj
+               [
+                 ("command", "\"profile\"");
+                 ("scenario", Printf.sprintf "%S" (scenario_name scenario));
+                 ("topology", Printf.sprintf "%S" (topology_name topology));
+                 ("n", string_of_int n);
+                 ("c", json_float c);
+                 ("p", json_float p);
+                 ("events", string_of_int (Analysis.Event_dag.size dag));
+                 ("critical_path", Analysis.Critical_path.to_json cp);
+                 ("slack", Analysis.Critical_path.slack_stats_json stats);
+               ])
+        else begin
+          Printf.printf "%s on %s (n=%d, C=%g, P=%g): %d trace events\n"
+            (scenario_name scenario) (topology_name topology) n c p
+            (Analysis.Event_dag.size dag);
+          Format.printf "  dag: %a@." Analysis.Event_dag.pp_stats dag;
+          Format.printf "%a" Analysis.Critical_path.pp cp;
+          Printf.printf
+            "  slack      : %d/%d events with zero slack, max %g, mean %g\n"
+            stats.Analysis.Critical_path.zero_slack stats.events stats.max_slack
+            stats.mean_slack;
+          (if scenario = `Bpaths then
+             let d = cp.Analysis.Critical_path.deliveries in
+             Printf.printf
+               "  theorem 2  : %d P-steps (deliveries) on the critical path, \
+                bound 1 + ceil(log2 %d) = %d %s\n"
+               d n log2_bound
+               (if d <= log2_bound then "[ok]" else "[EXCEEDED]"));
+          Printf.printf "wrote %s (critical path coloured)\n" chrome_path
+        end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one scenario and profile its causal critical path: C/P \
+             cost attribution per node, phase and link, slack analysis, \
+             and a chrome://tracing export with the path coloured.")
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ scenario_arg
+          $ root_arg $ c_arg $ p_arg $ out_arg $ json_flag)
+
 (* -- maintenance ----------------------------------------------------------- *)
 
 let maintenance_cmd =
@@ -450,5 +580,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
-            election_cmd; trace_cmd; maintenance_cmd; tree_cmd;
+            election_cmd; trace_cmd; profile_cmd; maintenance_cmd; tree_cmd;
           ]))

@@ -1,0 +1,157 @@
+type edge_kind =
+  | Message
+  | Queue
+  | Fifo
+  | Local
+
+type t = {
+  events : Sim.Trace.event array;  (* chronological *)
+  times : float array;
+  preds : (int * edge_kind) list array;
+  mutable succs : (int * edge_kind) list array;  (* built lazily *)
+  mutable succs_built : bool;
+  send_labels : (int, string) Hashtbl.t;  (* msg_id -> injection label *)
+  truncated : int;
+}
+
+(* Reconstruction is one chronological pass, mirroring the runtime's
+   own bookkeeping: the hardware enforced these constraints while the
+   simulation ran, so replaying the trace with per-packet, per-node and
+   per-link cursors recovers exactly the edges that were live.
+
+   Per-packet state: [packet_last] is the packet's latest switch-path
+   event (its Send, then each Hop); [hop_into] the latest hop that
+   entered a given node (the hop a delivery at that node branched off);
+   [send_of] its injection.  Per-node state: [last_act], the previous
+   NCU activation (Queue edges, and Local edges to the sends the
+   activation performed).  Per-link state: [last_hop], the previous hop
+   over a directed link (Fifo edges). *)
+let of_events_internal ~truncated events_list =
+  let events = Array.of_list events_list in
+  let n = Array.length events in
+  let times = Array.map Sim.Trace.time_of events in
+  let preds = Array.make n [] in
+  let send_labels = Hashtbl.create 64 in
+  let packet_last = Hashtbl.create 64 in
+  let send_of = Hashtbl.create 64 in
+  let hop_into = Hashtbl.create 64 in
+  let last_hop = Hashtbl.create 64 in
+  let last_act = Hashtbl.create 16 in
+  let add i p kind = preds.(i) <- (p, kind) :: preds.(i) in
+  Array.iteri
+    (fun i (e : Sim.Trace.event) ->
+      match e with
+      | Sim.Trace.Send { node; msg_id; label; _ } ->
+          (match Hashtbl.find_opt last_act node with
+          | Some a -> add i a Local
+          | None -> ());
+          Hashtbl.replace packet_last msg_id i;
+          Hashtbl.replace send_of msg_id i;
+          Hashtbl.replace send_labels msg_id label
+      | Sim.Trace.Hop { src; dst; msg_id; _ } ->
+          if msg_id >= 0 then (
+            (match Hashtbl.find_opt packet_last msg_id with
+            | Some p -> add i p Message
+            | None -> ());
+            Hashtbl.replace packet_last msg_id i;
+            Hashtbl.replace hop_into (msg_id, dst) i);
+          (match Hashtbl.find_opt last_hop (src, dst) with
+          | Some h -> add i h Fifo
+          | None -> ());
+          Hashtbl.replace last_hop (src, dst) i
+      | Sim.Trace.Receive { node; msg_id; _ } ->
+          (match Hashtbl.find_opt hop_into (msg_id, node) with
+          | Some h -> add i h Message
+          | None -> (
+              (* self-delivery, or a copy taken at the injector: the
+                 packet never hopped into this node *)
+              match Hashtbl.find_opt send_of msg_id with
+              | Some s -> add i s Message
+              | None -> ()));
+          (match Hashtbl.find_opt last_act node with
+          | Some a -> add i a Queue
+          | None -> ());
+          Hashtbl.replace last_act node i
+      | Sim.Trace.Syscall { node; _ } ->
+          (match Hashtbl.find_opt last_act node with
+          | Some a -> add i a Queue
+          | None -> ());
+          Hashtbl.replace last_act node i
+      | Sim.Trace.Drop _ | Sim.Trace.Link_change _ | Sim.Trace.Custom _ ->
+          (* drops carry no packet identity and the other two are
+             environment events: leaves of the DAG *)
+          ())
+    events;
+  (* store predecessors in ascending index order for determinism *)
+  Array.iteri
+    (fun i ps -> preds.(i) <- List.sort compare (List.rev ps))
+    preds;
+  {
+    events;
+    times;
+    preds;
+    succs = [||];
+    succs_built = false;
+    send_labels;
+    truncated;
+  }
+
+let of_events events = of_events_internal ~truncated:0 events
+
+let of_trace trace =
+  of_events_internal ~truncated:(Sim.Trace.dropped trace)
+    (Sim.Trace.events trace)
+
+let size t = Array.length t.events
+let event t i = t.events.(i)
+let time t i = t.times.(i)
+let preds t i = t.preds.(i)
+let truncated t = t.truncated
+
+let build_succs t =
+  if not t.succs_built then begin
+    let succs = Array.make (size t) [] in
+    Array.iteri
+      (fun i ps ->
+        List.iter (fun (p, kind) -> succs.(p) <- (i, kind) :: succs.(p)) ps)
+      t.preds;
+    Array.iteri (fun i ss -> succs.(i) <- List.sort compare (List.rev ss)) succs;
+    t.succs <- succs;
+    t.succs_built <- true
+  end
+
+let succs t i =
+  build_succs t;
+  t.succs.(i)
+
+let terminal t =
+  let best = ref None in
+  Array.iteri
+    (fun i (e : Sim.Trace.event) ->
+      match e with
+      | Sim.Trace.Receive _ | Sim.Trace.Syscall _ -> (
+          match !best with
+          | Some b when t.times.(b) > t.times.(i) -> ()
+          | _ -> best := Some i)
+      | _ -> ())
+    t.events;
+  !best
+
+let t_end t =
+  let n = size t in
+  if n = 0 then 0.0
+  else Array.fold_left Float.max t.times.(0) t.times
+
+let send_label t msg_id = Hashtbl.find_opt t.send_labels msg_id
+
+let edge_count t kind =
+  Array.fold_left
+    (fun acc ps ->
+      acc + List.length (List.filter (fun (_, k) -> k = kind) ps))
+    0 t.preds
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "events=%d message=%d queue=%d fifo=%d local=%d truncated=%d" (size t)
+    (edge_count t Message) (edge_count t Queue) (edge_count t Fifo)
+    (edge_count t Local) t.truncated

@@ -1,0 +1,67 @@
+(** The causal event DAG of one execution.
+
+    Generalises the happens-before machinery of the appendix analysis
+    ([Core.Causal] pairs sends with receives) to {e every} event the
+    hardware runtime traces, for {e any} algorithm: vertices are the
+    trace's events in chronological order, edges are the four causal
+    constraints the runtime actually enforces (DESIGN.md §9):
+
+    - {!Message}: a packet's progress — its [Send], each [Hop] it
+      takes (hops carry the packet's [msg_id]), and every NCU delivery
+      it causes;
+    - {!Queue}: each NCU is a single server, so successive activations
+      of one node are serialised in completion order;
+    - {!Fifo}: links never reorder, so successive hops over one
+      directed link are ordered even when they belong to different
+      packets;
+    - {!Local}: a send happens inside the activation that performed
+      it.
+
+    The DAG is the input to {!Critical_path}: the chain of binding
+    constraints ending at the termination event is the execution's
+    critical path, and everything off it has slack. *)
+
+type edge_kind =
+  | Message  (** packet progress: send → hop → … → delivery *)
+  | Queue  (** single-server NCU serialisation at one node *)
+  | Fifo  (** per-directed-link FIFO between packets *)
+  | Local  (** an activation and the sends it performed *)
+
+type t
+
+val of_trace : Sim.Trace.t -> t
+(** Reconstruct the DAG from a recorded trace.  {!truncated} reports
+    how many events the recorder evicted before export — a non-zero
+    value means the DAG (and any profile over it) is missing the
+    execution's prefix. *)
+
+val of_events : Sim.Trace.event list -> t
+(** Same, from an explicit chronological event list ([truncated = 0]). *)
+
+val size : t -> int
+val event : t -> int -> Sim.Trace.event
+val time : t -> int -> float
+
+val preds : t -> int -> (int * edge_kind) list
+(** Causal predecessors of event [i], each with the constraint kind. *)
+
+val succs : t -> int -> (int * edge_kind) list
+
+val terminal : t -> int option
+(** The termination event: the last NCU activation ([Receive] or
+    [Syscall]; ties broken toward the later trace position) — the
+    completion-time convention of [Core.Broadcast].  [None] when the
+    trace contains no activation. *)
+
+val t_end : t -> float
+(** Time of the last event of the trace (0 for an empty trace). *)
+
+val truncated : t -> int
+(** Events the source recorder dropped before this DAG was built. *)
+
+val send_label : t -> int -> string option
+(** [send_label dag msg_id] is the label the packet was injected
+    under — the phase name hops of that packet are attributed to. *)
+
+val edge_count : t -> edge_kind -> int
+val pp_stats : Format.formatter -> t -> unit

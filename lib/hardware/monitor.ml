@@ -44,7 +44,7 @@ let fifo_per_link trace =
   List.iter
     (fun e ->
       match e with
-      | Sim.Trace.Hop { src; dst; time } -> (
+      | Sim.Trace.Hop { src; dst; time; _ } -> (
           if !violation = None then
             match Hashtbl.find_opt clocks (src, dst) with
             | Some last when time < last ->

@@ -132,7 +132,16 @@ let publish_distributions t =
       Graph.iter_nodes
         (fun v ->
           Registry.observe h (float_of_int (Metrics.syscalls_at t.metrics v)))
-        t.graph
+        t.graph;
+      (* a bounded trace recorder that overflowed silently would make
+         any profile computed from it wrong; surface the eviction count
+         as a first-class instrument *)
+      let evicted = Sim.Trace.dropped t.trace in
+      if evicted > 0 then
+        Registry.add
+          (Registry.counter r "sim.trace.dropped"
+             ~help:"trace events evicted by the ring-buffer capacity")
+          evicted
   | _ -> ()
 
 let link_record t u v =
@@ -263,7 +272,7 @@ let rec switch t u ~via route cursor ~label ~msg_id payload =
               if record.up && record.epoch = epoch then begin
                 if tracing t then
                   Sim.Trace.record t.trace
-                    (Sim.Trace.Hop { src = u; dst = v; time = arrival });
+                    (Sim.Trace.Hop { src = u; dst = v; time = arrival; msg_id });
                 switch t v ~via:u route (cursor + 1) ~label ~msg_id payload
               end
               else drop t ~node:v "lost in flight (link failed)")

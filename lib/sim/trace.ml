@@ -1,5 +1,5 @@
 type event =
-  | Hop of { src : int; dst : int; time : float }
+  | Hop of { src : int; dst : int; time : float; msg_id : int }
   | Syscall of { node : int; time : float; label : string }
   | Send of { node : int; time : float; msg_id : int; label : string }
   | Receive of { node : int; time : float; msg_id : int; label : string }
@@ -10,18 +10,24 @@ type event =
 type t = {
   mutable items : event list;  (* newest first *)
   mutable count : int;
+  mutable recorded : int;  (* all-time offers, surviving trims *)
   capacity : int option;
   enabled : bool;
 }
 
-let create ?capacity () = { items = []; count = 0; capacity; enabled = true }
-let disabled () = { items = []; count = 0; capacity = None; enabled = false }
+let create ?capacity () =
+  { items = []; count = 0; recorded = 0; capacity; enabled = true }
+
+let disabled () =
+  { items = []; count = 0; recorded = 0; capacity = None; enabled = false }
+
 let enabled t = t.enabled
 
 let record t e =
   if t.enabled then begin
     t.items <- e :: t.items;
     t.count <- t.count + 1;
+    t.recorded <- t.recorded + 1;
     match t.capacity with
     | Some cap when t.count > cap ->
         (* Trim lazily: drop the oldest half when 2x over capacity to
@@ -44,9 +50,13 @@ let events t =
 let length t =
   match t.capacity with Some cap -> min cap t.count | None -> t.count
 
+let recorded t = t.recorded
+let dropped t = t.recorded - length t
+
 let clear t =
   t.items <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.recorded <- 0
 
 let time_of = function
   | Hop { time; _ }
@@ -62,7 +72,8 @@ let filter f t = List.filter f (events t)
 let count f t = List.length (filter f t)
 
 let pp_event ppf = function
-  | Hop { src; dst; time } -> Format.fprintf ppf "[%8.3f] hop %d->%d" time src dst
+  | Hop { src; dst; time; msg_id } ->
+      Format.fprintf ppf "[%8.3f] hop %d->%d #%d" time src dst msg_id
   | Syscall { node; time; label } ->
       Format.fprintf ppf "[%8.3f] syscall @%d %s" time node label
   | Send { node; time; msg_id; label } ->

@@ -6,8 +6,10 @@
     (Theorem 6), and golden assertions in tests. *)
 
 type event =
-  | Hop of { src : int; dst : int; time : float }
-      (** a packet crossed the link from node [src] to node [dst] *)
+  | Hop of { src : int; dst : int; time : float; msg_id : int }
+      (** packet [msg_id] crossed the link from node [src] to node
+          [dst]; a negative [msg_id] means the recorder did not know
+          the packet (hand-written traces, external tooling) *)
   | Syscall of { node : int; time : float; label : string }
       (** the NCU of [node] was activated *)
   | Send of { node : int; time : float; msg_id : int; label : string }
@@ -37,6 +39,17 @@ val events : t -> event list
 (** Events in chronological (recording) order. *)
 
 val length : t -> int
+
+val recorded : t -> int
+(** Total events offered to {!record} since creation (or the last
+    {!clear}), including events a bounded recorder has since
+    evicted. *)
+
+val dropped : t -> int
+(** [recorded t - length t]: events lost to the capacity bound.  A
+    profile or export computed over a trace with [dropped > 0] is
+    missing prefix events and must say so. *)
+
 val clear : t -> unit
 
 val time_of : event -> float

@@ -27,9 +27,9 @@ let json_string s =
 
 let jsonl_of_event (e : Trace.event) =
   match e with
-  | Trace.Hop { src; dst; time } ->
-      Printf.sprintf {|{"type":"hop","time":%s,"src":%d,"dst":%d}|}
-        (json_float time) src dst
+  | Trace.Hop { src; dst; time; msg_id } ->
+      Printf.sprintf {|{"type":"hop","time":%s,"src":%d,"dst":%d,"msg_id":%d}|}
+        (json_float time) src dst msg_id
   | Trace.Syscall { node; time; label } ->
       Printf.sprintf {|{"type":"syscall","time":%s,"node":%d,"label":%s}|}
         (json_float time) node (json_string label)
@@ -51,7 +51,20 @@ let jsonl_of_event (e : Trace.event) =
       Printf.sprintf {|{"type":"custom","time":%s,"label":%s}|}
         (json_float time) (json_string label)
 
+(* A bounded recorder that overflowed lost its oldest events; an export
+   that silently looked complete would poison any analysis (profiles,
+   causal trees) computed from it, so truncation leads the output. *)
+let truncation_time t =
+  match Trace.events t with e :: _ -> Trace.time_of e | [] -> 0.0
+
 let to_jsonl buf t =
+  let dropped = Trace.dropped t in
+  if dropped > 0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf {|{"type":"truncated","time":%s,"dropped":%d}|}
+         (json_float (truncation_time t)) dropped);
+    Buffer.add_char buf '\n'
+  end;
   List.iter
     (fun e ->
       Buffer.add_string buf (jsonl_of_event e);
@@ -70,7 +83,7 @@ let ts time = json_float (time *. 1000.0)
 
 let span_name label = if label = "" then "msg" else label
 
-let to_chrome ?(process_name = "futurenet") buf t =
+let to_chrome ?(process_name = "futurenet") ?(decorate = fun _ -> "") buf t =
   let events = Trace.events t in
   (* Every node mentioned anywhere gets a named track. *)
   let nodes = Hashtbl.create 64 in
@@ -122,24 +135,35 @@ let to_chrome ?(process_name = "futurenet") buf t =
            {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d"}}|}
            v v))
     node_list;
+  (if Trace.dropped t > 0 then
+     emit
+       (Printf.sprintf
+          {|{"name":"trace truncated (%d events dropped)","ph":"i","s":"g","cat":"warning","pid":0,"tid":0,"ts":%s}|}
+          (Trace.dropped t)
+          (ts (truncation_time t))));
   let next_span = ref 0 in
-  List.iter
-    (fun (e : Trace.event) ->
+  (* [emit_d i base] closes [base] (an object missing its final brace)
+     with the caller's decoration for chronological event [i] — how the
+     profiler paints critical-path events without this module knowing
+     what a critical path is. *)
+  let emit_d i base = emit (base ^ decorate i ^ "}") in
+  List.iteri
+    (fun i (e : Trace.event) ->
       match e with
-      | Trace.Hop { src; dst; time } ->
-          emit
+      | Trace.Hop { src; dst; time; msg_id } ->
+          emit_d i
             (Printf.sprintf
-               {|{"name":"hop","ph":"i","s":"t","cat":"hw","pid":0,"tid":%d,"ts":%s,"args":{"dst":%d}}|}
-               src (ts time) dst)
+               {|{"name":"hop","ph":"i","s":"t","cat":"hw","pid":0,"tid":%d,"ts":%s,"args":{"dst":%d,"msg_id":%d}|}
+               src (ts time) dst msg_id)
       | Trace.Syscall { node; time; label } ->
-          emit
+          emit_d i
             (Printf.sprintf
-               {|{"name":%s,"ph":"i","s":"t","cat":"syscall","pid":0,"tid":%d,"ts":%s}|}
+               {|{"name":%s,"ph":"i","s":"t","cat":"syscall","pid":0,"tid":%d,"ts":%s|}
                (json_string (span_name label)) node (ts time))
       | Trace.Send { node; time; msg_id; label } ->
-          emit
+          emit_d i
             (Printf.sprintf
-               {|{"name":%s,"ph":"i","s":"t","cat":"send","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+               {|{"name":%s,"ph":"i","s":"t","cat":"send","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}|}
                (json_string (span_name label)) node (ts time) msg_id)
       | Trace.Receive { node; time; msg_id; label } -> (
           match Hashtbl.find_opt sends msg_id with
@@ -147,39 +171,39 @@ let to_chrome ?(process_name = "futurenet") buf t =
               let id = !next_span in
               incr next_span;
               let name = json_string (span_name send_label) in
-              emit
+              emit_d i
                 (Printf.sprintf
-                   {|{"name":%s,"ph":"b","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+                   {|{"name":%s,"ph":"b","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}|}
                    name id src (ts sent_at) msg_id);
-              emit
+              emit_d i
                 (Printf.sprintf
-                   {|{"name":%s,"ph":"e","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s}|}
+                   {|{"name":%s,"ph":"e","cat":"msg","id":%d,"pid":0,"tid":%d,"ts":%s|}
                    name id node (ts time))
           | None ->
-              emit
+              emit_d i
                 (Printf.sprintf
-                   {|{"name":%s,"ph":"i","s":"t","cat":"recv","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}}|}
+                   {|{"name":%s,"ph":"i","s":"t","cat":"recv","pid":0,"tid":%d,"ts":%s,"args":{"msg_id":%d}|}
                    (json_string (span_name label)) node (ts time) msg_id))
       | Trace.Drop { node; time; reason } ->
-          emit
+          emit_d i
             (Printf.sprintf
-               {|{"name":"drop","ph":"i","s":"t","cat":"drop","pid":0,"tid":%d,"ts":%s,"args":{"reason":%s}}|}
+               {|{"name":"drop","ph":"i","s":"t","cat":"drop","pid":0,"tid":%d,"ts":%s,"args":{"reason":%s}|}
                node (ts time) (json_string reason))
       | Trace.Link_change { u; v; up; time } ->
-          emit
+          emit_d i
             (Printf.sprintf
-               {|{"name":%s,"ph":"i","s":"p","cat":"link","pid":0,"tid":%d,"ts":%s,"args":{"peer":%d}}|}
+               {|{"name":%s,"ph":"i","s":"p","cat":"link","pid":0,"tid":%d,"ts":%s,"args":{"peer":%d}|}
                (json_string (if up then "link-up" else "link-down"))
                u (ts time) v)
       | Trace.Custom { time; label } ->
-          emit
+          emit_d i
             (Printf.sprintf
-               {|{"name":%s,"ph":"i","s":"g","cat":"custom","pid":0,"tid":0,"ts":%s}|}
+               {|{"name":%s,"ph":"i","s":"g","cat":"custom","pid":0,"tid":0,"ts":%s|}
                (json_string (span_name label)) (ts time)))
     events;
   Buffer.add_string buf "\n  ]\n}\n"
 
-let chrome ?process_name t =
+let chrome ?process_name ?decorate t =
   let buf = Buffer.create 8192 in
-  to_chrome ?process_name buf t;
+  to_chrome ?process_name ?decorate buf t;
   Buffer.contents buf

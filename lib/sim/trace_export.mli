@@ -28,13 +28,27 @@ val jsonl_of_event : Trace.event -> string
 
 val to_jsonl : Buffer.t -> Trace.t -> unit
 (** All events of the trace, one {!jsonl_of_event} line each,
-    newline-terminated, chronological order. *)
+    newline-terminated, chronological order.  When the trace's bounded
+    recorder evicted events ([Trace.dropped > 0]), the first line is a
+    [{"type":"truncated","time":...,"dropped":N}] warning record, so a
+    consumer can never mistake a truncated trace for a complete one. *)
 
 val jsonl : Trace.t -> string
 
-val to_chrome : ?process_name:string -> Buffer.t -> Trace.t -> unit
+val to_chrome :
+  ?process_name:string ->
+  ?decorate:(int -> string) ->
+  Buffer.t ->
+  Trace.t ->
+  unit
 (** The whole trace as one Chrome [trace_event] JSON document:
     [{"displayTimeUnit": "ms", "traceEvents": [...]}].
-    [process_name] (default ["futurenet"]) labels pid 0. *)
+    [process_name] (default ["futurenet"]) labels pid 0.
 
-val chrome : ?process_name:string -> Trace.t -> string
+    [decorate i] returns extra JSON fields (e.g. [",\"cname\":\"terrible\""],
+    empty by default) appended to every [trace_event] object derived
+    from the [i]-th chronological trace event — the hook the
+    critical-path profiler uses to colour the events on the path.  A
+    truncated trace additionally gets a global instant warning event. *)
+
+val chrome : ?process_name:string -> ?decorate:(int -> string) -> Trace.t -> string

@@ -1,0 +1,272 @@
+(* Tests for Analysis.Event_dag and Analysis.Critical_path: the causal
+   critical-path profiler over recorded hardware traces. *)
+
+module T = Sim.Trace
+module D = Analysis.Event_dag
+module CP = Analysis.Critical_path
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let get = function
+  | Some x -> x
+  | None -> Alcotest.fail "expected Some"
+
+(* -- DAG reconstruction over a hand-written trace ----------------------- *)
+
+(* node 0 is triggered, sends packets 7 and 8 to node 2 via node 1;
+   node 2's NCU is a single server, so the second delivery queues
+   behind the first.  Times are consistent with C=0.5, P=1: every
+   event completes exactly when its tightest constraint allows. *)
+let hand_trace () =
+  [
+    T.Syscall { node = 0; time = 1.0; label = "start" };
+    T.Send { node = 0; time = 1.0; msg_id = 7; label = "m" };
+    T.Hop { src = 0; dst = 1; time = 1.5; msg_id = 7 };
+    T.Hop { src = 1; dst = 2; time = 2.0; msg_id = 7 };
+    T.Send { node = 0; time = 1.0; msg_id = 8; label = "m" };
+    T.Hop { src = 0; dst = 1; time = 1.5; msg_id = 8 };
+    T.Hop { src = 1; dst = 2; time = 2.0; msg_id = 8 };
+    T.Receive { node = 2; time = 3.0; msg_id = 7; label = "m" };
+    T.Receive { node = 2; time = 4.0; msg_id = 8; label = "m" };
+  ]
+
+let test_dag_edges () =
+  let dag = D.of_events (hand_trace ()) in
+  check_int "events" 9 (D.size dag);
+  (* packet 7: send -> hop -> hop -> receive *)
+  check_bool "hop after send" true (List.mem (1, D.Message) (D.preds dag 2));
+  check_bool "hop chain" true (List.mem (2, D.Message) (D.preds dag 3));
+  check_bool "delivery from last hop" true
+    (List.mem (3, D.Message) (D.preds dag 7));
+  (* packet 8 follows packet 7 over both links: FIFO edges *)
+  check_bool "fifo 0->1" true (List.mem (2, D.Fifo) (D.preds dag 5));
+  check_bool "fifo 1->2" true (List.mem (3, D.Fifo) (D.preds dag 6));
+  (* the second delivery at node 2 queues behind the first *)
+  check_bool "queue at node 2" true (List.mem (7, D.Queue) (D.preds dag 8));
+  (* the sends happened inside node 0's activation *)
+  check_bool "send local to syscall" true
+    (List.mem (0, D.Local) (D.preds dag 1));
+  check_int "message edges" 6 (D.edge_count dag D.Message);
+  check_int "fifo edges" 2 (D.edge_count dag D.Fifo);
+  check_int "queue edges" 1 (D.edge_count dag D.Queue);
+  check_int "terminal is last delivery" 8 (get (D.terminal dag));
+  check_int "succs of first hop" 2 (List.length (D.succs dag 2))
+
+let test_dag_unknown_msg_id () =
+  (* negative msg_id: the hop still carries FIFO constraints but joins
+     no packet chain *)
+  let dag =
+    D.of_events
+      [
+        T.Hop { src = 0; dst = 1; time = 1.0; msg_id = -1 };
+        T.Hop { src = 0; dst = 1; time = 2.0; msg_id = -1 };
+      ]
+  in
+  check_int "no message edges" 0 (D.edge_count dag D.Message);
+  check_int "fifo still ordered" 1 (D.edge_count dag D.Fifo);
+  check_bool "no terminal" true (D.terminal dag = None)
+
+let test_dag_empty () =
+  let dag = D.of_events [] in
+  check_int "empty" 0 (D.size dag);
+  check_bool "no terminal" true (D.terminal dag = None);
+  check_float "t_end" 0.0 (D.t_end dag);
+  check_bool "no critical path" true (CP.compute dag = None)
+
+(* -- critical path over the hand-written trace -------------------------- *)
+
+let test_path_hand_trace () =
+  let dag = D.of_events (hand_trace ()) in
+  let cost = Hardware.Cost_model.deterministic ~c:0.5 ~p:1.0 in
+  let cp = get (CP.compute ~cost dag) in
+  (* termination at t=4: the queued second delivery; the path is
+     trigger -> first delivery -> (queued) second delivery *)
+  check_float "t_end" 4.0 cp.CP.t_end;
+  check_int "trigger plus both deliveries" 3
+    (cp.CP.deliveries + cp.CP.activations);
+  check_int "both deliveries are charged to node 2" 2 cp.CP.deliveries;
+  (* elapsed along the path sums to the span *)
+  let sum = List.fold_left (fun a s -> a +. s.CP.elapsed) 0.0 cp.CP.steps in
+  check_float "elapsed sums to span" cp.CP.span sum;
+  (* every step's work + wait = elapsed *)
+  List.iter
+    (fun s -> check_float "work+wait" s.CP.elapsed (s.CP.work +. s.CP.wait))
+    cp.CP.steps;
+  (* attribution closure: per-phase sums to the whole span *)
+  let phase_sum = List.fold_left (fun a (_, t) -> a +. t) 0.0 cp.CP.per_phase in
+  check_float "per-phase closure" cp.CP.span phase_sum
+
+let test_critical_indices_have_zero_slack () =
+  let dag = D.of_events (hand_trace ()) in
+  let cost = Hardware.Cost_model.deterministic ~c:0.5 ~p:1.0 in
+  let cp = get (CP.compute ~cost dag) in
+  let slack = CP.slack ~cost dag in
+  List.iter
+    (fun i ->
+      check_bool
+        (Printf.sprintf "slack of critical event %d" i)
+        true
+        (slack.(i) <= 1e-9))
+    (CP.critical_indices cp);
+  check_float "terminal slack" 0.0 slack.(get (D.terminal dag))
+
+(* -- profiles of real runs ---------------------------------------------- *)
+
+let profile_broadcast ?(cost = Hardware.Cost_model.new_model ()) ~graph ()
+    =
+  let trace = T.create () in
+  let config = { (Core.Broadcast.default_config ()) with cost; trace = Some trace } in
+  let r = Core.Branching_paths.run ~config ~graph ~root:0 () in
+  let dag = D.of_trace trace in
+  (r, dag, get (CP.compute ~cost dag))
+
+(* Theorem 2 realised with equality: requesting a power-of-two size n
+   on the complete-binary-tree family builds the depth-log2(n) tree
+   (the builder rounds up to 2^(log2 n + 1) - 1 nodes), whose
+   branching-path decomposition relays once per level.  The critical
+   path is the root's trigger plus one delivery per level: exactly
+   ceil(log2 n) + 1 P-steps. *)
+let test_theorem2_psteps_binary () =
+  List.iter
+    (fun k ->
+      let n = 1 lsl k in
+      let graph = Netgraph.Builders.complete_binary_tree ~depth:k in
+      let _, _, cp = profile_broadcast ~graph () in
+      let p_steps = cp.CP.deliveries + cp.CP.activations in
+      check_int
+        (Printf.sprintf "P-steps on binary tree for n=%d" n)
+        (k + 1) p_steps;
+      check_float "span = P-steps under C=0,P=1" (float_of_int (k + 1))
+        cp.CP.span;
+      check_float "all span is processing" cp.CP.span cp.CP.p_time)
+    [ 3; 4; 6 ]
+
+(* On a bare power-of-two path the decomposition needs no branching:
+   one branching path covers everything and the hardware delivers the
+   copies in parallel, so the critical path has exactly 2 P-steps
+   (trigger + one delivery) regardless of n - comfortably inside the
+   Theorem 2 budget of 1 + log2 n. *)
+let test_path_topology_two_psteps () =
+  List.iter
+    (fun n ->
+      let graph = Netgraph.Builders.path n in
+      let r, _, cp = profile_broadcast ~graph () in
+      check_bool "all reached" true (Core.Broadcast.all_reached r);
+      check_int
+        (Printf.sprintf "P-steps on path n=%d" n)
+        2
+        (cp.CP.deliveries + cp.CP.activations);
+      check_float "span 2" 2.0 cp.CP.span;
+      let bound = 1.0 +. (log (float_of_int n) /. log 2.0) in
+      check_bool "inside Theorem 2 budget" true
+        (float_of_int (cp.CP.deliveries + cp.CP.activations)
+         <= 1.0 +. bound +. 1e-9))
+    [ 8; 16; 64 ]
+
+let test_switching_time_attribution () =
+  (* with C > 0 the hops on the path are charged switching time *)
+  let cost = Hardware.Cost_model.deterministic ~c:1.0 ~p:1.0 in
+  let graph = Netgraph.Builders.path 8 in
+  let _, _, cp = profile_broadcast ~cost ~graph () in
+  check_bool "has hops" true (cp.CP.hops > 0);
+  check_float "switching time = C * hops" (float_of_int cp.CP.hops)
+    cp.CP.c_time;
+  check_float "span = P + C + waits" cp.CP.span
+    (cp.CP.p_time +. cp.CP.c_time +. cp.CP.queue_wait +. cp.CP.fifo_wait);
+  (* per-link attribution now carries the hop costs *)
+  let link_sum = List.fold_left (fun a (_, t) -> a +. t) 0.0 cp.CP.per_link in
+  check_float "per-link sums to switching time" cp.CP.c_time link_sum
+
+let test_election_profile () =
+  let graph = Netgraph.Builders.ring 12 in
+  let cost = Hardware.Cost_model.new_model () in
+  let trace = T.create () in
+  let o = Core.Election.run ~cost ~trace ~graph () in
+  let dag = D.of_trace trace in
+  let cp = get (CP.compute ~cost dag) in
+  check_float "profile span ends at the election's last activation"
+    o.Core.Election.time cp.CP.t_end;
+  check_bool "election path has queueing or multiple steps" true
+    (List.length cp.CP.steps > 2);
+  (* the path is causally connected: each step's time is monotone *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        check_bool "monotone times" true (a.CP.time <= b.CP.time);
+        monotone rest
+    | _ -> ()
+  in
+  monotone cp.CP.steps
+
+let test_slack_stats () =
+  (* level-by-level relaying over a complete binary tree keeps every
+     NCU busy: the decomposition is maximally parallel, so every event
+     in the DAG is tight *)
+  let graph = Netgraph.Builders.complete_binary_tree ~depth:4 in
+  let _, dag, _ = profile_broadcast ~graph () in
+  let stats = CP.slack_stats dag in
+  check_int "stats cover every event" (D.size dag) stats.CP.events;
+  check_int "binary-tree broadcast has no slack anywhere" stats.CP.events
+    stats.CP.zero_slack;
+  (* with C > 0 on a path, the intermediate copies land early: node k's
+     delivery could be (n - 1 - k) * C later without moving termination *)
+  let cost = Hardware.Cost_model.deterministic ~c:1.0 ~p:1.0 in
+  let n = 8 in
+  let _, dag, cp = profile_broadcast ~cost ~graph:(Netgraph.Builders.path n) () in
+  let stats = CP.slack_stats ~cost dag in
+  check_bool "critical events all have zero slack" true
+    (stats.CP.zero_slack >= List.length (CP.critical_indices cp));
+  check_float "earliest copy has the most room" (float_of_int (n - 2))
+    stats.CP.max_slack
+
+let test_truncated_flag_propagates () =
+  let trace = T.create ~capacity:8 () in
+  let graph = Netgraph.Builders.path 16 in
+  let cost = Hardware.Cost_model.new_model () in
+  let config = { (Core.Broadcast.default_config ()) with cost; trace = Some trace } in
+  let _ = Core.Branching_paths.run ~config ~graph ~root:0 () in
+  check_bool "recorder evicted events" true (T.dropped trace > 0);
+  let dag = D.of_trace trace in
+  check_int "dag carries the loss" (T.dropped trace) (D.truncated dag);
+  match CP.compute ~cost dag with
+  | None -> () (* the whole prefix may be gone; nothing to profile *)
+  | Some cp -> check_int "profile flags it" (T.dropped trace) cp.CP.truncated
+
+let test_json_deterministic () =
+  let dag = D.of_events (hand_trace ()) in
+  let cost = Hardware.Cost_model.deterministic ~c:0.5 ~p:1.0 in
+  let cp = get (CP.compute ~cost dag) in
+  let a = CP.to_json cp and b = CP.to_json cp in
+  check_bool "same input, same bytes" true (String.equal a b);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has summary fields" true
+    (String.length a > 0 && a.[0] = '{' && contains a "\"deliveries\"")
+
+let suite =
+  [
+    Alcotest.test_case "dag: hand-written edges" `Quick test_dag_edges;
+    Alcotest.test_case "dag: unknown msg_id" `Quick test_dag_unknown_msg_id;
+    Alcotest.test_case "dag: empty trace" `Quick test_dag_empty;
+    Alcotest.test_case "path: hand trace decomposition" `Quick
+      test_path_hand_trace;
+    Alcotest.test_case "path: critical events have zero slack" `Quick
+      test_critical_indices_have_zero_slack;
+    Alcotest.test_case "theorem 2: log2 n + 1 P-steps on binary trees" `Quick
+      test_theorem2_psteps_binary;
+    Alcotest.test_case "path topology: 2 P-steps, inside the budget" `Quick
+      test_path_topology_two_psteps;
+    Alcotest.test_case "C > 0: switching time attributed per link" `Quick
+      test_switching_time_attribution;
+    Alcotest.test_case "election: profile matches outcome time" `Quick
+      test_election_profile;
+    Alcotest.test_case "slack statistics" `Quick test_slack_stats;
+    Alcotest.test_case "truncated traces are flagged" `Quick
+      test_truncated_flag_propagates;
+    Alcotest.test_case "json output is deterministic" `Quick
+      test_json_deterministic;
+  ]

@@ -110,6 +110,73 @@ let test_lemma_a2_globally_sensitive_inputs () =
   let senders = List.sort_uniq compare (List.map (fun m -> m.C.src) causal) in
   check_int "15 distinct senders" 15 (List.length senders)
 
+(* Lemma A.3 on a hardware trace that is not a convergecast: leader
+   election computes a globally sensitive function (every identity can
+   change the winner), so the last causal message of each node must
+   form a spanning tree rooted at the output node — the leader. *)
+let test_election_trace_last_causal_tree () =
+  let g = Netgraph.Builders.ring 8 in
+  let trace = Sim.Trace.create () in
+  let o = Core.Election.run ~trace ~graph:g () in
+  let msgs = C.messages_of_trace trace in
+  check_bool "election exchanged messages" true (msgs <> []);
+  List.iter
+    (fun m -> check_bool "recv after send" true (m.C.recv_time > m.C.send_time))
+    msgs;
+  let causal =
+    C.causal_messages msgs ~root:o.Core.Election.leader
+      ~t_end:o.Core.Election.time
+  in
+  let senders =
+    List.sort_uniq compare (List.map (fun m -> m.C.src) causal)
+  in
+  (* Lemma A.2: every node other than the output node speaks *)
+  check_bool "every non-leader sends a causal message" true
+    (List.for_all
+       (fun v -> v = o.Core.Election.leader || List.mem v senders)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  match
+    C.last_causal_tree msgs ~root:o.Core.Election.leader
+      ~t_end:o.Core.Election.time ~n:8
+  with
+  | Some tree ->
+      check_int "spanning" 8 (Netgraph.Tree.size tree);
+      check_int "rooted at the leader" o.Core.Election.leader
+        (Netgraph.Tree.root tree)
+  | None -> Alcotest.fail "Lemma A.3 tree must exist for election"
+
+(* The converse control: topology maintenance only broadcasts, pushing
+   information away from the root, so viewed from any single root the
+   execution is NOT globally sensitive — some node never sends a
+   causal message and Lemma A.3's tree is correctly absent. *)
+let test_maintenance_trace_tree_correctly_absent () =
+  let g = Netgraph.Builders.ring 8 in
+  let trace = Sim.Trace.create () in
+  let params =
+    { (Core.Topo_maintenance.default_params ()) with
+      trace = Some trace; max_rounds = 2 }
+  in
+  ignore
+    (Core.Topo_maintenance.run ~params ~graph:g ~events:[] ()
+      : Core.Topo_maintenance.outcome);
+  let msgs = C.messages_of_trace trace in
+  check_bool "maintenance exchanged messages" true (msgs <> []);
+  (* pick a horizon past every delivery so lateness cannot explain the
+     missing tree — only the flow direction can *)
+  let t_end =
+    1.0 +. List.fold_left (fun a m -> max a m.C.recv_time) 0.0 msgs
+  in
+  let causal = C.causal_messages msgs ~root:0 ~t_end in
+  let senders =
+    List.sort_uniq compare (List.map (fun m -> m.C.src) causal)
+  in
+  let silent =
+    List.filter (fun v -> not (List.mem v senders)) [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check_bool "some non-root node is causally silent" true (silent <> []);
+  check_bool "so the Lemma A.3 tree is absent" true
+    (C.last_causal_tree msgs ~root:0 ~t_end ~n:8 = None)
+
 let suite =
   [
     Alcotest.test_case "messages of trace" `Quick test_messages_of_trace;
@@ -121,6 +188,10 @@ let suite =
     Alcotest.test_case "last-causal tree = convergecast tree" `Quick test_last_causal_tree_matches_convergecast_shape;
     Alcotest.test_case "missing sender, no tree" `Quick test_missing_sender_no_tree;
     Alcotest.test_case "Lemma A.2 senders" `Quick test_lemma_a2_globally_sensitive_inputs;
+    Alcotest.test_case "election trace: Lemma A.3 tree" `Quick
+      test_election_trace_last_causal_tree;
+    Alcotest.test_case "maintenance trace: tree correctly absent" `Quick
+      test_maintenance_trace_tree_correctly_absent;
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"last-causal tree exists for random optimal shapes"
          ~count:40

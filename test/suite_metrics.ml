@@ -115,6 +115,27 @@ let test_pp_breakdowns () =
     (contains nodes "node1=2" && contains nodes "node2=1");
   Alcotest.(check bool) "zero nodes omitted" false (contains nodes "node0=")
 
+(* Byte-exact pin of the full breakdown: the rendering feeds `--json` /
+   text reports that are diffed across runs, so label order (sorted)
+   and node order (ascending index) must stay deterministic. *)
+let test_pp_golden () =
+  let m = M.create ~n:4 in
+  M.record_hop m;
+  M.record_syscall m ~node:3 ~label:"beta";
+  M.record_syscall m ~node:1 ~label:"alpha";
+  M.record_syscall m ~node:3 ~label:"alpha";
+  M.record_send m ~header_len:5;
+  let out =
+    (* an hbox renders every break hint as a space, making the pin
+       independent of the formatter's margin *)
+    render (fun ppf ->
+        Format.fprintf ppf "@[<h>%a@]" (M.pp ~by_label:true ~per_node:true) m)
+  in
+  Alcotest.(check string) "pinned output"
+    "hops=1 syscalls=3 sends=1 drops=0 max_header=5 alpha=2 beta=1 node1=1 \
+     node3=2"
+    out
+
 let test_diff_size_mismatch () =
   Alcotest.(check bool) "raises" true
     (try ignore (M.diff (M.create ~n:2) (M.create ~n:3)); false
@@ -129,5 +150,6 @@ let suite =
     Alcotest.test_case "diff max_header honest" `Quick
       test_diff_max_header_honest;
     Alcotest.test_case "pp breakdowns" `Quick test_pp_breakdowns;
+    Alcotest.test_case "pp golden" `Quick test_pp_golden;
     Alcotest.test_case "diff size mismatch" `Quick test_diff_size_mismatch;
   ]

@@ -107,14 +107,14 @@ let test_dmax_ceiling_violation () =
    its hop before the first is a FIFO violation. *)
 let test_fifo_violation_detected () =
   let t = Sim.Trace.create () in
-  Sim.Trace.record t (Sim.Trace.Hop { src = 0; dst = 1; time = 2.0 });
-  Sim.Trace.record t (Sim.Trace.Hop { src = 0; dst = 1; time = 1.0 });
+  Sim.Trace.record t (Sim.Trace.Hop { src = 0; dst = 1; time = 2.0; msg_id = 0 });
+  Sim.Trace.record t (Sim.Trace.Hop { src = 0; dst = 1; time = 1.0; msg_id = 1 });
   let report = M.fifo_per_link t in
   check_bool "reordered link flagged" false report.M.ok;
   (* the reverse direction is a different FIFO queue: no violation *)
   let t2 = Sim.Trace.create () in
-  Sim.Trace.record t2 (Sim.Trace.Hop { src = 0; dst = 1; time = 2.0 });
-  Sim.Trace.record t2 (Sim.Trace.Hop { src = 1; dst = 0; time = 1.0 });
+  Sim.Trace.record t2 (Sim.Trace.Hop { src = 0; dst = 1; time = 2.0; msg_id = 0 });
+  Sim.Trace.record t2 (Sim.Trace.Hop { src = 1; dst = 0; time = 1.0; msg_id = 1 });
   check_bool "opposite directions independent" true (M.fifo_per_link t2).M.ok;
   (* a disabled trace passes vacuously *)
   check_bool "disabled trace vacuous" true

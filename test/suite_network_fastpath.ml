@@ -224,7 +224,7 @@ module Refnet : NET = struct
               Sim.Engine.schedule_at t.engine ~time:arrival (fun () ->
                   if record.up && record.epoch = epoch then begin
                     Sim.Trace.record t.trace
-                      (Sim.Trace.Hop { src = u; dst = v; time = arrival });
+                      (Sim.Trace.Hop { src = u; dst = v; time = arrival; msg_id });
                     switch t v ~via:(Some u) rest ~label ~msg_id payload
                   end
                   else begin

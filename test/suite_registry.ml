@@ -159,6 +159,34 @@ let test_election_publishes_consistent_instruments () =
   | Some _ -> ()
   | None -> Alcotest.fail "missing election.route_len"
 
+(* A run whose bounded trace overflowed must surface the eviction
+   count as sim.trace.dropped — the profiler's signal that any DAG it
+   builds from this trace is incomplete. *)
+let test_trace_eviction_published () =
+  let g = B.path 16 in
+  let trace = Sim.Trace.create ~capacity:8 () in
+  let reg = R.create () in
+  let config =
+    { (BC.default_config ()) with trace = Some trace; registry = Some reg }
+  in
+  ignore (BP.run ~config ~graph:g ~root:0 () : BC.result);
+  check_bool "the run overflowed the ring" true (Sim.Trace.dropped trace > 0);
+  (match R.find_counter reg "sim.trace.dropped" with
+  | Some c ->
+      check_int "counter = trace accounting" (Sim.Trace.dropped trace)
+        (R.counter_value c)
+  | None -> Alcotest.fail "missing sim.trace.dropped");
+  (* a run that fits in its ring must not register the instrument: the
+     counter's presence is itself the warning *)
+  let roomy = Sim.Trace.create () in
+  let reg2 = R.create () in
+  let config2 =
+    { (BC.default_config ()) with trace = Some roomy; registry = Some reg2 }
+  in
+  ignore (BP.run ~config:config2 ~graph:g ~root:0 () : BC.result);
+  check_bool "no loss, no instrument" true
+    (R.find_counter reg2 "sim.trace.dropped" = None)
+
 (* A disabled (or absent) registry must not change the measured
    execution at all. *)
 let test_registry_does_not_perturb_run () =
@@ -186,6 +214,8 @@ let suite =
       test_broadcast_publishes_consistent_instruments;
     Alcotest.test_case "election publishes consistent instruments" `Quick
       test_election_publishes_consistent_instruments;
+    Alcotest.test_case "trace eviction published" `Quick
+      test_trace_eviction_published;
     Alcotest.test_case "registry does not perturb the run" `Quick
       test_registry_does_not_perturb_run;
   ]

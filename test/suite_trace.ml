@@ -3,7 +3,7 @@
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let hop t = Sim.Trace.Hop { src = 0; dst = 1; time = t }
+let hop t = Sim.Trace.Hop { src = 0; dst = 1; time = t; msg_id = 0 }
 let syscall t = Sim.Trace.Syscall { node = 0; time = t; label = "x" }
 
 let test_record_order () =
@@ -84,6 +84,31 @@ let test_clear () =
   Sim.Trace.clear t;
   check_int "cleared" 0 (Sim.Trace.length t)
 
+let test_recorded_and_dropped () =
+  let t = Sim.Trace.create ~capacity:4 () in
+  check_int "fresh: nothing recorded" 0 (Sim.Trace.recorded t);
+  check_int "fresh: nothing dropped" 0 (Sim.Trace.dropped t);
+  for i = 1 to 4 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "at capacity: recorded" 4 (Sim.Trace.recorded t);
+  check_int "at capacity: no loss yet" 0 (Sim.Trace.dropped t);
+  for i = 5 to 10 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "recorded counts evictions too" 10 (Sim.Trace.recorded t);
+  check_int "dropped = recorded - retained" 6 (Sim.Trace.dropped t);
+  (* clear resets the accounting along with the events *)
+  Sim.Trace.clear t;
+  check_int "clear resets recorded" 0 (Sim.Trace.recorded t);
+  check_int "clear resets dropped" 0 (Sim.Trace.dropped t);
+  (* an unbounded recorder never drops *)
+  let u = Sim.Trace.create () in
+  for i = 1 to 100 do
+    Sim.Trace.record u (hop (float_of_int i))
+  done;
+  check_int "unbounded: no loss" 0 (Sim.Trace.dropped u)
+
 let test_filter_count () =
   let t = Sim.Trace.create () in
   Sim.Trace.record t (hop 1.0);
@@ -119,6 +144,8 @@ let suite =
     Alcotest.test_case "capacity clear and reuse" `Quick
       test_capacity_clear_and_reuse;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "recorded and dropped accounting" `Quick
+      test_recorded_and_dropped;
     Alcotest.test_case "filter and count" `Quick test_filter_count;
     Alcotest.test_case "time_of variants" `Quick test_time_of_variants;
     Alcotest.test_case "pp smoke" `Quick test_pp_smoke;

@@ -75,8 +75,8 @@ let contains hay needle =
 
 let test_jsonl_event_shapes () =
   check_string "hop"
-    {|{"type":"hop","time":1.5,"src":0,"dst":2}|}
-    (E.jsonl_of_event (T.Hop { src = 0; dst = 2; time = 1.5 }));
+    {|{"type":"hop","time":1.5,"src":0,"dst":2,"msg_id":7}|}
+    (E.jsonl_of_event (T.Hop { src = 0; dst = 2; time = 1.5; msg_id = 7 }));
   check_string "syscall escaping"
     {|{"type":"syscall","time":2,"node":3,"label":"a\"b"}|}
     (E.jsonl_of_event (T.Syscall { node = 3; time = 2.0; label = {|a"b|} }));
@@ -99,6 +99,38 @@ let test_chrome_is_parseable_shape () =
        doc;
      !depth = 0)
 
+(* a bounded recorder that overflowed must announce the loss up front
+   in both export formats (see the profiler: a silently incomplete
+   trace would yield a wrong critical path) *)
+let test_truncation_is_announced () =
+  let t = T.create ~capacity:4 () in
+  for i = 1 to 10 do
+    T.record t (T.Hop { src = 0; dst = 1; time = float_of_int i; msg_id = i })
+  done;
+  (* 6 evicted; the oldest surviving event is at t=7 *)
+  let jl = E.jsonl t in
+  let first_line =
+    match String.index_opt jl '\n' with
+    | Some i -> String.sub jl 0 i
+    | None -> jl
+  in
+  check_string "truncation record leads the jsonl"
+    {|{"type":"truncated","time":7,"dropped":6}|} first_line;
+  let doc = E.chrome t in
+  check_bool "chrome carries the warning instant" true
+    (contains doc "trace truncated (6 events dropped)");
+  check_bool "warning is a global instant" true (contains doc {|"ph":"i","s":"g"|})
+
+let test_intact_trace_has_no_truncation_record () =
+  let t = T.create ~capacity:8 () in
+  for i = 1 to 8 do
+    T.record t (T.Hop { src = 0; dst = 1; time = float_of_int i; msg_id = i })
+  done;
+  check_bool "jsonl silent when complete" false
+    (contains (E.jsonl t) "truncated");
+  check_bool "chrome silent when complete" false
+    (contains (E.chrome t) "truncated")
+
 let test_exports_of_empty_trace () =
   let t = T.create () in
   check_string "empty jsonl" "" (E.jsonl t);
@@ -111,6 +143,10 @@ let suite =
     Alcotest.test_case "jsonl event shapes" `Quick test_jsonl_event_shapes;
     Alcotest.test_case "chrome document shape" `Quick
       test_chrome_is_parseable_shape;
+    Alcotest.test_case "truncation announced" `Quick
+      test_truncation_is_announced;
+    Alcotest.test_case "intact trace stays silent" `Quick
+      test_intact_trace_has_no_truncation_record;
     Alcotest.test_case "empty trace exports" `Quick test_exports_of_empty_trace;
     Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
     Alcotest.test_case "chrome golden" `Quick test_chrome_golden;

@@ -36,6 +36,7 @@ let () =
       ("core.optimal_tree", Suite_optimal_tree.suite);
       ("core.convergecast", Suite_convergecast.suite);
       ("core.causal", Suite_causal.suite);
+      ("analysis.profiler", Suite_analysis.suite);
       ("core.aggregate", Suite_aggregate.suite);
       ("experiments", Suite_experiments.suite);
     ]
