@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel experiments figures examples clean
 
 all: build
 
@@ -26,6 +26,14 @@ bench-check:
 	dune exec bench/main.exe -- bench \
 	  --check BENCH_64.seed.json --check BENCH_256.seed.json \
 	  --check BENCH_1024.seed.json --check BENCH_4096.seed.json
+
+# Multicore sweep check at the acceptance size: times the n=1024
+# scaling suite and the replica sweeps at 1 and 4 domains, records
+# wall clocks + speedup in BENCH_1024.json's "parallel" section, and
+# exits 5 if any sweep's per-replica metrics diverge between job
+# counts (the determinism invariant of DESIGN.md §10).
+bench-parallel:
+	dune exec bench/main.exe -- bench --json --sizes 1024 --jobs 4
 
 experiments:
 	dune exec bench/main.exe -- all

@@ -285,6 +285,58 @@ let semantic_rows ~n =
               : Core.Topo_maintenance.outcome)) );
   ]
 
+(* -- parallel sweep section (bench --jobs) ---------------------------- *)
+
+(* For each size, run a small replica sweep of three scenarios once
+   inline and once through a [--jobs]-wide pool, and record both wall
+   clocks, the speedup, and — the number that actually matters — whether
+   the per-replica metrics were byte-identical across the two runs.
+   Speedup tracks the machine (1.0 on a single-core container);
+   [deterministic] must be [true] everywhere, on any machine. *)
+let parallel_scenarios =
+  [ Parallel.Sweep.Bpaths; Parallel.Sweep.Flood; Parallel.Sweep.Election ]
+
+type parallel_row = {
+  pr_name : string;
+  pr_wall_1 : float;
+  pr_wall_n : float;
+  pr_speedup : float;
+  pr_deterministic : bool;
+}
+
+let parallel_rows ~jobs ~replicas ~n =
+  let module S = Parallel.Sweep in
+  List.map
+    (fun sc ->
+      let s1 = S.run sc ~replicas ~n ~seed:42 () in
+      let m1 = S.metrics_json s1 in
+      let sn, mn =
+        if jobs <= 1 then (s1, m1)
+        else
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              let s = S.run ~pool sc ~replicas ~n ~seed:42 () in
+              (s, S.metrics_json s))
+      in
+      {
+        pr_name = S.scenario_name sc;
+        pr_wall_1 = s1.S.wall_s;
+        pr_wall_n = sn.S.wall_s;
+        pr_speedup = s1.S.wall_s /. Float.max sn.S.wall_s 1e-9;
+        pr_deterministic = String.equal m1 mn;
+      })
+    parallel_scenarios
+
+let print_parallel_rows ~jobs ~replicas rows =
+  Printf.printf "%-20s %12s %12s %9s  %s   (%d replicas, %d jobs)\n" "sweep"
+    "jobs=1 (s)" "jobs=N (s)" "speedup" "deterministic" replicas jobs;
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %12.4f %12.4f %8.2fx  %s\n" r.pr_name r.pr_wall_1
+        r.pr_wall_n r.pr_speedup
+        (if r.pr_deterministic then "yes" else "NO — METRICS DIVERGED"))
+    rows;
+  flush stdout
+
 (* -- causal critical-path profiles (bench --profile) ------------------ *)
 
 module CP = Analysis.Critical_path
@@ -366,7 +418,7 @@ let print_profiles profiles =
     profiles;
   flush stdout
 
-let write_bench_json ~n ~rev ~profiles rows =
+let write_bench_json ~n ~rev ~profiles ~parallel rows =
   let file = Printf.sprintf "BENCH_%d.json" n in
   let oc = open_out file in
   Printf.fprintf oc "{\n  \"n\": %d,\n  \"git_rev\": \"%s\",\n  \"results\": [\n"
@@ -421,6 +473,27 @@ let write_bench_json ~n ~rev ~profiles rows =
       profiles;
     output_string oc "  ]"
   end;
+  (match parallel with
+  | None -> ()
+  | Some (jobs, replicas, rows) ->
+      (* entries are keyed "scenario", not "name", so the --check parser
+         (which pairs "name" with "ns_per_run") never sees them *)
+      Printf.fprintf oc
+        ",\n  \"parallel\": {\n    \"jobs\": %d,\n    \"replicas\": %d,\n\
+        \    \"results\": [\n"
+        jobs replicas;
+      let total = List.length rows in
+      List.iteri
+        (fun i r ->
+          let sep = if i = total - 1 then "" else "," in
+          Printf.fprintf oc
+            "      { \"scenario\": \"%s\", \"wall_s_jobs1\": %.6f, \
+             \"wall_s_jobsN\": %.6f, \"speedup\": %.3f, \"deterministic\": \
+             %b }%s\n"
+            (json_escape r.pr_name) r.pr_wall_1 r.pr_wall_n r.pr_speedup
+            r.pr_deterministic sep)
+        rows;
+      output_string oc "    ]\n  }");
   output_string oc "\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d results)\n%!" file total
@@ -596,10 +669,11 @@ let strip_group name =
       String.sub name (i + 1) (String.length name - i - 1)
   | _ -> name
 
-let run_bechamel ~smoke ~json ~monitors ~profile ~sizes () =
+let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes () =
   print_endline "\n###### bechamel timing suite ######";
   let sizes = if smoke then [ 64 ] else sizes in
   let quota = if smoke then 0.01 else 0.25 in
+  let replicas = if smoke then 4 else 8 in
   if not smoke then begin
     let rows =
       List.map (fun (name, est) -> (strip_group name, est))
@@ -621,7 +695,18 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~sizes () =
         Printf.printf "\n-- critical-path profiles, n = %d --\n%!" n;
         print_profiles profiles
       end;
-      if json then write_bench_json ~n ~rev ~profiles rows;
+      Printf.printf "\n-- parallel sweeps, n = %d --\n%!" n;
+      let prows = parallel_rows ~jobs ~replicas ~n in
+      print_parallel_rows ~jobs ~replicas prows;
+      if List.exists (fun r -> not r.pr_deterministic) prows then begin
+        Printf.eprintf
+          "n=%d: parallel sweep metrics diverged between job counts\n" n;
+        exit 5
+      end;
+      if json then
+        write_bench_json ~n ~rev ~profiles
+          ~parallel:(Some (jobs, replicas, prows))
+          rows;
       if monitors then begin
         Printf.printf "\n-- paper-bound monitors, n = %d --\n%!" n;
         run_monitor_checks ~n
@@ -647,7 +732,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [all | figures | bench | e1..e9 | a1..a5]...\n\
     \       main.exe bench [--smoke] [--json] [--monitors] [--profile]\n\
-    \                      [--sizes N,N,...]\n\
+    \                      [--sizes N,N,...] [--jobs N]\n\
     \       main.exe bench --check BASELINE.json [--check ...] [--tolerance P]"
 
 (* Run the named experiments / the bench suite.  Unknown arguments are
@@ -671,6 +756,7 @@ let run_args args =
         (* bench consumes its flags, then continues with what is left *)
         let smoke = ref false and json = ref false and monitors = ref false in
         let profile = ref false in
+        let jobs = ref (Parallel.Pool.default_jobs ()) in
         let sizes = ref default_sizes in
         let checks = ref [] in
         let tolerance = ref 15.0 in
@@ -716,6 +802,17 @@ let run_args args =
           | "--sizes" :: [] ->
               complain "--sizes needs a value\n";
               []
+          | "--jobs" :: value :: rest -> (
+              match int_of_string_opt value with
+              | Some j when j >= 1 ->
+                  jobs := j;
+                  flags rest
+              | _ ->
+                  complain "bad --jobs value %S (want a positive int)\n" value;
+                  flags rest)
+          | "--jobs" :: [] ->
+              complain "--jobs needs a value\n";
+              []
           | rest -> rest
         in
         let rest = flags rest in
@@ -730,7 +827,7 @@ let run_args args =
         end
         else
           run_bechamel ~smoke:!smoke ~json:!json ~monitors:!monitors
-            ~profile:!profile ~sizes:!sizes ();
+            ~profile:!profile ~jobs:!jobs ~sizes:!sizes ();
         loop rest
     | id :: rest ->
         (match Experiments.find id with
@@ -756,4 +853,5 @@ let () =
   | _ ->
       Experiments.run_all ();
       run_bechamel ~smoke:false ~json:false ~monitors:false ~profile:false
+        ~jobs:(Parallel.Pool.default_jobs ())
         ~sizes:default_sizes ()

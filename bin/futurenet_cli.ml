@@ -5,6 +5,7 @@
      figures     render the paper's Figures 1-5 as ASCII
      broadcast   run one topology broadcast and report its costs
      election    run one leader election and report its costs
+     bench       run a multicore replica sweep of one scenario
      trace       run a scenario and export its structured trace
      tree        print the optimal computation tree for given C, P, n *)
 
@@ -78,12 +79,21 @@ let json_obj fields =
 
 (* -- experiment -------------------------------------------------------- *)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for replica sweeps (1 = sequential).  Any value \
+     produces byte-identical tables and metrics; only the wall clock \
+     changes."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let experiment_cmd =
   let ids =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID"
            ~doc:"Experiment ids (e1..e9) or 'all'.")
   in
-  let run ids =
+  let run jobs ids =
+    Experiments.set_jobs jobs;
     List.iter
       (fun id ->
         if id = "all" then Experiments.run_all ()
@@ -100,7 +110,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation tables.")
-    Term.(const run $ ids)
+    Term.(const run $ jobs_arg $ ids)
 
 (* -- figures ------------------------------------------------------------ *)
 
@@ -479,6 +489,56 @@ let profile_cmd =
     Term.(const run $ topology_arg $ n_arg $ seed_arg $ scenario_arg
           $ root_arg $ c_arg $ p_arg $ out_arg $ json_flag)
 
+(* -- bench (parallel replica sweeps) ---------------------------------- *)
+
+let bench_cmd =
+  let scenario_conv =
+    Arg.enum
+      (List.map
+         (fun s -> (Parallel.Sweep.scenario_name s, s))
+         Parallel.Sweep.all_scenarios)
+  in
+  let scenario_arg =
+    Arg.(value & opt scenario_conv Parallel.Sweep.Bpaths
+           & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+               ~doc:"Scenario to sweep: $(b,bpaths), $(b,flood), $(b,dfs), \
+                     $(b,direct), $(b,layered), $(b,election) or \
+                     $(b,maintenance).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 8
+           & info [ "r"; "replicas" ] ~docv:"R"
+               ~doc:"Independent replicas to run (each on its own \
+                     seed-derived random graph).")
+  in
+  let sweep_jobs_arg =
+    let doc =
+      "Worker domains (default: the runtime's recommended domain count).  \
+       Per-replica metrics are byte-identical at any value."
+    in
+    Arg.(value & opt int (Parallel.Pool.default_jobs ())
+           & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run n seed scenario replicas jobs json =
+    let sweep pool =
+      Parallel.Sweep.run ?pool ~replicas scenario ~n ~seed ()
+    in
+    let s =
+      if jobs <= 1 then sweep None
+      else
+        Parallel.Pool.with_pool ~jobs (fun pool -> sweep (Some pool))
+    in
+    if json then print_endline (Parallel.Sweep.to_json s)
+    else Format.printf "%a@?" Parallel.Sweep.pp s
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run a multicore replica sweep of one scenario: R independent \
+             replicas with pre-split rng streams fanned over a domain \
+             pool.  The per-replica metrics do not depend on --jobs.")
+    Term.(const run $ n_arg $ seed_arg $ scenario_arg $ replicas_arg
+          $ sweep_jobs_arg $ json_flag)
+
 (* -- maintenance ----------------------------------------------------------- *)
 
 let maintenance_cmd =
@@ -580,5 +640,6 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
-            election_cmd; trace_cmd; profile_cmd; maintenance_cmd; tree_cmd;
+            election_cmd; trace_cmd; profile_cmd; bench_cmd; maintenance_cmd;
+            tree_cmd;
           ]))

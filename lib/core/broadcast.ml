@@ -39,7 +39,9 @@ type 'msg spec =
   reached:bool array -> view:Graph.t -> int -> 'msg Network.handlers
 
 let execute ~config ~graph ~root ~spec () =
-  let engine = Sim.Engine.create () in
+  (* queue peak is bounded by in-flight packets, itself O(n) for every
+     broadcast here; the hint saves the doubling regrowth per replica *)
+  let engine = Sim.Engine.create ~queue_capacity:(Graph.n graph) () in
   let trace =
     match config.trace with Some t -> t | None -> Sim.Trace.create ()
   in

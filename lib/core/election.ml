@@ -93,7 +93,7 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     | Some [] -> invalid_arg "Election.run: starters must be non-empty"
     | Some l -> l
   in
-  let engine = Sim.Engine.create () in
+  let engine = Sim.Engine.create ~queue_capacity:n () in
   let roles = Array.make n Unstarted in
   let believed_leader = Array.make n None in
   let tours = ref 0 in

@@ -109,7 +109,7 @@ let deadlock_example_graph () =
 
 let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
   let n = Graph.n graph in
-  let engine = Engine.create () in
+  let engine = Engine.create ~queue_capacity:n () in
   let states =
     Array.init n (fun _ ->
         {

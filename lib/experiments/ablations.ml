@@ -98,8 +98,8 @@ let a3 () =
       ~columns:
         [ "graph"; "tree"; "time (no failures)"; "mean coverage"; "min coverage" ]
   in
-  let rng = Sim.Rng.create ~seed:11 in
-  let try_tree g name view_tree =
+  let tree_rng = Sim.Rng.create ~seed:11 in
+  let try_tree g name ~seed view_tree =
     (* run branching paths over the given spanning tree by presenting a
        view that contains only the tree's edges *)
     let view =
@@ -110,8 +110,13 @@ let a3 () =
         ~config:{ (BC.default_config ()) with view = Some view }
         ~graph:g ~root:0 ()
     in
+    (* the 40 failure trials fan through the pool: trial [i] shuffles
+       with child [i] of a per-variant pre-split rng, so the sample is
+       the same whatever the job count or worker placement *)
+    let trial_rngs = Sim.Rng.split_n (Sim.Rng.create ~seed) 40 in
     let coverages =
-      List.init 40 (fun _ ->
+      Exp_pool.map
+        (fun rng ->
           let edges = Array.of_list (G.edges g) in
           Sim.Rng.shuffle_array_in_place rng edges;
           let failed = Array.to_list (Array.sub edges 0 3) in
@@ -121,6 +126,7 @@ let a3 () =
               ~graph:g ~root:0 ()
           in
           float_of_int (BC.coverage r))
+        (Array.to_list trial_rngs)
     in
     let s = Sim.Stats.summarize coverages in
     Tables.add_row table
@@ -133,9 +139,10 @@ let a3 () =
       ]
   in
   let g = B.grid ~rows:8 ~cols:8 in
-  try_tree g "min-hop (paper)" (Netgraph.Spanning.bfs_tree g ~root:0);
-  try_tree g "depth-first" (Netgraph.Spanning.dfs_tree g ~root:0);
-  try_tree g "random" (Netgraph.Spanning.random_spanning_tree rng g ~root:0);
+  try_tree g "min-hop (paper)" ~seed:111 (Netgraph.Spanning.bfs_tree g ~root:0);
+  try_tree g "depth-first" ~seed:222 (Netgraph.Spanning.dfs_tree g ~root:0);
+  try_tree g "random" ~seed:333
+    (Netgraph.Spanning.random_spanning_tree tree_rng g ~root:0);
   Tables.add_note table
     "a depth-first tree is nearly a Hamiltonian path: fastest when nothing fails";
   Tables.add_note table

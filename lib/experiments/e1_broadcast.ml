@@ -26,26 +26,28 @@ let sweep_sizes () =
         [ "n"; "m"; "flood sc"; "flood t"; "bpaths sc"; "bpaths t";
           "1+log2 n"; "direct sc"; "direct t"; "dfs t"; "layered hdr" ]
   in
-  List.iter
-    (fun n ->
-      let rng = Sim.Rng.create ~seed:(1000 + n) in
-      let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
-      let bp, fl, di, df, la = run_one g in
-      Tables.add_row table
-        [
-          Tables.cell_int n;
-          Tables.cell_int (G.m g);
-          Tables.cell_int fl.BC.syscalls;
-          Tables.cell_float fl.BC.time;
-          Tables.cell_int bp.BC.syscalls;
-          Tables.cell_float bp.BC.time;
-          Tables.cell_float (1.0 +. Sim.Stats.log2 (float_of_int n));
-          Tables.cell_int di.BC.syscalls;
-          Tables.cell_float di.BC.time;
-          Tables.cell_float df.BC.time;
-          Tables.cell_int la.BC.max_header;
-        ])
-    [ 16; 32; 64; 128; 256; 512 ];
+  (* row data is computed through the pool (one replica per size, each
+     with its own seed), rows added in submission order *)
+  List.iter (Tables.add_row table)
+    (Exp_pool.map
+       (fun n ->
+         let rng = Sim.Rng.create ~seed:(1000 + n) in
+         let g = B.random_connected rng ~n ~extra_edges:(n / 2) in
+         let bp, fl, di, df, la = run_one g in
+         [
+           Tables.cell_int n;
+           Tables.cell_int (G.m g);
+           Tables.cell_int fl.BC.syscalls;
+           Tables.cell_float fl.BC.time;
+           Tables.cell_int bp.BC.syscalls;
+           Tables.cell_float bp.BC.time;
+           Tables.cell_float (1.0 +. Sim.Stats.log2 (float_of_int n));
+           Tables.cell_int di.BC.syscalls;
+           Tables.cell_float di.BC.time;
+           Tables.cell_float df.BC.time;
+           Tables.cell_int la.BC.max_header;
+         ])
+       [ 16; 32; 64; 128; 256; 512 ]);
   Tables.add_note table
     "paper: flooding O(m) syscalls / O(n) time; branching paths n syscalls / O(log n) time";
   Tables.add_note table
@@ -69,21 +71,21 @@ let sweep_families () =
       ("complete", B.complete 64);
     ]
   in
-  List.iter
-    (fun (name, g) ->
-      let bp, fl, _, _, _ = run_one g in
-      Tables.add_row table
-        [
-          name;
-          Tables.cell_int (G.n g);
-          Tables.cell_int (G.m g);
-          Tables.cell_int (Netgraph.Paths.diameter g);
-          Tables.cell_int fl.BC.syscalls;
-          Tables.cell_int bp.BC.syscalls;
-          Tables.cell_float bp.BC.time;
-          Tables.cell_float fl.BC.time;
-        ])
-    families;
+  List.iter (Tables.add_row table)
+    (Exp_pool.map
+       (fun (name, g) ->
+         let bp, fl, _, _, _ = run_one g in
+         [
+           name;
+           Tables.cell_int (G.n g);
+           Tables.cell_int (G.m g);
+           Tables.cell_int (Netgraph.Paths.diameter g);
+           Tables.cell_int fl.BC.syscalls;
+           Tables.cell_int bp.BC.syscalls;
+           Tables.cell_float bp.BC.time;
+           Tables.cell_float fl.BC.time;
+         ])
+       families);
   Tables.add_note table
     "branching paths always exactly n syscalls; flooding tracks m (complete graph: ~n^2/2)";
   table

@@ -11,27 +11,36 @@ let run () =
     Tables.create ~title:"E6a: election system calls, paper algorithm (Theorem 5: <= 6n)"
       ~columns:[ "graph"; "n"; "syscalls"; "6n"; "per node"; "time"; "tours" ]
   in
-  let show name g =
-    let n = Netgraph.Graph.n g in
-    let o = E.run ~graph:g () in
-    Tables.add_row table
-      [
-        name;
-        Tables.cell_int n;
-        Tables.cell_int o.E.election_syscalls;
-        Tables.cell_int (6 * n);
-        Tables.cell_float (float_of_int o.E.election_syscalls /. float_of_int n);
-        Tables.cell_float o.E.time;
-        Tables.cell_int o.E.tours;
-      ]
-  in
-  show "ring 32" (B.ring 32);
-  show "ring 256" (B.ring 256);
-  show "path 128" (B.path 128);
-  show "grid 12x12" (B.grid ~rows:12 ~cols:12);
-  show "complete 64" (B.complete 64);
-  show "hypercube 256" (B.hypercube 8);
-  show "random 200" (B.random_connected (Sim.Rng.create ~seed:9) ~n:200 ~extra_edges:100);
+  (* each election runs as an independent pool item; rows land in
+     submission order so the table never depends on the job count *)
+  List.iter (Tables.add_row table)
+    (Exp_pool.map
+       (fun (name, build) ->
+         let g = build () in
+         let n = Netgraph.Graph.n g in
+         let o = E.run ~graph:g () in
+         [
+           name;
+           Tables.cell_int n;
+           Tables.cell_int o.E.election_syscalls;
+           Tables.cell_int (6 * n);
+           Tables.cell_float
+             (float_of_int o.E.election_syscalls /. float_of_int n);
+           Tables.cell_float o.E.time;
+           Tables.cell_int o.E.tours;
+         ])
+       [
+         ("ring 32", fun () -> B.ring 32);
+         ("ring 256", fun () -> B.ring 256);
+         ("path 128", fun () -> B.path 128);
+         ("grid 12x12", fun () -> B.grid ~rows:12 ~cols:12);
+         ("complete 64", fun () -> B.complete 64);
+         ("hypercube 256", fun () -> B.hypercube 8);
+         ( "random 200",
+           fun () ->
+             B.random_connected (Sim.Rng.create ~seed:9) ~n:200
+               ~extra_edges:100 );
+       ]);
   Tables.add_note table "per-node cost is bounded by 6 on every topology - Theta(n) total";
   Tables.print table;
 
@@ -41,27 +50,27 @@ let run () =
       ~columns:
         [ "n"; "paper"; "paper/n"; "HS worst"; "HS/n"; "notify"; "notify/n"; "log2 n" ]
   in
-  List.iter
-    (fun n ->
-      let paper = E.run ~graph:(B.ring n) () in
-      let hs =
-        EB.run_hirschberg_sinclair
-          ~priorities:(EB.bit_reversal_priorities ~n) ~n ()
-      in
-      let notify = EB.run_notify_supporters ~graph:(B.ring n) () in
-      let per x = Tables.cell_float (float_of_int x /. float_of_int n) in
-      Tables.add_row table2
-        [
-          Tables.cell_int n;
-          Tables.cell_int paper.E.election_syscalls;
-          per paper.E.election_syscalls;
-          Tables.cell_int hs.EB.syscalls;
-          per hs.EB.syscalls;
-          Tables.cell_int notify.EB.syscalls;
-          per notify.EB.syscalls;
-          Tables.cell_float (Sim.Stats.log2 (float_of_int n));
-        ])
-    [ 16; 32; 64; 128; 256; 512; 1024 ];
+  List.iter (Tables.add_row table2)
+    (Exp_pool.map
+       (fun n ->
+         let paper = E.run ~graph:(B.ring n) () in
+         let hs =
+           EB.run_hirschberg_sinclair
+             ~priorities:(EB.bit_reversal_priorities ~n) ~n ()
+         in
+         let notify = EB.run_notify_supporters ~graph:(B.ring n) () in
+         let per x = Tables.cell_float (float_of_int x /. float_of_int n) in
+         [
+           Tables.cell_int n;
+           Tables.cell_int paper.E.election_syscalls;
+           per paper.E.election_syscalls;
+           Tables.cell_int hs.EB.syscalls;
+           per hs.EB.syscalls;
+           Tables.cell_int notify.EB.syscalls;
+           per notify.EB.syscalls;
+           Tables.cell_float (Sim.Stats.log2 (float_of_int n));
+         ])
+       [ 16; 32; 64; 128; 256; 512; 1024 ]);
   Tables.add_note table2
     "paper/n stays ~5 (linear); HS/n grows ~1.5*log2 n (the Omega(n log n) of [B80,PKR84,KMZ84])";
   Tables.add_note table2

@@ -12,23 +12,26 @@ let run () =
   let new_model = { OT.c = 0.0; p = 1.0 } in
   let fib_model = { OT.c = 1.0; p = 1.0 } in
   let traditional = { OT.c = 1.0; p = 0.0 } in
-  for k = 1 to 16 do
-    let t = float_of_int k in
-    let s_trad =
-      match OT.s_of traditional t with
-      | s -> Tables.cell_int s
-      | exception OT.Unbounded -> "unbounded"
-    in
-    Tables.add_row table
-      [
-        Tables.cell_int k;
-        Tables.cell_int (OT.s_of new_model t);
-        Tables.cell_int (1 lsl (k - 1));
-        Tables.cell_int (OT.s_of fib_model t);
-        Tables.cell_int (OT.fib k);
-        s_trad;
-      ]
-  done;
+  (* each k is an independent evaluation of the S(t) recursion — the
+     rows fan through the pool and assemble in submission order *)
+  List.iter (Tables.add_row table)
+    (Exp_pool.map
+       (fun k ->
+         let t = float_of_int k in
+         let s_trad =
+           match OT.s_of traditional t with
+           | s -> Tables.cell_int s
+           | exception OT.Unbounded -> "unbounded"
+         in
+         [
+           Tables.cell_int k;
+           Tables.cell_int (OT.s_of new_model t);
+           Tables.cell_int (1 lsl (k - 1));
+           Tables.cell_int (OT.s_of fib_model t);
+           Tables.cell_int (OT.fib k);
+           s_trad;
+         ])
+       (List.init 16 (fun i -> i + 1)));
   Tables.add_note table
     "recursion S(t)=S(t-P)+S(t-C-P) reproduces the closed forms exactly;";
   Tables.add_note table

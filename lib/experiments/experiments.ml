@@ -32,3 +32,6 @@ let run_all () =
 
 let figures = Figures.run
 let timeline = Timeline.run
+
+let set_jobs = Exp_pool.set_jobs
+let jobs = Exp_pool.jobs

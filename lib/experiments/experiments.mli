@@ -19,3 +19,12 @@ val figures : unit -> unit
 val timeline : unit -> unit
 (** Per-node ASCII timelines of a branching-paths vs a flooding
     broadcast on a grid — the cost model made visible. *)
+
+val set_jobs : int -> unit
+(** Width of the {!Parallel.Pool} the sweep-style experiments (E1, E6,
+    E7, A3) fan their per-row computations through; default 1
+    (sequential).  Tables are byte-identical at any width — rows are
+    computed in parallel but assembled in submission order, and all
+    randomness is pre-split per row. *)
+
+val jobs : unit -> int

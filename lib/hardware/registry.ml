@@ -116,6 +116,33 @@ let find_histogram t name =
   | Some (Histogram (h, _)) -> Some h
   | _ -> None
 
+let merge ~into src =
+  if into.is_enabled then
+    (* walk the source sorted by name so registration order in [into]
+       is deterministic regardless of hashtable iteration order *)
+    List.iter
+      (fun (name, i) ->
+        match i with
+        | Counter (c, help) -> add (counter into ~help name) c.count
+        | Gauge (g, help) ->
+            let dst = gauge into ~help name in
+            (* the only order-independent combine without timestamps:
+               a merged gauge reports the peak across replicas *)
+            dst.value <- Float.max dst.value g.value
+        | Histogram (h, help) ->
+            let dst = histogram into ~help ~buckets:h.bounds name in
+            if dst.bounds <> h.bounds then
+              invalid_arg
+                (Printf.sprintf "Registry.merge: %S bucket bounds differ" name);
+            Array.iteri
+              (fun b count -> dst.bins.(b) <- dst.bins.(b) + count)
+              h.bins;
+            dst.total <- dst.total + h.total;
+            dst.sum <- dst.sum +. h.sum)
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (Hashtbl.fold (fun name i acc -> (name, i) :: acc) src.instruments []))
+
 let clear t =
   Hashtbl.iter
     (fun _ i ->

@@ -70,6 +70,20 @@ val find_histogram : t -> string -> histogram option
 val clear : t -> unit
 (** Reset every instrument to zero (registrations are kept). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s instruments into [into],
+    registering any missing names: counters are {e summed}, histogram
+    bins (and count/sum) are {e added} pairwise, and gauges combine by
+    [Float.max] — the peak across replicas, the only order-independent
+    choice without timestamps.  The combine is commutative and
+    associative for counters and histograms, so a parallel sweep can
+    merge per-worker registries in submission order and obtain output
+    independent of worker placement.  Merging into a disabled registry
+    is a no-op; a disabled source contributes zeros.
+    @raise Invalid_argument if a name is registered as a different
+    instrument kind in the two registries, or if a histogram's bucket
+    bounds differ. *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** A plain-text table: counters, gauges, then histograms with count /
     sum / mean and the non-empty buckets, all sorted by name. *)

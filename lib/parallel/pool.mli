@@ -1,0 +1,63 @@
+(** A fixed-size pool of resident OCaml 5 domains for independent
+    simulation replicas.
+
+    The experiment harness establishes every quantitative claim by
+    sweeping {e independent} replicas over topologies, sizes and seeds;
+    this pool runs those replicas concurrently without changing any of
+    their outputs.  The contract (DESIGN.md §10): parallelism may only
+    change the wall clock.  Three rules make that hold:
+
+    - every replica draws from a pre-split {!Sim.Rng} child
+      ({!Sim.Rng.split_n}), whose stream depends only on the parent
+      seed and the replica index — never on worker placement;
+    - every replica owns its instruments (a private
+      {!Hardware.Registry}, a private {!Sim.Trace}); cross-replica
+      aggregation happens after the join, in submission order
+      ({!Hardware.Registry.merge});
+    - {!map} returns results in submission order, and the
+      lowest-index exception wins deterministically.
+
+    Work distribution is a single self-scheduling queue (one atomic
+    cursor over the task array) drained by [jobs] workers — the calling
+    domain is worker 0, so [jobs = 1] is a plain inline loop with no
+    domain and no synchronisation.  Pools are not re-entrant: a task
+    must not submit to the pool it runs on. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the core count the runtime
+    believes this machine can keep busy. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] resident helper domains (clamped
+    to at least 1 job).  The helpers park on a condition variable
+    between submissions. *)
+
+val jobs : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t task] executes [task worker] once on every worker
+    (worker 0 is the caller), returning when all are done.  Building
+    block for {!map}; most callers want {!map}.
+    @raise Invalid_argument on a closed or busy (re-entered) pool. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element, distributing items over
+    the pool's workers, and returns the results {e in submission
+    order}.  If one or more applications raise, the exception of the
+    lowest index is re-raised after all workers drain — which worker
+    hit it cannot change the outcome.
+    @raise Invalid_argument on a closed or busy pool. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val shutdown : t -> unit
+(** Wake and join the helper domains.  Idempotent.  Submitting to a
+    shut-down pool raises.  Must not be called concurrently with
+    {!run}/{!map}. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
+    {!shutdown}, whatever [f] does. *)

@@ -1,0 +1,72 @@
+(** Deterministic replica sweeps over the seven profile scenarios.
+
+    A sweep runs [replicas] independent instances of one scenario —
+    replica [i] seeded by child [i] of {!Sim.Rng.split_n}, on its own
+    random-connected graph, with its own private {!Sim.Trace} and
+    {!Hardware.Registry} — optionally fanned over a {!Pool}.  The
+    contract inherited from the pool: {!metrics_json} is byte-identical
+    whatever the job count; only {!field-wall_s} moves. *)
+
+type scenario =
+  | Bpaths
+  | Flood
+  | Dfs
+  | Direct
+  | Layered
+  | Election
+  | Maintenance
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+val scenario_of_string : string -> scenario option
+
+type replica = {
+  index : int;  (** submission index = Rng child index *)
+  syscalls : int;
+  hops : int;
+  sends : int;  (** broadcast sends; election tours; maintenance rounds *)
+  drops : int;
+  max_header : int;  (** election: longest direct-message route *)
+  time : float;
+  covered : int;
+      (** nodes reached / believing the leader / consistent views *)
+  trace_events : int;  (** length of the replica's private trace *)
+}
+
+type t = {
+  scenario : scenario;
+  n : int;
+  seed : int;
+  jobs : int;
+  replicas : replica array;  (** in submission order *)
+  merged : Hardware.Registry.t;
+      (** per-replica registries folded with {!Hardware.Registry.merge}
+          in submission order *)
+  wall_s : float;
+}
+
+val default_trace_capacity : int
+
+val run :
+  ?pool:Pool.t ->
+  ?replicas:int ->
+  ?trace_capacity:int ->
+  scenario ->
+  n:int ->
+  seed:int ->
+  unit ->
+  t
+(** [run scenario ~n ~seed ()] executes [replicas] (default 8)
+    independent replicas, through [pool] when given (inline otherwise).
+    @raise Invalid_argument if [replicas < 1]. *)
+
+val metrics_json : t -> string
+(** The parallelism-invariant part: scenario, n, seed, per-replica
+    metrics in submission order, and the merged registry.  Excludes
+    the wall clock and job count by design — the determinism suite
+    byte-compares this across job counts. *)
+
+val to_json : t -> string
+(** {!metrics_json} wrapped with [jobs], [replicas] and [wall_s]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -17,8 +17,17 @@ type outcome =
   | Time_limit  (** the [until] horizon was reached with events pending *)
   | Event_limit  (** the [max_events] budget was exhausted *)
 
-val create : unit -> t
-(** A fresh engine with the clock at time [0.]. *)
+val create : ?queue_capacity:int -> unit -> t
+(** A fresh engine with the clock at time [0.].  [queue_capacity] is a
+    sizing hint for the event queue (see {!Heap.create}): a run whose
+    peak number of pending events is roughly known allocates once
+    instead of doubling up from 16. *)
+
+val reset : t -> unit
+(** Return the engine to its initial state — clock [0.], no pending
+    events, zero executed — while keeping the event queue's grown
+    allocation.  Replica loops reuse one engine instead of paying the
+    queue regrowth per run. *)
 
 val now : t -> float
 (** Current virtual time. *)

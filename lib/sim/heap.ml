@@ -5,9 +5,12 @@ type ('p, 'v) t = {
   mutable data : ('p, 'v) entry array;
   mutable size : int;
   mutable next_seq : int;
+  want : int;  (* capacity hint for the first allocation *)
 }
 
-let create ~cmp () = { cmp; data = [||]; size = 0; next_seq = 0 }
+let create ?(capacity = 0) ~cmp () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  { cmp; data = [||]; size = 0; next_seq = 0; want = capacity }
 
 let length h = h.size
 let is_empty h = h.size = 0
@@ -22,7 +25,7 @@ let entry_lt h a b =
 let ensure_room h filler =
   let cap = Array.length h.data in
   if h.size = cap then begin
-    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let new_cap = if cap = 0 then max h.want 16 else cap * 2 in
     let fresh = Array.make new_cap filler in
     Array.blit h.data 0 fresh 0 h.size;
     h.data <- fresh
@@ -65,21 +68,33 @@ let peek h =
     let e = h.data.(0) in
     Some (e.prio, e.value)
 
-let pop h =
-  if h.size = 0 then None
-  else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some (top.prio, top.value)
-  end
+let min_prio h =
+  if h.size = 0 then invalid_arg "Heap.min_prio: empty heap";
+  h.data.(0).prio
+
+(* Remove the root: move the last entry up and restore the heap
+   property with a single O(log n) walk.  Shared by [pop]/[pop_min]. *)
+let remove_root h =
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let pop h = if h.size = 0 then None else let e = remove_root h in Some (e.prio, e.value)
+
+let pop_min h =
+  if h.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  (remove_root h).value
 
 let clear h =
+  (* Keep the backing array: a replica loop that clears between runs
+     reuses the grown allocation instead of regrowing from 16.  Stale
+     entries stay reachable until overwritten by later pushes. *)
   h.size <- 0;
-  h.data <- [||]
+  h.next_seq <- 0
 
 let to_sorted_list h =
   let copy =
@@ -88,6 +103,7 @@ let to_sorted_list h =
       data = Array.sub h.data 0 h.size;
       size = h.size;
       next_seq = h.next_seq;
+      want = h.want;
     }
   in
   let rec drain acc =

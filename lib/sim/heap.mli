@@ -8,8 +8,12 @@
 
 type ('p, 'v) t
 
-val create : cmp:('p -> 'p -> int) -> unit -> ('p, 'v) t
-(** [create ~cmp ()] returns an empty heap ordered by [cmp]. *)
+val create : ?capacity:int -> cmp:('p -> 'p -> int) -> unit -> ('p, 'v) t
+(** [create ~cmp ()] returns an empty heap ordered by [cmp].
+    [capacity] is a hint: the first push allocates room for that many
+    entries at once instead of growing by doubling from 16 — replica
+    loops with a known event-queue ceiling avoid the regrowth copies.
+    @raise Invalid_argument if [capacity] is negative. *)
 
 val length : ('p, 'v) t -> int
 (** Number of entries currently in the heap. *)
@@ -22,12 +26,26 @@ val push : ('p, 'v) t -> 'p -> 'v -> unit
 val peek : ('p, 'v) t -> ('p * 'v) option
 (** [peek h] returns the minimum entry without removing it. *)
 
+val min_prio : ('p, 'v) t -> 'p
+(** [min_prio h] is the priority of the minimum entry — O(1) and
+    allocation-free, the hot-loop companion of {!pop_min}.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : ('p, 'v) t -> ('p * 'v) option
 (** [pop h] removes and returns the minimum entry.  Among entries with
     equal priority, the one pushed first is returned first. *)
 
+val pop_min : ('p, 'v) t -> 'v
+(** [pop_min h] removes the minimum entry and returns its value only:
+    one O(log n) walk and no option/tuple allocation.  Same order as
+    {!pop}.
+    @raise Invalid_argument on an empty heap. *)
+
 val clear : ('p, 'v) t -> unit
-(** Remove all entries. *)
+(** Remove all entries and reset the FIFO tie-break sequence.  The
+    backing array is retained so subsequent pushes reuse the grown
+    allocation; entries from before the clear may stay reachable until
+    overwritten. *)
 
 val to_sorted_list : ('p, 'v) t -> ('p * 'v) list
 (** Non-destructively list all entries in pop order (costly; testing

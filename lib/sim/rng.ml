@@ -3,10 +3,23 @@ type t = Random.State.t
 let create ~seed = Random.State.make [| seed; 0x6675_7475; 0x726e_6574 |]
 
 let split t =
-  (* Derive the child from two fresh draws so that sibling splits are
-     independent of each other and of the parent's subsequent stream. *)
+  (* Derive both children from the same two fresh draws, separated by
+     distinct domain tags, so that siblings are independent of each
+     other and of the parent's subsequent stream.  The construction is
+     a pure function of the parent's state at the split: where a child
+     is later consumed (which domain, which order) cannot change its
+     stream. *)
   let a = Random.State.bits t and b = Random.State.bits t in
-  Random.State.make [| a; b; 0x73706c69 |]
+  ( Random.State.make [| a; b; 0x73706c69 |],
+    Random.State.make [| a; b; 0x74746572 |] )
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* One pair of draws keys the whole family; child [i] is seeded by
+     (draws, i), so replica [i]'s stream is identical no matter how
+     many siblings exist or on which worker it runs. *)
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Array.init n (fun i -> Random.State.make [| a; b; i; 0x73686172 |])
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

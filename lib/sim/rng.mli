@@ -11,9 +11,23 @@ type t
 val create : seed:int -> t
 (** [create ~seed] returns a fresh generator determined by [seed]. *)
 
-val split : t -> t
-(** [split t] returns a new generator whose stream is a deterministic
-    function of [t]'s current state, and advances [t]. *)
+val split : t -> t * t
+(** [split t] returns two fresh generators [(l, r)] whose streams are
+    deterministic functions of [t]'s current state (and of nothing
+    else), advancing [t].  Siblings are derived with distinct domain
+    tags, so their streams are independent of each other and of the
+    parent's later draws — the splittable-PRNG shape that makes
+    parallel replicas reproducible: where a child is consumed cannot
+    change what it draws. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] child generators from [t]'s current
+    state in one step, advancing [t] once.  Child [i] depends only on
+    the parent state and the index [i] — not on [n] or on the other
+    children — so replica [i] sees the same stream whether the sweep
+    runs on 1 worker or 8 (the seed-sharding primitive of
+    {!Parallel.Pool} sweeps).
+    @raise Invalid_argument if [n < 0]. *)
 
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).  [bound] must be

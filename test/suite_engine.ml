@@ -110,6 +110,47 @@ let test_events_processed () =
   ignore (Sim.Engine.run e);
   check_int "count" 5 (Sim.Engine.events_processed e)
 
+(* Satellite fix: an empty queue must report Quiescent even when the
+   event budget is exhausted — the budget only limits work actually
+   done, it must not mask completion. *)
+let test_empty_queue_beats_budget () =
+  let e = Sim.Engine.create () in
+  for _ = 1 to 3 do
+    Sim.Engine.schedule e ~delay:1.0 (fun () -> ())
+  done;
+  Alcotest.(check bool) "drained under exact budget" true
+    (Sim.Engine.run ~max_events:3 e = Sim.Engine.Quiescent);
+  Alcotest.(check bool) "empty + zero budget is quiescent" true
+    (Sim.Engine.run ~max_events:0 e = Sim.Engine.Quiescent)
+
+let test_reset_reuses_engine () =
+  let e = Sim.Engine.create ~queue_capacity:8 () in
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> ());
+  Sim.Engine.schedule e ~delay:5.0 (fun () -> ());
+  ignore (Sim.Engine.run e);
+  check_float "clock advanced" 5.0 (Sim.Engine.now e);
+  Sim.Engine.reset e;
+  check_float "clock back to 0" 0.0 (Sim.Engine.now e);
+  check_int "no pending" 0 (Sim.Engine.pending e);
+  check_int "counter back to 0" 0 (Sim.Engine.events_processed e);
+  (* a second run behaves exactly like a fresh engine *)
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> log := 2 :: !log);
+  Alcotest.(check bool) "second run quiescent" true
+    (Sim.Engine.run e = Sim.Engine.Quiescent);
+  Alcotest.(check (list int)) "FIFO fresh after reset" [ 1; 2 ] (List.rev !log)
+
+let test_reset_mid_flight_pending_dropped () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> ());
+  Sim.Engine.schedule e ~delay:9.0 (fun () -> ());
+  ignore (Sim.Engine.run ~max_events:1 e);
+  Sim.Engine.reset e;
+  Alcotest.(check bool) "pending dropped, quiescent" true
+    (Sim.Engine.run e = Sim.Engine.Quiescent);
+  check_int "nothing executed" 0 (Sim.Engine.events_processed e)
+
 let suite =
   [
     Alcotest.test_case "initial state" `Quick test_initial_state;
@@ -124,4 +165,9 @@ let suite =
     Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
     Alcotest.test_case "single step" `Quick test_step;
     Alcotest.test_case "events processed" `Quick test_events_processed;
+    Alcotest.test_case "empty queue beats budget" `Quick
+      test_empty_queue_beats_budget;
+    Alcotest.test_case "reset reuses the engine" `Quick test_reset_reuses_engine;
+    Alcotest.test_case "reset drops pending" `Quick
+      test_reset_mid_flight_pending_dropped;
   ]

@@ -56,6 +56,45 @@ let test_clear () =
   Sim.Heap.clear h;
   Alcotest.(check bool) "empty after clear" true (Sim.Heap.is_empty h)
 
+let test_clear_resets_fifo_seq () =
+  (* after clear, FIFO tie-breaking starts over: the replica-loop reuse
+     case must behave exactly like a fresh heap *)
+  let h = Sim.Heap.create ~cmp:compare () in
+  Sim.Heap.push h 0 "stale";
+  Sim.Heap.clear h;
+  Sim.Heap.push h 1 "a";
+  Sim.Heap.push h 1 "b";
+  Alcotest.(check (list string)) "fresh FIFO order" [ "a"; "b" ]
+    (List.map snd (Sim.Heap.to_sorted_list h))
+
+let test_capacity_hint () =
+  let h = Sim.Heap.create ~capacity:1000 ~cmp:compare () in
+  for i = 0 to 999 do
+    Sim.Heap.push h i i
+  done;
+  check_int "holds capacity items" 1000 (Sim.Heap.length h);
+  Alcotest.(check bool) "negative capacity rejected" true
+    (match Sim.Heap.create ~capacity:(-1) ~cmp:compare () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_min_prio_and_pop_min () =
+  let h = Sim.Heap.create ~cmp:compare () in
+  List.iter (fun p -> Sim.Heap.push h p (10 * p)) [ 4; 2; 7 ];
+  check_int "min_prio" 2 (Sim.Heap.min_prio h);
+  check_int "pop_min value" 20 (Sim.Heap.pop_min h);
+  check_int "next min_prio" 4 (Sim.Heap.min_prio h);
+  check_int "pop_min again" 40 (Sim.Heap.pop_min h);
+  check_int "last" 70 (Sim.Heap.pop_min h);
+  Alcotest.(check bool) "min_prio on empty raises" true
+    (match Sim.Heap.min_prio h with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "pop_min on empty raises" true
+    (match Sim.Heap.pop_min h with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_to_sorted_list_nondestructive () =
   let h = Sim.Heap.create ~cmp:compare () in
   List.iter (fun p -> Sim.Heap.push h p p) [ 3; 1; 2 ];
@@ -92,6 +131,10 @@ let suite =
     Alcotest.test_case "FIFO tie-break" `Quick test_fifo_stability;
     Alcotest.test_case "growth to 1000" `Quick test_growth;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "clear resets FIFO sequence" `Quick
+      test_clear_resets_fifo_seq;
+    Alcotest.test_case "capacity hint" `Quick test_capacity_hint;
+    Alcotest.test_case "min_prio and pop_min" `Quick test_min_prio_and_pop_min;
     Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list_nondestructive;
     Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
     QCheck_alcotest.to_alcotest qcheck_heap_sorts;

@@ -199,6 +199,88 @@ let test_registry_does_not_perturb_run () =
   check_int "same hops" bare.BC.hops instrumented.BC.hops;
   check_bool "same time" true (bare.BC.time = instrumented.BC.time)
 
+(* -- merge (the parallel sweep combine) ------------------------------- *)
+
+let test_merge_counters_sum () =
+  let a = R.create () and b = R.create () in
+  R.add (R.counter a "t.c") 5;
+  R.add (R.counter b "t.c") 7;
+  R.add (R.counter b "t.only_b") 3;
+  R.merge ~into:a b;
+  check_int "summed" 12 (R.counter_value (R.counter a "t.c"));
+  check_int "missing name registered" 3
+    (R.counter_value (R.counter a "t.only_b"));
+  (* src is untouched *)
+  check_int "src intact" 7 (R.counter_value (R.counter b "t.c"))
+
+let test_merge_histograms_add () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  let a = R.create () and b = R.create () in
+  let ha = R.histogram a ~buckets:bounds "t.h" in
+  let hb = R.histogram b ~buckets:bounds "t.h" in
+  List.iter (R.observe ha) [ 0.5; 3.0 ];
+  List.iter (R.observe hb) [ 0.5; 1.5; 100.0 ];
+  R.merge ~into:a b;
+  check_int "count added" 5 (R.histogram_count ha);
+  Alcotest.(check (float 1e-9)) "sum added" 105.5 (R.histogram_sum ha);
+  Alcotest.(check (list int)) "bins added pairwise" [ 2; 1; 1; 1 ]
+    (List.map snd (R.histogram_buckets ha))
+
+let test_merge_gauges_keep_peak () =
+  let a = R.create () and b = R.create () in
+  R.set (R.gauge a "t.g") 2.0;
+  R.set (R.gauge b "t.g") 5.0;
+  R.merge ~into:a b;
+  check_bool "peak wins" true (R.gauge_value (R.gauge a "t.g") = 5.0);
+  (* and the other direction: into already holds the peak *)
+  let c = R.create () in
+  R.set (R.gauge c "t.g") 1.0;
+  R.merge ~into:a c;
+  check_bool "peak survives lower src" true (R.gauge_value (R.gauge a "t.g") = 5.0)
+
+let test_merge_is_order_independent () =
+  let observe r k =
+    R.add (R.counter r "t.c") k;
+    R.observe (R.histogram r ~buckets:[| 1.0; 10.0 |] "t.h") (float_of_int k)
+  in
+  let srcs () = List.map (fun k -> let r = R.create () in observe r k; r) [ 1; 5; 9 ] in
+  let fold order =
+    let into = R.create () in
+    List.iter (fun r -> R.merge ~into r) order;
+    R.to_json into
+  in
+  let fwd = srcs () and bwd = srcs () in
+  Alcotest.(check string) "any merge order, same registry" (fold fwd)
+    (fold (List.rev bwd))
+
+let test_merge_mismatches_raise () =
+  let a = R.create () and b = R.create () in
+  ignore (R.counter a "t.x");
+  ignore (R.gauge b "t.x");
+  check_bool "kind mismatch raises" true
+    (match R.merge ~into:a b with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  let c = R.create () and d = R.create () in
+  ignore (R.histogram c ~buckets:[| 1.0 |] "t.h");
+  ignore (R.histogram d ~buckets:[| 2.0 |] "t.h");
+  check_bool "bucket bounds mismatch raises" true
+    (match R.merge ~into:c d with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_merge_disabled () =
+  let into = R.disabled () in
+  let src = R.create () in
+  R.add (R.counter src "t.c") 4;
+  R.merge ~into src;
+  check_bool "into disabled is a no-op" true (not (R.enabled into));
+  (* disabled source contributes zeros *)
+  let live = R.create () in
+  R.add (R.counter live "t.c") 2;
+  R.merge ~into:live (R.disabled ());
+  check_int "disabled src adds nothing" 2 (R.counter_value (R.counter live "t.c"))
+
 let suite =
   [
     Alcotest.test_case "counter and gauge basics" `Quick
@@ -218,4 +300,15 @@ let suite =
       test_trace_eviction_published;
     Alcotest.test_case "registry does not perturb the run" `Quick
       test_registry_does_not_perturb_run;
+    Alcotest.test_case "merge sums counters" `Quick test_merge_counters_sum;
+    Alcotest.test_case "merge adds histogram bins" `Quick
+      test_merge_histograms_add;
+    Alcotest.test_case "merge keeps gauge peak" `Quick
+      test_merge_gauges_keep_peak;
+    Alcotest.test_case "merge order-independent" `Quick
+      test_merge_is_order_independent;
+    Alcotest.test_case "merge mismatches raise" `Quick
+      test_merge_mismatches_raise;
+    Alcotest.test_case "merge with disabled registries" `Quick
+      test_merge_disabled;
   ]

@@ -83,18 +83,85 @@ let test_shuffle_permutation () =
 
 let test_split_independence () =
   let parent = Sim.Rng.create ~seed:23 in
-  let child1 = Sim.Rng.split parent in
-  let child2 = Sim.Rng.split parent in
+  let child1, child2 = Sim.Rng.split parent in
   let draws r = List.init 20 (fun _ -> Sim.Rng.int r 1_000_000) in
-  check "siblings differ" true (draws child1 <> draws child2)
+  check "siblings differ" true (draws child1 <> draws child2);
+  (* successive splits of the same parent give fresh pairs *)
+  let child3, child4 = Sim.Rng.split parent in
+  check "later pair differs" true
+    (draws child3 <> draws child1 && draws child4 <> draws child2)
 
 let test_split_deterministic () =
-  let mk () =
+  let mk side =
     let parent = Sim.Rng.create ~seed:29 in
-    let child = Sim.Rng.split parent in
+    let l, r = Sim.Rng.split parent in
+    let child = if side then l else r in
     List.init 20 (fun _ -> Sim.Rng.int child 1_000_000)
   in
-  Alcotest.(check (list int)) "split reproducible" (mk ()) (mk ())
+  Alcotest.(check (list int)) "left reproducible" (mk true) (mk true);
+  Alcotest.(check (list int)) "right reproducible" (mk false) (mk false)
+
+(* The pinned vector: the exact first draws of both children of seed
+   42, and of the first shards of split_n.  A change in the splitting
+   scheme silently breaks every recorded parallel sweep, so it must
+   fail a test, not a bench. *)
+let test_split_pinned_vector () =
+  let parent = Sim.Rng.create ~seed:42 in
+  let l, r = Sim.Rng.split parent in
+  let draws rng = List.init 4 (fun _ -> Sim.Rng.int rng 1_000_000_000) in
+  Alcotest.(check (list int)) "left of seed 42"
+    [ 876077779; 960309542; 712382976; 440715535 ] (draws l);
+  Alcotest.(check (list int)) "right of seed 42"
+    [ 344049586; 878469417; 892766639; 353039475 ] (draws r);
+  let shards = Sim.Rng.split_n (Sim.Rng.create ~seed:42) 3 in
+  Alcotest.(check (list (list int))) "shards of seed 42"
+    [
+      [ 493799088; 940225781; 371587767; 115140258 ];
+      [ 554280011; 689232510; 247004858; 867663859 ];
+      [ 508896023; 850034747; 295956254; 705096168 ];
+    ]
+    (Array.to_list (Array.map draws shards))
+
+let test_split_n_placement_independent () =
+  (* shard i must not depend on how many siblings were requested *)
+  let shard ~of_ i =
+    let rngs = Sim.Rng.split_n (Sim.Rng.create ~seed:31) of_ in
+    List.init 16 (fun _ -> Sim.Rng.int rngs.(i) 1_000_000)
+  in
+  Alcotest.(check (list int)) "shard 2 of 4 = shard 2 of 16"
+    (shard ~of_:4 2) (shard ~of_:16 2);
+  Alcotest.(check (list int)) "shard 0 of 1 = shard 0 of 8"
+    (shard ~of_:1 0) (shard ~of_:8 0);
+  check "empty family fine" true (Sim.Rng.split_n (Sim.Rng.create ~seed:1) 0 = [||]);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Rng.split_n: negative count") (fun () ->
+      ignore (Sim.Rng.split_n (Sim.Rng.create ~seed:1) (-1)))
+
+(* Non-overlap of split streams: with 29-bit draws, any window of 4
+   consecutive draws is a ~116-bit fingerprint, so two independent
+   10^4-draw streams share a 4-window with probability ~ 10^8 * 2^-116
+   — a spurious failure is impossible in practice, while a splitting
+   bug that replays one stream inside the other is caught wherever the
+   overlap starts. *)
+let qcheck_split_streams_nonoverlapping =
+  QCheck.Test.make ~name:"split streams pairwise non-overlapping (10^4 draws)"
+    ~count:10
+    QCheck.(small_int)
+    (fun seed ->
+      let l, r = Sim.Rng.split (Sim.Rng.create ~seed) in
+      let n = 10_000 in
+      let draws rng = Array.init n (fun _ -> Sim.Rng.int rng (1 lsl 29)) in
+      let a = draws l and b = draws r in
+      let windows = Hashtbl.create (2 * n) in
+      for i = 0 to n - 4 do
+        Hashtbl.replace windows (a.(i), a.(i + 1), a.(i + 2), a.(i + 3)) ()
+      done;
+      let overlap = ref false in
+      for i = 0 to n - 4 do
+        if Hashtbl.mem windows (b.(i), b.(i + 1), b.(i + 2), b.(i + 3)) then
+          overlap := true
+      done;
+      not !overlap)
 
 let qcheck_shuffle_preserves =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
@@ -118,5 +185,9 @@ let suite =
     Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
     Alcotest.test_case "split independence" `Quick test_split_independence;
     Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+    Alcotest.test_case "split pinned vector" `Quick test_split_pinned_vector;
+    Alcotest.test_case "split_n placement independent" `Quick
+      test_split_n_placement_independent;
     QCheck_alcotest.to_alcotest qcheck_shuffle_preserves;
+    QCheck_alcotest.to_alcotest qcheck_split_streams_nonoverlapping;
   ]

@@ -39,4 +39,5 @@ let () =
       ("analysis.profiler", Suite_analysis.suite);
       ("core.aggregate", Suite_aggregate.suite);
       ("experiments", Suite_experiments.suite);
+      ("parallel", Suite_parallel.suite);
     ]
