@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel chaos chaos-smoke experiments figures examples clean
 
 all: build
 
@@ -34,6 +34,19 @@ bench-check:
 # counts (the determinism invariant of DESIGN.md §10).
 bench-parallel:
 	dune exec bench/main.exe -- bench --json --sizes 1024 --jobs 4
+
+# Chaos soak smoke: 32 seeded fault schedules per scenario family at
+# n=64 (224 total).  Any oracle failure shrinks to a minimal
+# chaos-repro-*.json next to the build and exits 6; CI uploads those
+# repros as artifacts.  Byte-deterministic for a fixed (seed, -k)
+# whatever --jobs is.
+chaos-smoke:
+	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 32 --seed 7 --jobs 2
+
+# Full soak: more schedules, larger networks, all families.
+chaos:
+	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 64 --seed 7 --jobs 4
+	dune exec bin/futurenet_cli.exe -- chaos -s all -n 128 -k 32 --seed 11 --jobs 4
 
 experiments:
 	dune exec bench/main.exe -- all

@@ -227,7 +227,8 @@ let json_escape s =
 (* One extra, untimed run of each scaling workload with a metrics
    registry attached: a perf trajectory is only interpretable if the
    work done per run is stable, so BENCH_<n>.json also records the
-   semantic costs (system calls, hops, drops) the paper bounds. *)
+   semantic costs (system calls, hops, drops, mid-link losses) the
+   paper bounds. *)
 let semantic_rows ~n =
   let g =
     Netgraph.Builders.random_connected
@@ -249,7 +250,7 @@ let semantic_rows ~n =
       | Some c -> Hardware.Registry.counter_value c
       | None -> 0
     in
-    (v "net.syscalls", v "net.hops", v "net.drops")
+    (v "net.syscalls", v "net.hops", v "net.drops", v "net.dropped_in_flight")
   in
   let bcast_config reg =
     { (Core.Broadcast.default_config ()) with registry = Some reg }
@@ -441,12 +442,12 @@ let write_bench_json ~n ~rev ~profiles ~parallel rows =
   let sem = semantic_rows ~n in
   let total = List.length sem in
   List.iteri
-    (fun i (name, (syscalls, hops, drops)) ->
+    (fun i (name, (syscalls, hops, drops, dropped_in_flight)) ->
       let sep = if i = total - 1 then "" else "," in
       Printf.fprintf oc
         "    { \"name\": \"%s\", \"syscalls\": %d, \"hops\": %d, \"drops\": \
-         %d }%s\n"
-        (json_escape name) syscalls hops drops sep)
+         %d, \"dropped_in_flight\": %d }%s\n"
+        (json_escape name) syscalls hops drops dropped_in_flight sep)
     sem;
   output_string oc "  ]";
   if profiles <> [] then begin

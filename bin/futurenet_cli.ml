@@ -6,6 +6,7 @@
      broadcast   run one topology broadcast and report its costs
      election    run one leader election and report its costs
      bench       run a multicore replica sweep of one scenario
+     chaos       soak scenarios under seeded fault schedules + oracles
      trace       run a scenario and export its structured trace
      tree        print the optimal computation tree for given C, P, n *)
 
@@ -539,6 +540,124 @@ let bench_cmd =
     Term.(const run $ n_arg $ seed_arg $ scenario_arg $ replicas_arg
           $ sweep_jobs_arg $ json_flag)
 
+(* -- chaos (deterministic fault-injection soak) ------------------------ *)
+
+let chaos_cmd =
+  let scenario_conv =
+    Arg.enum
+      (("all", None)
+      :: List.map
+           (fun s -> (Parallel.Sweep.scenario_name s, Some s))
+           Parallel.Sweep.all_scenarios)
+  in
+  let scenario_arg =
+    Arg.(value & opt scenario_conv None
+           & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+               ~doc:"Scenario family to soak ($(b,bpaths), $(b,flood), \
+                     $(b,dfs), $(b,direct), $(b,layered), $(b,election), \
+                     $(b,maintenance)) or $(b,all).")
+  in
+  let chaos_n_arg =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let schedules_arg =
+    Arg.(value & opt int 32
+           & info [ "k"; "schedules" ] ~docv:"K"
+               ~doc:"Seeded fault schedules per scenario (indices 0..K-1); \
+                     every schedule replays from (seed, index) alone.")
+  in
+  let chaos_jobs_arg =
+    let doc =
+      "Worker domains.  Every verdict is a pure function of (scenario, n, \
+       seed, index), so the output is byte-identical at any value."
+    in
+    Arg.(value & opt int (Parallel.Pool.default_jobs ())
+           & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+           & info [ "replay" ] ~docv:"FILE"
+               ~doc:"Replay one minimal-repro JSON file instead of soaking.")
+  in
+  let out_dir_arg =
+    Arg.(value & opt dir "."
+           & info [ "out-dir" ] ~docv:"DIR"
+               ~doc:"Directory for chaos-repro-*.json counterexamples.")
+  in
+  let replay_file json path =
+    match Chaos.Runner.replay path with
+    | Error msg ->
+        Printf.eprintf "chaos --replay: %s\n" msg;
+        exit 2
+    | Ok v ->
+        if json then print_endline (Chaos.Runner.verdict_json v)
+        else Format.printf "%a@?" Chaos.Runner.pp_verdict v;
+        if not v.Chaos.Runner.ok then exit 6
+  in
+  let run n seed scenario schedules jobs json replay out_dir =
+    match replay with
+    | Some path -> replay_file json path
+    | None ->
+        let scenarios =
+          match scenario with
+          | Some s -> [ s ]
+          | None -> Parallel.Sweep.all_scenarios
+        in
+        let soak pool sc = Chaos.Runner.soak ?pool sc ~n ~seed ~schedules () in
+        let soaks =
+          if jobs <= 1 then List.map (soak None) scenarios
+          else
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                List.map (soak (Some pool)) scenarios)
+        in
+        if json then
+          print_endline
+            ("[" ^ String.concat "," (List.map Chaos.Runner.soak_json soaks)
+            ^ "]")
+        else List.iter (Format.printf "%a" Chaos.Runner.pp_soak) soaks;
+        let failing =
+          List.concat_map
+            (fun s ->
+              List.filter
+                (fun v -> not v.Chaos.Runner.ok)
+                (Array.to_list s.Chaos.Runner.verdicts))
+            soaks
+        in
+        Format.print_flush ();
+        if failing <> [] then begin
+          (* shrink each counterexample to a minimal repro before exiting *)
+          List.iter
+            (fun v ->
+              let minimal = Chaos.Runner.shrink v in
+              let path =
+                Filename.concat out_dir
+                  (Printf.sprintf "chaos-repro-%s-%d.json"
+                     (Parallel.Sweep.scenario_name
+                        minimal.Chaos.Runner.scenario)
+                     minimal.Chaos.Runner.schedule.Chaos.Schedule.index)
+              in
+              Chaos.Runner.write_repro ~path minimal;
+              if not json then
+                Printf.printf
+                  "  shrunk schedule %d to %d fault event(s); repro at %s\n"
+                  minimal.Chaos.Runner.schedule.Chaos.Schedule.index
+                  (List.length
+                     minimal.Chaos.Runner.schedule.Chaos.Schedule.faults)
+                  path)
+            failing;
+          exit 6
+        end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Soak scenarios under seeded deterministic fault schedules \
+             (link flaps, crashes, partitions, in-flight drops, delay \
+             jitter), check safety oracles after quiescence, and shrink \
+             any failing schedule to a minimal JSON repro.  Exit 6 when \
+             an oracle fails.")
+    Term.(const run $ chaos_n_arg $ seed_arg $ scenario_arg $ schedules_arg
+          $ chaos_jobs_arg $ json_flag $ replay_arg $ out_dir_arg)
+
 (* -- maintenance ----------------------------------------------------------- *)
 
 let maintenance_cmd =
@@ -640,6 +759,6 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
-            election_cmd; trace_cmd; profile_cmd; bench_cmd; maintenance_cmd;
-            tree_cmd;
+            election_cmd; trace_cmd; profile_cmd; bench_cmd; chaos_cmd;
+            maintenance_cmd; tree_cmd;
           ]))

@@ -1,0 +1,34 @@
+(** A minimal JSON reader/escaper for chaos repro files.
+
+    The repo's JSON output is all built by [Printf]; repro files are
+    the first artefacts the tools must {e read back}, and pulling in a
+    JSON dependency for that would break the no-new-deps rule.  This
+    is a small recursive-descent parser for the subset the chaos codec
+    emits (the full JSON value grammar, minus [\u]-escapes beyond the
+    BMP-ASCII range it never produces). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed); [Error]
+    carries a message with the byte offset. *)
+
+(** {1 Accessors} — each returns [Error] with a path-less message on a
+    shape mismatch, composing with [Result.bind]. *)
+
+val member : string -> t -> (t, string) result
+val to_float : t -> (float, string) result
+val to_int : t -> (int, string) result
+val to_string : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val to_bool : t -> (bool, string) result
+
+val escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes not
+    included). *)

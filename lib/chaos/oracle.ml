@@ -1,0 +1,167 @@
+module Monitor = Hardware.Monitor
+module Graph = Netgraph.Graph
+
+type report = Monitor.report
+
+let deliveries_per_node ~n trace =
+  let counts = Array.make n 0 in
+  List.iter
+    (fun event ->
+      match event with
+      | Sim.Trace.Receive { node; _ } -> counts.(node) <- counts.(node) + 1
+      | _ -> ())
+    (Sim.Trace.events trace);
+  counts
+
+let trace_complete trace =
+  let dropped = Sim.Trace.dropped trace in
+  {
+    Monitor.monitor = "trace-complete";
+    ok = dropped = 0;
+    detail =
+      (if dropped = 0 then "ring buffer kept every event"
+       else Printf.sprintf "%d events evicted — delivery oracles unsound" dropped);
+  }
+
+let worst_node counts limit_of =
+  let worst = ref None in
+  Array.iteri
+    (fun v c ->
+      if c > limit_of v then
+        match !worst with
+        | Some (_, c') when c' >= c -> ()
+        | _ -> worst := Some (v, c))
+    counts;
+  !worst
+
+let at_most_once_delivery ~deliveries =
+  match worst_node deliveries (fun _ -> 1) with
+  | None ->
+      {
+        Monitor.monitor = "one-way-monotone";
+        ok = true;
+        detail = "no NCU accepted the payload twice";
+      }
+  | Some (v, c) ->
+      {
+        Monitor.monitor = "one-way-monotone";
+        ok = false;
+        detail = Printf.sprintf "node %d received the payload %d times" v c;
+      }
+
+let degree_bounded_delivery ~graph ~deliveries =
+  match worst_node deliveries (fun v -> Graph.degree graph v) with
+  | None ->
+      {
+        Monitor.monitor = "flood-degree-bound";
+        ok = true;
+        detail = "every node heard at most once per incident link";
+      }
+  | Some (v, c) ->
+      {
+        Monitor.monitor = "flood-degree-bound";
+        ok = false;
+        detail =
+          Printf.sprintf "node %d (degree %d) received %d copies" v
+            (Graph.degree graph v) c;
+      }
+
+let static_component_scope ~graph ~schedule ~root ~deliveries ~reached =
+  let surviving_graph, _alive = Schedule.surviving ~graph schedule in
+  let in_component = Netgraph.Traversal.reachable surviving_graph ~root in
+  let size =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_component
+  in
+  let escaped = ref None in
+  let delivered = ref 0 in
+  Array.iteri
+    (fun v c ->
+      if c > 0 || (reached.(v) && v <> root) then begin
+        delivered := !delivered + 1;
+        if not in_component.(v) && !escaped = None then escaped := Some v
+      end)
+    deliveries;
+  match !escaped with
+  | Some v ->
+      {
+        Monitor.monitor = "component-scope";
+        ok = false;
+        detail =
+          Printf.sprintf
+            "delivery at node %d outside the root's surviving component" v;
+      }
+  | None ->
+      let ok = !delivered <= size in
+      {
+        Monitor.monitor = "component-scope";
+        ok;
+        detail =
+          Printf.sprintf
+            "%d deliveries within the root's %d-node surviving component"
+            !delivered size;
+      }
+
+let at_most_one_leader ~leaders =
+  match leaders with
+  | [] ->
+      {
+        Monitor.monitor = "one-leader";
+        ok = true;
+        detail = "no leader declared (liveness forfeited to faults)";
+      }
+  | [ leader ] ->
+      {
+        Monitor.monitor = "one-leader";
+        ok = true;
+        detail = Printf.sprintf "unique leader %d" leader;
+      }
+  | leaders ->
+      {
+        Monitor.monitor = "one-leader";
+        ok = false;
+        detail =
+          Printf.sprintf "%d leaders declared: %s" (List.length leaders)
+            (String.concat ", " (List.map string_of_int leaders));
+      }
+
+let believed_consistent ~leaders ~believed =
+  let ghost = ref None in
+  Array.iteri
+    (fun v b ->
+      match b with
+      | Some l when not (List.mem l leaders) && !ghost = None ->
+          ghost := Some (v, l)
+      | _ -> ())
+    believed;
+  match !ghost with
+  | None ->
+      {
+        Monitor.monitor = "believed-leader";
+        ok = true;
+        detail = "every announcement names a declared leader";
+      }
+  | Some (v, l) ->
+      {
+        Monitor.monitor = "believed-leader";
+        ok = false;
+        detail = Printf.sprintf "node %d believes in undeclared leader %d" v l;
+      }
+
+let election_budget_held ~n ~deliveries =
+  let report = Monitor.election_budget ~n ~election_syscalls:deliveries in
+  { report with Monitor.monitor = "election-budget" }
+
+let convergence ~converged ~rounds =
+  {
+    Monitor.monitor = "theorem1-convergence";
+    ok = converged;
+    detail =
+      (if converged then
+         Printf.sprintf "all surviving components consistent after %d rounds"
+           rounds
+       else Printf.sprintf "still inconsistent after %d rounds" rounds);
+  }
+
+let fifo_per_link trace =
+  let report = Monitor.fifo_per_link trace in
+  { report with Monitor.monitor = "fifo-per-link" }

@@ -1,0 +1,65 @@
+(** Safety oracles checked after a chaos schedule's quiescence point.
+
+    Every oracle produces a {!Hardware.Monitor.report}, so chaos
+    verdicts speak the same language as the paper-bound monitors and
+    {!Hardware.Monitor.enforce} applies unchanged.  The oracles are
+    the fault-tolerant counterparts of the fault-free theorems:
+
+    - one-way broadcast state stays monotone — no NCU accepts the
+      payload twice, whatever links flap (Theorem 1's mechanism);
+    - among survivors at most one leader ever declares (Theorem 5's
+      safety half; liveness is forfeit when faults strand a token);
+    - topology maintenance converges per surviving component once the
+      schedule quiesces (Theorem 1);
+    - budgets scope to the post-failure component when the schedule is
+      static (all faults at time 0). *)
+
+type report = Hardware.Monitor.report
+
+val deliveries_per_node : n:int -> Sim.Trace.t -> int array
+(** [Receive] trace events per node — NCU payload deliveries (software
+    activations and timers are [Syscall] events and don't count). *)
+
+val trace_complete : Sim.Trace.t -> report
+(** Guard oracle: the delivery-counting oracles are sound only if the
+    ring buffer evicted nothing. *)
+
+val at_most_once_delivery : deliveries:int array -> report
+(** One-way broadcasts (branching paths, DFS token, direct, layered):
+    no node's NCU receives the payload twice. *)
+
+val degree_bounded_delivery :
+  graph:Netgraph.Graph.t -> deliveries:int array -> report
+(** Flooding's analogue: a node hears the payload at most once per
+    incident link. *)
+
+val static_component_scope :
+  graph:Netgraph.Graph.t ->
+  schedule:Schedule.t ->
+  root:int ->
+  deliveries:int array ->
+  reached:bool array ->
+  report
+(** For a static schedule: no delivery lands outside the root's
+    surviving component, and the per-component budget — at most one
+    delivery per member — holds.  (A packet would have to cross a link
+    that was already down to escape the component.) *)
+
+val at_most_one_leader : leaders:int list -> report
+
+val believed_consistent : leaders:int list -> believed:int option array -> report
+(** Every node's announcement state is [None] or an actual declared
+    leader — nobody believes in a ghost. *)
+
+val election_budget_held : n:int -> deliveries:int -> report
+(** Theorem 5's [6n] tour/return budget; faults only remove
+    deliveries, so it binds a fortiori. *)
+
+val convergence : converged:bool -> rounds:int -> report
+(** Theorem-1 eventual consistency of the surviving components, as
+    decided by [Topo_maintenance.run]'s per-component convergence
+    check. *)
+
+val fifo_per_link : Sim.Trace.t -> report
+(** Re-export of the §2 monitor: delay jitter must never reorder a
+    directed link ({!Hardware.Monitor.fifo_per_link}). *)

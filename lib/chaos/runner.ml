@@ -1,0 +1,322 @@
+module Sweep = Parallel.Sweep
+module Registry = Hardware.Registry
+module Monitor = Hardware.Monitor
+
+type scenario = Sweep.scenario
+
+let trace_capacity = 262_144
+
+type verdict = {
+  scenario : scenario;
+  schedule : Schedule.t;
+  oracles : Monitor.report list;
+  ok : bool;
+  syscalls : int;
+  hops : int;
+  drops : int;
+  dropped_in_flight : int;
+  time : float;
+}
+
+type soak = {
+  soak_scenario : scenario;
+  n : int;
+  seed : int;
+  verdicts : verdict array;
+}
+
+let failures soak =
+  Array.fold_left (fun acc v -> if v.ok then acc else acc + 1) 0 soak.verdicts
+
+let counter_value registry name =
+  match Registry.find_counter registry name with
+  | Some c -> Registry.counter_value c
+  | None -> 0
+
+let broadcast_algo scenario ~config ~graph ~root () =
+  match scenario with
+  | Sweep.Bpaths -> Core.Branching_paths.run ~config ~graph ~root ()
+  | Sweep.Flood -> Core.Flooding.run ~config ~graph ~root ()
+  | Sweep.Dfs -> Core.Dfs_broadcast.run ~config ~graph ~root ()
+  | Sweep.Direct -> Core.Direct_broadcast.run ~config ~graph ~root ()
+  | Sweep.Layered -> Core.Layered_broadcast.run ~config ~graph ~root ()
+  | Sweep.Election | Sweep.Maintenance -> assert false
+
+let run_broadcast scenario (s : Schedule.t) graph =
+  let trace = Sim.Trace.create ~capacity:trace_capacity () in
+  let registry = Registry.create () in
+  let config =
+    {
+      (Core.Broadcast.default_config ()) with
+      cost = Schedule.cost s;
+      trace = Some trace;
+      registry = Some registry;
+      chaos = Some (Schedule.compile s);
+    }
+  in
+  let r = broadcast_algo scenario ~config ~graph ~root:0 () in
+  let n = s.Schedule.n in
+  let deliveries = Oracle.deliveries_per_node ~n trace in
+  let oracles =
+    [ Oracle.trace_complete trace; Oracle.fifo_per_link trace ]
+    @ (match scenario with
+      | Sweep.Flood -> [ Oracle.degree_bounded_delivery ~graph ~deliveries ]
+      | _ -> [ Oracle.at_most_once_delivery ~deliveries ])
+    @
+    if Schedule.is_static s then
+      [
+        Oracle.static_component_scope ~graph ~schedule:s ~root:0 ~deliveries
+          ~reached:r.Core.Broadcast.reached;
+      ]
+    else []
+  in
+  ( oracles,
+    r.Core.Broadcast.syscalls,
+    r.hops,
+    r.drops,
+    counter_value registry "net.dropped_in_flight",
+    r.time )
+
+let run_election (s : Schedule.t) graph =
+  let trace = Sim.Trace.create ~capacity:trace_capacity () in
+  let registry = Registry.create () in
+  let o =
+    Core.Election.run_chaos ~cost:(Schedule.cost s) ~trace ~registry
+      ~chaos:(Schedule.compile s) ~graph ()
+  in
+  let oracles =
+    [
+      Oracle.trace_complete trace;
+      Oracle.fifo_per_link trace;
+      Oracle.at_most_one_leader ~leaders:o.Core.Election.leaders;
+      Oracle.believed_consistent ~leaders:o.leaders ~believed:o.believed;
+      Oracle.election_budget_held ~n:s.Schedule.n
+        ~deliveries:o.election_deliveries;
+    ]
+  in
+  ( oracles,
+    o.chaos_syscalls,
+    o.chaos_hops,
+    o.chaos_drops,
+    counter_value registry "net.dropped_in_flight",
+    o.chaos_time )
+
+(* The maintenance run gets no trace: rounds of n broadcasts can
+   overflow any bounded recorder, and a truncated trace would make the
+   delivery oracles unsound.  Convergence is the oracle that matters
+   here (Theorem 1).
+
+   The period must clear the NCU throughput bound.  Every node
+   processes at least one view per origin per round — n activations of
+   one sys_delay each through its single-server FIFO queue — so any
+   period below n x sys_delay grows the queues without bound and
+   convergence stalls behind the backlog, not behind the protocol.
+   2n gives every round headroom to drain; all schedule faults land
+   before the first round check, leaving the remaining rounds
+   quiescent. *)
+let maintenance_period n = 2.0 *. float_of_int n
+let maintenance_rounds = 12
+
+let run_maintenance (s : Schedule.t) graph =
+  let registry = Registry.create () in
+  let params =
+    {
+      (Core.Topo_maintenance.default_params ()) with
+      period = maintenance_period s.Schedule.n;
+      max_rounds = maintenance_rounds;
+      preseed = true;
+      reset_on_recover = true;
+      cost = Schedule.cost s;
+      registry = Some registry;
+    }
+  in
+  let o =
+    Core.Topo_maintenance.run ~params ~chaos:(Schedule.compile s) ~graph
+      ~events:[] ()
+  in
+  let oracles =
+    [
+      Oracle.convergence ~converged:o.Core.Topo_maintenance.converged
+        ~rounds:o.rounds;
+    ]
+  in
+  ( oracles,
+    o.syscalls,
+    o.hops,
+    counter_value registry "net.drops",
+    counter_value registry "net.dropped_in_flight",
+    o.time )
+
+let run_schedule scenario (s : Schedule.t) =
+  let graph = Schedule.graph_of s in
+  let oracles, syscalls, hops, drops, dropped_in_flight, time =
+    match scenario with
+    | Sweep.Bpaths | Sweep.Flood | Sweep.Dfs | Sweep.Direct | Sweep.Layered ->
+        run_broadcast scenario s graph
+    | Sweep.Election -> run_election s graph
+    | Sweep.Maintenance -> run_maintenance s graph
+  in
+  {
+    scenario;
+    schedule = s;
+    oracles;
+    ok = List.for_all (fun r -> r.Monitor.ok) oracles;
+    syscalls;
+    hops;
+    drops;
+    dropped_in_flight;
+    time;
+  }
+
+let soak ?pool scenario ~n ~seed ~schedules () =
+  if schedules < 1 then invalid_arg "Runner.soak: schedules must be positive";
+  let indices = Array.init schedules Fun.id in
+  let task index =
+    run_schedule scenario (Schedule.generate ~n ~seed ~index ())
+  in
+  let verdicts =
+    match pool with
+    | Some p -> Parallel.Pool.map p task indices
+    | None -> Array.map task indices
+  in
+  { soak_scenario = scenario; n; seed; verdicts }
+
+(* -- Shrinking --------------------------------------------------------- *)
+
+let still_fails scenario s = not (run_schedule scenario s).ok
+
+let shrink verdict =
+  if verdict.ok then
+    invalid_arg "Runner.shrink: the verdict passed, nothing to shrink";
+  let minimal =
+    Shrink.minimize ~still_fails:(still_fails verdict.scenario)
+      verdict.schedule
+  in
+  run_schedule verdict.scenario minimal
+
+(* -- JSON -------------------------------------------------------------- *)
+
+(* Verdict entries are keyed "schedule"/"oracle", never "name" paired
+   with "ns_per_run", so the bench --check regression parser skips
+   them when chaos output is merged into a bench file. *)
+let oracle_json (r : Monitor.report) =
+  Printf.sprintf "{\"oracle\":\"%s\",\"ok\":%b,\"detail\":\"%s\"}"
+    (Jsonx.escape r.Monitor.monitor)
+    r.ok (Jsonx.escape r.detail)
+
+let float_str f = Printf.sprintf "%.12g" f
+
+let verdict_json v =
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"schedule\":%s,\"faults\":%d,\"ok\":%b,\
+     \"oracles\":[%s],\"syscalls\":%d,\"hops\":%d,\"drops\":%d,\
+     \"dropped_in_flight\":%d,\"time\":%s}"
+    (Sweep.scenario_name v.scenario)
+    (Schedule.to_json v.schedule)
+    (List.length v.schedule.Schedule.faults)
+    v.ok
+    (String.concat "," (List.map oracle_json v.oracles))
+    v.syscalls v.hops v.drops v.dropped_in_flight (float_str v.time)
+
+(* Byte-identical for a fixed (scenario, n, seed, schedules) whatever
+   the job count: verdicts are in submission order and contain only
+   simulation-determined quantities — no wall clock, no job count. *)
+let soak_json s =
+  Printf.sprintf
+    "{\"chaos\":\"%s\",\"n\":%d,\"seed\":%d,\"schedules\":%d,\"failures\":%d,\
+     \"verdicts\":[%s]}"
+    (Sweep.scenario_name s.soak_scenario)
+    s.n s.seed (Array.length s.verdicts) (failures s)
+    (String.concat ","
+       (Array.to_list (Array.map verdict_json s.verdicts)))
+
+(* -- Repro files ------------------------------------------------------- *)
+
+let repro_magic = "futurenet-chaos"
+
+let repro_json v =
+  let failed =
+    List.filter_map
+      (fun (r : Monitor.report) ->
+        if r.Monitor.ok then None
+        else Some (Printf.sprintf "\"%s\"" (Jsonx.escape r.monitor)))
+      v.oracles
+  in
+  Printf.sprintf
+    "{\"repro\":\"%s\",\"version\":1,\"scenario\":\"%s\",\"schedule\":%s,\
+     \"failed_oracles\":[%s]}"
+    repro_magic
+    (Sweep.scenario_name v.scenario)
+    (Schedule.to_json v.schedule)
+    (String.concat "," failed)
+
+let write_repro ~path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (repro_json v);
+      output_char oc '\n')
+
+let ( let* ) = Result.bind
+
+let read_repro path =
+  let* contents =
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> Ok contents
+    | exception Sys_error msg -> Error msg
+  in
+  let* doc = Jsonx.parse contents in
+  let* magic = Result.bind (Jsonx.member "repro" doc) Jsonx.to_string in
+  let* () =
+    if magic = repro_magic then Ok ()
+    else Error (Printf.sprintf "not a chaos repro file (magic %S)" magic)
+  in
+  let* name = Result.bind (Jsonx.member "scenario" doc) Jsonx.to_string in
+  let* scenario =
+    match Sweep.scenario_of_string name with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown scenario %S" name)
+  in
+  let* schedule_obj = Jsonx.member "schedule" doc in
+  let* schedule = Schedule.of_json_value schedule_obj in
+  Ok (scenario, schedule)
+
+let replay path =
+  let* scenario, schedule = read_repro path in
+  Ok (run_schedule scenario schedule)
+
+(* -- Human-readable summaries ------------------------------------------ *)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s schedule %d (n=%d seed=%d): %s — %d faults, %d syscalls, %d hops, %d drops (%d in flight), time %g@."
+    (Sweep.scenario_name v.scenario)
+    v.schedule.Schedule.index v.schedule.Schedule.n v.schedule.Schedule.seed
+    (if v.ok then "ok" else "FAIL")
+    (List.length v.schedule.Schedule.faults)
+    v.syscalls v.hops v.drops v.dropped_in_flight v.time;
+  List.iter
+    (fun (r : Monitor.report) ->
+      if not r.Monitor.ok then
+        Format.fprintf ppf "    %s: %s@." r.monitor r.detail)
+    v.oracles
+
+let pp_soak ppf s =
+  let total_faults =
+    Array.fold_left
+      (fun acc v -> acc + List.length v.schedule.Schedule.faults)
+      0 s.verdicts
+  in
+  let static =
+    Array.fold_left
+      (fun acc v -> if Schedule.is_static v.schedule then acc + 1 else acc)
+      0 s.verdicts
+  in
+  Format.fprintf ppf
+    "%-11s n=%-4d seed=%-6d %3d schedules (%d static, %d faults): %s@."
+    (Sweep.scenario_name s.soak_scenario)
+    s.n s.seed (Array.length s.verdicts) static total_faults
+    (match failures s with
+    | 0 -> "all oracles green"
+    | f -> Printf.sprintf "%d FAILING" f);
+  Array.iter (fun v -> if not v.ok then pp_verdict ppf v) s.verdicts

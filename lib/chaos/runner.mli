@@ -1,0 +1,78 @@
+(** The chaos soak runner: generate → inject → check → shrink.
+
+    One schedule runs one scenario instance end to end: regenerate the
+    graph from [(seed, index)], arm the compiled fault plan, run to
+    quiescence (maintenance: to its round budget), then evaluate the
+    scenario's oracles.  A soak fans [schedules] consecutive indices
+    through a {!Parallel.Pool}; because every verdict is a pure
+    function of [(scenario, n, seed, index)], {!soak_json} is
+    byte-identical at any job count. *)
+
+type scenario = Parallel.Sweep.scenario
+
+type verdict = {
+  scenario : scenario;
+  schedule : Schedule.t;
+  oracles : Hardware.Monitor.report list;
+  ok : bool;  (** all oracles green *)
+  syscalls : int;
+  hops : int;
+  drops : int;
+  dropped_in_flight : int;
+  time : float;  (** simulation time, never wall clock *)
+}
+
+type soak = {
+  soak_scenario : scenario;
+  n : int;
+  seed : int;
+  verdicts : verdict array;  (** in schedule-index order *)
+}
+
+val failures : soak -> int
+
+val run_schedule : scenario -> Schedule.t -> verdict
+(** Deterministic: depends only on the arguments. *)
+
+val soak :
+  ?pool:Parallel.Pool.t ->
+  scenario ->
+  n:int ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  soak
+(** Run schedule indices [0 .. schedules-1], through [pool] when given.
+    @raise Invalid_argument if [schedules < 1]. *)
+
+val shrink : verdict -> verdict
+(** Delta-debug then magnitude-shrink the failing verdict's schedule
+    ({!Shrink.minimize} with "this scenario's oracles still fail" as
+    the predicate) and re-run the minimal schedule.
+    @raise Invalid_argument on a passing verdict. *)
+
+(** {1 JSON} *)
+
+val verdict_json : verdict -> string
+(** Keyed ["schedule"]/["oracle"] — never a ["name"]/["ns_per_run"]
+    pair — so the bench [--check] regression parser ignores chaos
+    entries merged into a bench file. *)
+
+val soak_json : soak -> string
+(** Deterministic across job counts (no wall clock, no job count). *)
+
+(** {1 Repro files} *)
+
+val write_repro : path:string -> verdict -> unit
+(** Write the verdict's schedule (typically post-{!shrink}) with its
+    failed oracle names as a self-contained JSON repro file. *)
+
+val read_repro : string -> (scenario * Schedule.t, string) result
+
+val replay : string -> (verdict, string) result
+(** {!read_repro} then {!run_schedule}. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_soak : Format.formatter -> soak -> unit

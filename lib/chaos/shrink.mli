@@ -1,0 +1,25 @@
+(** Counterexample shrinking for failing schedules.
+
+    Two passes, both preserving replayability (a shrunk schedule keeps
+    its [(seed, index)] so the graph and delay stream regenerate; only
+    the explicit fault list and jitter change):
+
+    + {e delta-debugging} ([ddmin]) over the fault list — remove
+      ever-smaller chunks of fault events while the failure persists,
+      until the list is 1-minimal (no single event can be dropped);
+    + {e magnitude shrinking} — zero the jitter if the failure
+      persists without it, then try to snap each surviving fault's
+      time to rounder, earlier values (0, its floor, its half).
+
+    The predicate is "still fails", so shrinking a passing schedule is
+    a programming error the caller must screen out. *)
+
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+(** [ddmin still_fails xs] returns a sublist on which [still_fails]
+    holds, 1-minimal w.r.t. element removal (assuming [still_fails xs]
+    held to begin with; [[]] is returned if the empty list fails). *)
+
+val minimize :
+  still_fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
+(** Both passes.  Requires [still_fails s]; ensures [still_fails] of
+    the result. *)

@@ -23,6 +23,7 @@ type config = {
   view : Graph.t option;
   trace : Sim.Trace.t option;
   registry : Hardware.Registry.t option;
+  chaos : Hardware.Fault_plan.t option;
 }
 
 let default_config () =
@@ -33,6 +34,7 @@ let default_config () =
     view = None;
     trace = None;
     registry = None;
+    chaos = None;
   }
 
 type 'msg spec =
@@ -52,6 +54,9 @@ let execute ~config ~graph ~root ~spec () =
       ~cost:config.cost ~graph ~handlers:(spec ~reached ~view) ()
   in
   List.iter (fun (u, v) -> Network.preset_link net u v ~up:false) config.failed;
+  (match config.chaos with
+  | Some plan -> Hardware.Fault_plan.arm net plan
+  | None -> ());
   reached.(root) <- true;
   Network.start ~label:"broadcast-start" net root;
   (match Sim.Engine.run engine with

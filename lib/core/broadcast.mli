@@ -42,11 +42,15 @@ type config = {
   registry : Hardware.Registry.t option;
       (** when given, the hardware [net.*] family and the algorithm's
           own counters are published here *)
+  chaos : Hardware.Fault_plan.t option;
+      (** timed faults armed before the root starts; unlike [failed]
+          these fire mid-run with full notifications and in-flight
+          loss (the chaos harness's injection hook) *)
 }
 
 val default_config : unit -> config
 (** [new_model] cost (C=0, P=1), no failures, no [dmax], true view,
-    no external trace or registry. *)
+    no external trace or registry, no chaos plan. *)
 
 (** {1 Internal executor used by the algorithm modules} *)
 

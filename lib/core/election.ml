@@ -58,8 +58,18 @@ let level_of_token t = (t.tsize, t.torigin)
 let route_len_buckets =
   [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
 
-let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
-    ?(notify_supporters = false) ?trace ?registry ~graph () =
+type chaos_outcome = {
+  leaders : int list;
+  believed : int option array;
+  election_deliveries : int;
+  chaos_syscalls : int;
+  chaos_hops : int;
+  chaos_drops : int;
+  chaos_time : float;
+}
+
+let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
+    ?(notify_supporters = false) ?trace ?registry ?chaos ~graph () =
   let n = Graph.n graph in
   if not (Graph.is_connected graph) then
     invalid_arg "Election.run: the graph must be connected";
@@ -230,7 +240,12 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
         let lv = (Inout.size st.inout, v) in
         let lt = level_of_token token in
         match st.cstatus with
-        | `Leader -> assert false
+        | `Leader ->
+            (* unreachable without faults: a leader's domain spans the
+               graph, so no other candidate can still be touring.  A
+               fault schedule can strand a stale token that arrives
+               late; the leader's level (n, v) beats it — rule 2.1 *)
+            return_unsuccessful ctx v token
         | `Inactive ->
             if lv > lt then return_unsuccessful ctx v token  (* 2.1 *)
             else capture ctx v token  (* 2.2 *)
@@ -305,11 +320,20 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     Network.create ?trace ?registry ~dmax:((2 * n) + 2) ~engine ~cost ~graph
       ~handlers ()
   in
+  (match chaos with
+  | Some plan -> Hardware.Fault_plan.arm net plan
+  | None -> ());
   List.iter (fun v -> Network.start ~label:"start" net v) starters;
   (match Sim.Engine.run engine with
   | Sim.Engine.Quiescent -> ()
   | Sim.Engine.Time_limit | Sim.Engine.Event_limit -> assert false);
   Network.publish_distributions net;
+  (roles, believed_leader, net, engine, !tours, !captures, !max_route)
+
+let run ?cost ?starters ?rng ?notify_supporters ?trace ?registry ~graph () =
+  let roles, believed_leader, net, engine, tours, captures, max_route =
+    run_core ?cost ?starters ?rng ?notify_supporters ?trace ?registry ~graph ()
+  in
   let leader =
     let found = ref None in
     Array.iteri
@@ -340,9 +364,31 @@ let run ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     total_syscalls = Hardware.Metrics.syscalls m;
     hops = Hardware.Metrics.hops m;
     time = Sim.Engine.now engine;
-    tours = !tours;
-    captures = !captures;
-    max_route = !max_route;
+    tours;
+    captures;
+    max_route;
     notify_syscalls = Hardware.Metrics.syscalls_labelled m "notify";
     spanning_tree;
+  }
+
+let run_chaos ?cost ?starters ?rng ?trace ?registry ?chaos ~graph () =
+  let roles, believed_leader, net, engine, _tours, _captures, _max_route =
+    run_core ?cost ?starters ?rng ?trace ?registry ?chaos ~graph ()
+  in
+  let leaders = ref [] in
+  Array.iteri
+    (fun v role ->
+      match role with
+      | Origin { cstatus = `Leader; _ } -> leaders := v :: !leaders
+      | _ -> ())
+    roles;
+  let m = Network.metrics net in
+  {
+    leaders = List.rev !leaders;
+    believed = believed_leader;
+    election_deliveries = Hardware.Metrics.syscalls_labelled m "election";
+    chaos_syscalls = Hardware.Metrics.syscalls m;
+    chaos_hops = Hardware.Metrics.hops m;
+    chaos_drops = Hardware.Metrics.drops m;
+    chaos_time = Sim.Engine.now engine;
   }

@@ -73,3 +73,40 @@ val run :
 
     @raise Invalid_argument if the graph is disconnected or
     [starters] is empty. *)
+
+(** {1 Election under injected faults} *)
+
+type chaos_outcome = {
+  leaders : int list;
+      (** nodes that declared themselves leader, ascending; [[]] when
+          faults starved every candidate (a touring candidate whose
+          token was lost waits forever), at most one element when the
+          paper's safety argument holds *)
+  believed : int option array;
+      (** announcement state per node; a partitioned or crashed node
+          may legitimately still believe [None] or a stale leader *)
+  election_deliveries : int;
+      (** tour/return deliveries — the 6n budget of Theorem 5 is a
+          valid bound a fortiori, faults only remove deliveries *)
+  chaos_syscalls : int;  (** all NCU activations incl. link-change *)
+  chaos_hops : int;
+  chaos_drops : int;
+  chaos_time : float;
+}
+
+val run_chaos :
+  ?cost:Hardware.Cost_model.t ->
+  ?starters:int list ->
+  ?rng:Sim.Rng.t ->
+  ?trace:Sim.Trace.t ->
+  ?registry:Hardware.Registry.t ->
+  ?chaos:Hardware.Fault_plan.t ->
+  graph:Netgraph.Graph.t ->
+  unit ->
+  chaos_outcome
+(** Like {!run} but with a fault plan armed before the starters fire,
+    and an outcome that tolerates fault-induced liveness loss: instead
+    of raising when no (or, would it ever happen, more than one)
+    leader emerges, it reports every declared leader so the chaos
+    oracles can check at-most-one-leader among survivors.  The graph
+    must be connected at time 0; the plan may disconnect it later. *)

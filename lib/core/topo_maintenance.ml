@@ -18,6 +18,7 @@ type params = {
   stagger : Sim.Rng.t option;
   trace : Sim.Trace.t option;
   registry : Hardware.Registry.t option;
+  reset_on_recover : bool;
 }
 
 let default_params () =
@@ -33,6 +34,7 @@ let default_params () =
     stagger = None;
     trace = None;
     registry = None;
+    reset_on_recover = false;
   }
 
 type event = { at : float; edge : int * int; up : bool }
@@ -46,6 +48,7 @@ type outcome = {
   hops : int;
   time : float;
   correct_per_round : int list;
+  dbs : Topology.db array;
 }
 
 type msg = {
@@ -56,7 +59,7 @@ type msg = {
 }
 
 type node_state = {
-  db : Topology.db;
+  mutable db : Topology.db;
   mutable seq : int;
   mutable local_links : (int * bool) list;
   relayed : (int * int, unit) Hashtbl.t;
@@ -107,7 +110,8 @@ let deadlock_example_graph () =
   in
   (g, [ (0, 3); (1, 4); (2, 5) ])
 
-let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
+let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
+    ~events () =
   let n = Graph.n graph in
   let engine = Engine.create ~queue_capacity:n () in
   let states =
@@ -271,16 +275,33 @@ let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
                 : bool))
           graph)
       states;
-  List.iter
-    (fun { at; edge = u, v; up } ->
-      Engine.schedule_at engine ~time:at (fun () -> Network.set_link net u v ~up))
-    events;
-  List.iter
-    (fun { at_time; node; alive } ->
-      Engine.schedule_at engine ~time:at_time (fun () ->
-          if alive then Network.restore_node net node
-          else Network.fail_node net node))
-    node_events;
+  (* the legacy event/node_event lists and the chaos plan all flow
+     through the same Fault_plan arming, so every injection path gets
+     the recovery hook below *)
+  let plan =
+    List.map
+      (fun { at; edge = u, v; up } -> Hardware.Fault_plan.Link_set { at; u; v; up })
+      events
+    @ List.map
+        (fun { at_time; node; alive } ->
+          Hardware.Fault_plan.Node_set { at = at_time; node; alive })
+        node_events
+    @ Option.value ~default:[] chaos
+  in
+  let on_node ~node ~alive =
+    if alive && params.reset_on_recover then begin
+      (* the paper's recovering NCU rejoins with no remote knowledge;
+         its own sequence counter survives the crash, or its first
+         post-recovery views would lose the freshness race against
+         stale entries other nodes still hold (the ARPANET
+         sequence-number lesson) *)
+      let st = states.(node) in
+      st.db <- Topology.create ();
+      Hashtbl.reset st.relayed;
+      Topology.set_own st.db (own_view node)
+    end
+  in
+  Hardware.Fault_plan.arm ~on_node net plan;
   Network.start_all net;
   let actual_graph () =
     Graph.of_edges ~n
@@ -321,4 +342,5 @@ let run ?(params = default_params ()) ?(node_events = []) ~graph ~events () =
     hops = Hardware.Metrics.hops m;
     time = Engine.now engine;
     correct_per_round = List.rev progress;
+    dbs = Array.map (fun st -> st.db) states;
   }

@@ -50,11 +50,19 @@ type params = {
   registry : Hardware.Registry.t option;
       (** when set, receives the [net.*] instruments plus
           [maint.broadcasts] and the [maint.rounds] gauge *)
+  reset_on_recover : bool;
+      (** when a node recovers (via [node_events] or a chaos plan), it
+          rejoins with an empty remote database: only its own local
+          view survives, rebuilt from the links it can see.  Its own
+          sequence counter is kept, so its first post-recovery
+          broadcast outranks any stale view of it held elsewhere.
+          Default [false] (the historical behaviour: a revived node
+          resumes with its stale pre-failure database). *)
 }
 
 val default_params : unit -> params
 (** Branching method, period 64, 64 max rounds, own-view only, no
-    preseed, C=0/P=1 cost. *)
+    preseed, C=0/P=1 cost, no reset on recovery. *)
 
 type event = { at : float; edge : int * int; up : bool }
 (** A scheduled link transition. *)
@@ -73,15 +81,23 @@ type outcome = {
   time : float;  (** simulation time at the final convergence check *)
   correct_per_round : int list;
       (** after each round, how many nodes' views were consistent *)
+  dbs : Topology.db array;
+      (** each node's final database — inspectable by tests and the
+          chaos oracles (e.g. what a reset node knows after revival) *)
 }
 
 val run :
   ?params:params ->
   ?node_events:node_event list ->
+  ?chaos:Hardware.Fault_plan.t ->
   graph:Netgraph.Graph.t ->
   events:event list ->
   unit ->
   outcome
+(** Run the protocol under the scheduled [events]/[node_events] plus
+    the optional chaos [plan]; all three are armed through
+    {!Hardware.Fault_plan}, so node recoveries honour
+    [reset_on_recover] whichever way they were injected. *)
 
 val cyclic_child_order :
   ring:int list -> self:int -> children:int list -> int list

@@ -19,6 +19,7 @@ type obs = {
   o_syscalls : Registry.counter;
   o_sends : Registry.counter;
   o_drops : Registry.counter;
+  o_dropped_in_flight : Registry.counter;
   o_hop_latency : Registry.histogram;
   o_header_len : Registry.histogram;
 }
@@ -71,6 +72,9 @@ let make_obs registry =
           o_syscalls = Registry.counter r "net.syscalls" ~help:"NCU activations";
           o_sends = Registry.counter r "net.sends" ~help:"packet injections";
           o_drops = Registry.counter r "net.drops" ~help:"packets that died";
+          o_dropped_in_flight =
+            Registry.counter r "net.dropped_in_flight"
+              ~help:"packets lost mid-link when the link failed under them";
           o_hop_latency =
             Registry.histogram r "net.hop_latency"
               ~help:"per-hop delay incl. FIFO queueing"
@@ -275,7 +279,14 @@ let rec switch t u ~via route cursor ~label ~msg_id payload =
                     (Sim.Trace.Hop { src = u; dst = v; time = arrival; msg_id });
                 switch t v ~via:u route (cursor + 1) ~label ~msg_id payload
               end
-              else drop t ~node:v "lost in flight (link failed)")
+              else begin
+                (* the silent-discard path: a packet committed to the
+                   link before the failure; account for it explicitly *)
+                (match t.obs with
+                | Some o -> Registry.incr o.o_dropped_in_flight
+                | None -> ());
+                drop t ~node:v "lost in flight (link failed)"
+              end)
         end
       end
     end
@@ -307,6 +318,20 @@ let set_link t u v ~up =
     notify u v;
     notify v u
   end
+
+let drop_in_flight t u v =
+  let record = link_record t u v in
+  (* advancing the epoch invalidates every packet committed to the
+     link without changing its up/down state, so neither endpoint is
+     notified — a momentary physical glitch below detection threshold *)
+  record.epoch <- record.epoch + 1;
+  if tracing t then
+    Sim.Trace.record t.trace
+      (Sim.Trace.Custom
+         {
+           time = Sim.Engine.now t.engine;
+           label = Printf.sprintf "drop-in-flight %d-%d" (min u v) (max u v);
+         })
 
 let node_is_alive t v = not t.dead.(v)
 

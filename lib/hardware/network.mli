@@ -11,7 +11,8 @@
     - each NCU is a single server: activations are processed serially
       in FIFO arrival order, each taking one software delay;
     - links are FIFO per direction; an inactive link delivers nothing,
-      and packets in flight when a link fails are lost;
+      and packets in flight when a link fails are lost (each such loss
+      is counted in the [net.dropped_in_flight] registry counter);
     - a node may inject any number of packets at the same instant at
       no extra processing cost (the PARIS multicast feature used by
       the Section 3 broadcast);
@@ -57,10 +58,11 @@ val create :
     latency.
 
     When [registry] is given (and enabled), the runtime publishes
-    [net.hops] / [net.syscalls] / [net.sends] / [net.drops] counters
-    and [net.hop_latency] / [net.header_len] histograms into it as the
-    simulation runs, through handles pre-registered here — the
-    disabled path stays allocation-free. *)
+    [net.hops] / [net.syscalls] / [net.sends] / [net.drops] /
+    [net.dropped_in_flight] counters and [net.hop_latency] /
+    [net.header_len] histograms into it as the simulation runs,
+    through handles pre-registered here — the disabled path stays
+    allocation-free. *)
 
 (** {1 Global view (experiment harness side)} *)
 
@@ -87,8 +89,18 @@ val start_all : ?label:string -> 'msg t -> unit
 
 val set_link : 'msg t -> int -> int -> up:bool -> unit
 (** Activate or deactivate the (bidirectional) link at the current
-    simulation time.  Packets in flight on a failing link are lost.
-    No-op if the link is already in the requested state.
+    simulation time.  Packets in flight on a failing link are lost
+    (and counted in [net.dropped_in_flight]).  No-op if the link is
+    already in the requested state.
+    @raise Invalid_argument if the edge does not exist. *)
+
+val drop_in_flight : 'msg t -> int -> int -> unit
+(** Destroy every packet currently in flight on the (bidirectional)
+    link without changing its up/down state: a physical glitch too
+    short for the data-link layer to detect, so no [on_link_change]
+    notification is delivered.  Losses are counted as drops and in
+    [net.dropped_in_flight].  Fault-injection primitive used by
+    {!Fault_plan}.
     @raise Invalid_argument if the edge does not exist. *)
 
 val preset_link : 'msg t -> int -> int -> up:bool -> unit

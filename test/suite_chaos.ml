@@ -1,0 +1,244 @@
+(* Tests for the chaos harness: schedule generation and codec,
+   soak determinism across job counts, repro round-trips, and the
+   counterexample shrinker — including the headline property that a
+   planted fault-handling bug shrinks to a handful of fault events. *)
+
+module Sch = Chaos.Schedule
+module R = Chaos.Runner
+module Sweep = Parallel.Sweep
+module N = Hardware.Network
+module B = Netgraph.Builders
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* -- generation -------------------------------------------------------- *)
+
+let test_generation_deterministic () =
+  let a = Sch.generate ~n:32 ~seed:9 ~index:4 () in
+  let b = Sch.generate ~n:32 ~seed:9 ~index:4 () in
+  check_bool "same schedule" true (Sch.equal a b);
+  let c = Sch.generate ~n:32 ~seed:9 ~index:5 () in
+  check_bool "different index differs" false (Sch.equal a c)
+
+let test_generation_faults_before_horizon () =
+  for index = 0 to 19 do
+    let s = Sch.generate ~n:24 ~seed:3 ~index () in
+    check_bool "faults land before the horizon" true
+      (Sch.quiescence s < Sch.default_horizon);
+    check_bool "at least one fault" true (s.Sch.faults <> [])
+  done
+
+let test_graph_regenerates () =
+  let s = Sch.generate ~n:24 ~seed:3 ~index:7 () in
+  let g1 = Sch.graph_of s and g2 = Sch.graph_of s in
+  check_bool "same edges" true
+    (Netgraph.Graph.edges g1 = Netgraph.Graph.edges g2)
+
+(* -- codec ------------------------------------------------------------- *)
+
+let qcheck_codec_roundtrip =
+  QCheck.Test.make ~name:"schedule JSON codec round-trips byte-identically"
+    ~count:200
+    QCheck.(pair small_int (int_bound 63))
+    (fun (seed, index) ->
+      let s = Sch.generate ~n:16 ~seed ~index () in
+      let j = Sch.to_json s in
+      match Sch.of_json j with
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      | Ok s' -> Sch.equal s s' && String.equal j (Sch.to_json s'))
+
+let test_codec_rejects_garbage () =
+  check_bool "not JSON" true (Result.is_error (Sch.of_json "]{"));
+  check_bool "wrong shape" true (Result.is_error (Sch.of_json "{\"seed\":1}"));
+  check_bool "bad fault kind" true
+    (Result.is_error
+       (Sch.of_json
+          "{\"seed\":1,\"index\":0,\"n\":4,\"jitter\":0,\
+           \"faults\":[{\"kind\":\"meteor\",\"at\":1}]}"))
+
+(* -- soak determinism -------------------------------------------------- *)
+
+let test_soak_json_independent_of_jobs () =
+  List.iter
+    (fun scenario ->
+      let inline = R.soak scenario ~n:12 ~seed:5 ~schedules:4 () in
+      Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+          let pooled = R.soak ~pool scenario ~n:12 ~seed:5 ~schedules:4 () in
+          check_string
+            (Sweep.scenario_name scenario)
+            (R.soak_json inline) (R.soak_json pooled)))
+    [ Sweep.Bpaths; Sweep.Election; Sweep.Maintenance ]
+
+(* -- repro files ------------------------------------------------------- *)
+
+let test_repro_roundtrip () =
+  let verdict = R.run_schedule Sweep.Flood (Sch.generate ~n:12 ~seed:5 ~index:1 ()) in
+  let path = Filename.temp_file "chaos-repro" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      R.write_repro ~path verdict;
+      match R.read_repro path with
+      | Error e -> Alcotest.failf "read_repro: %s" e
+      | Ok (scenario, schedule) ->
+          check_bool "scenario preserved" true (scenario = Sweep.Flood);
+          check_bool "schedule preserved" true
+            (Sch.equal verdict.R.schedule schedule);
+          (* replaying the file reproduces the verdict exactly *)
+          (match R.replay path with
+          | Error e -> Alcotest.failf "replay: %s" e
+          | Ok v ->
+              check_string "same verdict JSON" (R.verdict_json verdict)
+                (R.verdict_json v)))
+
+let test_repro_rejects_foreign_files () =
+  let path = Filename.temp_file "chaos-repro" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"name\":\"bench\",\"ns_per_run\":12.0}";
+      close_out oc;
+      check_bool "bench file refused" true (Result.is_error (R.read_repro path)))
+
+(* -- ddmin ------------------------------------------------------------- *)
+
+let test_ddmin_pair () =
+  (* failure needs 3 and 7 together; everything else is noise *)
+  let still_fails xs = List.mem 3 xs && List.mem 7 xs in
+  let input = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check (list int)) "minimal pair" [ 3; 7 ]
+    (Chaos.Shrink.ddmin still_fails input)
+
+let test_ddmin_single_and_empty () =
+  Alcotest.(check (list int)) "single culprit" [ 5 ]
+    (Chaos.Shrink.ddmin (fun xs -> List.mem 5 xs) [ 9; 5; 1; 4 ]);
+  Alcotest.(check (list int)) "empty already fails" []
+    (Chaos.Shrink.ddmin (fun _ -> true) [ 1; 2; 3 ])
+
+let test_ddmin_preserves_order () =
+  let still_fails xs = List.mem 2 xs && List.mem 8 xs && List.mem 4 xs in
+  Alcotest.(check (list int)) "subsequence order kept" [ 2; 4; 8 ]
+    (Chaos.Shrink.ddmin still_fails [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+(* -- the planted bug --------------------------------------------------- *)
+
+(* A deliberately buggy one-shot broadcast on a path graph: node 0
+   walks the payload down the path once, but every node's link-repair
+   handler re-sends the tail of the walk with no duplicate
+   suppression.  Any link that goes down and comes back up after the
+   first wave therefore delivers second copies — a real class of
+   fault-handling bug (re-synchronisation without an idempotence
+   check).  The oracle is at-most-once delivery. *)
+let buggy_n = 8
+
+let run_buggy (s : Sch.t) =
+  let graph = B.path buggy_n in
+  let engine = Sim.Engine.create () in
+  let counts = Array.make buggy_n 0 in
+  let tail v = List.init (buggy_n - v) (fun i -> v + i) in
+  let handlers v =
+    {
+      N.on_start =
+        (fun ctx ->
+          if v = 0 then N.send_walk ~copy_at:(fun _ -> true) ctx ~walk:(tail 0) ());
+      on_message = (fun _ ~via:_ () -> counts.(v) <- counts.(v) + 1);
+      on_link_change =
+        (fun ctx ~peer ~up ->
+          (* BUG: repair resends the tail without asking whether the
+             payload already made it across before the outage *)
+          if up && peer = v + 1 then
+            N.send_walk ~copy_at:(fun _ -> true) ctx ~walk:(tail v) ());
+    }
+  in
+  let net =
+    N.create ~engine ~cost:(Hardware.Cost_model.new_model ()) ~graph ~handlers ()
+  in
+  Hardware.Fault_plan.arm net (Sch.compile s);
+  N.start net 0;
+  ignore (Sim.Engine.run engine : Sim.Engine.outcome);
+  counts
+
+let buggy_fails s = Array.exists (fun c -> c > 1) (run_buggy s)
+
+(* the culprit flap buried in noise: crashes, permanent cuts and
+   in-flight drops that the buggy handler survives on their own *)
+let planted_schedule =
+  {
+    Sch.seed = 0;
+    index = 0;
+    n = buggy_n;
+    jitter = 0.0;
+    faults =
+      [
+        Sch.Link_down { at = 5.0; u = 1; v = 2 };   (* culprit: down ... *)
+        Sch.Drop_in_flight { at = 11.0; u = 2; v = 3 };
+        Sch.Node_crash { at = 14.0; node = 5 };
+        Sch.Link_up { at = 16.0; u = 1; v = 2 };    (* ... and back up *)
+        Sch.Node_crash { at = 18.0; node = 7 };
+        Sch.Link_down { at = 20.0; u = 0; v = 1 };
+        Sch.Drop_in_flight { at = 21.0; u = 4; v = 5 };
+        Sch.Link_down { at = 22.0; u = 5; v = 6 };
+        Sch.Drop_in_flight { at = 23.0; u = 0; v = 1 };
+        Sch.Node_crash { at = 24.0; node = 3 };
+        Sch.Link_down { at = 26.0; u = 6; v = 7 };
+        Sch.Drop_in_flight { at = 27.0; u = 2; v = 3 };
+        Sch.Node_crash { at = 28.0; node = 4 };
+      ];
+  }
+
+let test_planted_bug_detected () =
+  check_bool "full noisy schedule trips the oracle" true
+    (buggy_fails planted_schedule);
+  check_bool "fault-free run is clean" false
+    (buggy_fails { planted_schedule with Sch.faults = [] })
+
+let test_planted_bug_shrinks_small () =
+  let minimal = Chaos.Shrink.minimize ~still_fails:buggy_fails planted_schedule in
+  check_bool "minimal schedule still fails" true (buggy_fails minimal);
+  let k = List.length minimal.Sch.faults in
+  check_bool (Printf.sprintf "shrunk to %d <= 5 fault events" k) true (k <= 5);
+  (* 1-minimality: dropping any surviving fault makes the bug vanish *)
+  List.iteri
+    (fun i _ ->
+      let without =
+        List.filteri (fun j _ -> j <> i) minimal.Sch.faults
+      in
+      check_bool
+        (Printf.sprintf "fault %d is load-bearing" i)
+        false
+        (buggy_fails { minimal with Sch.faults = without }))
+    minimal.Sch.faults
+
+(* -- oracles over generated soaks -------------------------------------- *)
+
+let test_small_soak_green () =
+  List.iter
+    (fun scenario ->
+      let soak = R.soak scenario ~n:16 ~seed:2 ~schedules:3 () in
+      check_int (Sweep.scenario_name scenario) 0 (R.failures soak))
+    Sweep.all_scenarios
+
+let suite =
+  [
+    Alcotest.test_case "generation deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "faults before horizon" `Quick
+      test_generation_faults_before_horizon;
+    Alcotest.test_case "graph regenerates" `Quick test_graph_regenerates;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "soak json independent of jobs" `Quick
+      test_soak_json_independent_of_jobs;
+    Alcotest.test_case "repro round-trip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "repro rejects foreign files" `Quick
+      test_repro_rejects_foreign_files;
+    Alcotest.test_case "ddmin pair" `Quick test_ddmin_pair;
+    Alcotest.test_case "ddmin single and empty" `Quick test_ddmin_single_and_empty;
+    Alcotest.test_case "ddmin preserves order" `Quick test_ddmin_preserves_order;
+    Alcotest.test_case "planted bug detected" `Quick test_planted_bug_detected;
+    Alcotest.test_case "planted bug shrinks" `Quick test_planted_bug_shrinks_small;
+    Alcotest.test_case "small soak green" `Quick test_small_soak_green;
+    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+  ]

@@ -204,6 +204,41 @@ let qcheck_partial_start =
       Array.for_all (fun b -> b = Some o.E.leader) o.believed_leader
       && o.election_syscalls <= 6 * n)
 
+(* Safety under faults: a candidate crash mid-election strands every
+   live tour below level (n, v) — no node can complete a tour of all n
+   nodes — so liveness is forfeited (no leader) but at-most-one-leader
+   holds and nobody announces a ghost.  The costs are pinned: the
+   fault schedule is deterministic, so any drift in these numbers is a
+   semantic change to the runtime, not noise. *)
+let test_candidate_crash_mid_run () =
+  let g = B.ring 8 in
+  let chaos = [ Hardware.Fault_plan.Node_set { at = 2.5; node = 3; alive = false } ] in
+  let o = E.run_chaos ~chaos ~graph:g () in
+  check_int "no leader declared" 0 (List.length o.E.leaders);
+  check_bool "at most one leader" true (List.length o.E.leaders <= 1);
+  check_bool "nobody believes in a ghost leader" true
+    (Array.for_all (( = ) None) o.E.believed);
+  check_int "pinned deliveries" 18 o.E.election_deliveries;
+  check_int "pinned syscalls" 30 o.E.chaos_syscalls
+
+let test_crash_after_declaration () =
+  (* crashing once the election has quiesced must not retract the
+     declared leader or its announcements *)
+  let g = B.ring 8 in
+  let chaos = [ Hardware.Fault_plan.Node_set { at = 20.0; node = 3; alive = false } ] in
+  let o = E.run_chaos ~chaos ~graph:g () in
+  (match o.E.leaders with
+  | [ leader ] ->
+      Array.iteri
+        (fun v b ->
+          if v <> 3 then
+            check_bool (Printf.sprintf "node %d believes the leader" v) true
+              (b = Some leader))
+        o.E.believed
+  | l -> Alcotest.failf "expected a unique leader, got %d" (List.length l));
+  check_int "pinned deliveries" 33 o.E.election_deliveries;
+  check_int "pinned syscalls" 52 o.E.chaos_syscalls
+
 let suite =
   [
     Alcotest.test_case "singleton" `Quick test_singleton;
@@ -224,6 +259,10 @@ let suite =
     Alcotest.test_case "leader tree carries broadcast" `Quick test_leader_tree_carries_broadcast;
     Alcotest.test_case "exhaustive 4-node graphs" `Quick test_exhaustive_four_nodes;
     Alcotest.test_case "scale n=1024" `Slow test_scale_1024;
+    Alcotest.test_case "candidate crash mid-run" `Quick
+      test_candidate_crash_mid_run;
+    Alcotest.test_case "crash after declaration" `Quick
+      test_crash_after_declaration;
     QCheck_alcotest.to_alcotest qcheck_election_valid;
     QCheck_alcotest.to_alcotest qcheck_partial_start;
   ]

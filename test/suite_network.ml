@@ -173,6 +173,70 @@ let test_in_flight_loss () =
   check_int "lost in flight" 0 (List.length !log);
   check_bool "drop recorded" true (Hardware.Metrics.drops (N.metrics net) >= 1)
 
+let test_drop_in_flight () =
+  (* drop_in_flight loses exactly the packets committed to the link,
+     without a state change: no on_link_change anywhere, the link still
+     carries later traffic, and net.dropped_in_flight counts the loss *)
+  let graph = B.path 2 in
+  let engine = Sim.Engine.create () in
+  let registry = Hardware.Registry.create () in
+  let delivered = ref 0 and notified = ref 0 in
+  let handlers _ =
+    {
+      N.on_start = (fun _ -> ());
+      on_message = (fun _ ~via:_ (Payload _) -> incr delivered);
+      on_link_change = (fun _ ~peer:_ ~up:_ -> incr notified);
+    }
+  in
+  let handlers v =
+    if v <> 0 then handlers v
+    else
+      {
+        (handlers v) with
+        N.on_start =
+          (fun ctx ->
+            (* first packet in flight during (1, 11); the glitch at 5 *)
+            N.send_walk ctx ~walk:[ 0; 1 ] (Payload 1);
+            (* a later packet must cross the same (still up) link *)
+            N.set_timer ctx ~delay:20.0 (fun () ->
+                N.send_walk ctx ~walk:[ 0; 1 ] (Payload 2)));
+      }
+  in
+  let cost = CM.deterministic ~c:10.0 ~p:1.0 in
+  let net = N.create ~registry ~engine ~cost ~graph ~handlers () in
+  N.start net 0;
+  Sim.Engine.schedule_at engine ~time:5.0 (fun () -> N.drop_in_flight net 0 1);
+  run engine;
+  check_int "first packet lost, second delivered" 1 !delivered;
+  check_int "no link-change notifications" 0 !notified;
+  check_bool "link still up" true (N.link_is_up net 0 1);
+  (match Hardware.Registry.find_counter registry "net.dropped_in_flight" with
+  | Some c -> check_int "in-flight loss counted" 1 (Hardware.Registry.counter_value c)
+  | None -> Alcotest.fail "net.dropped_in_flight not registered")
+
+let test_link_failure_counts_in_flight () =
+  (* the pre-existing silent-discard path (link fails under a packet)
+     must feed the same counter *)
+  let graph = B.path 2 in
+  let engine = Sim.Engine.create () in
+  let registry = Hardware.Registry.create () in
+  let handlers v =
+    if v = 0 then
+      {
+        N.default_handlers with
+        N.on_start = (fun ctx -> N.send_walk ctx ~walk:[ 0; 1 ] (Payload 0));
+      }
+    else N.default_handlers
+  in
+  let cost = CM.deterministic ~c:10.0 ~p:1.0 in
+  let net = N.create ~registry ~engine ~cost ~graph ~handlers () in
+  N.start net 0;
+  Sim.Engine.schedule_at engine ~time:5.0 (fun () -> N.set_link net 0 1 ~up:false);
+  run engine;
+  match Hardware.Registry.find_counter registry "net.dropped_in_flight" with
+  | Some c -> check_int "loss counted" 1 (Hardware.Registry.counter_value c)
+  | None -> Alcotest.fail "net.dropped_in_flight not registered"
+
 let test_set_link_notifies () =
   let graph = B.path 2 in
   let engine = Sim.Engine.create () in
@@ -365,6 +429,9 @@ let suite =
     Alcotest.test_case "inactive link drops" `Quick test_inactive_link_drops;
     Alcotest.test_case "copy before dead link" `Quick test_copy_before_dead_link;
     Alcotest.test_case "in-flight loss" `Quick test_in_flight_loss;
+    Alcotest.test_case "drop_in_flight glitch" `Quick test_drop_in_flight;
+    Alcotest.test_case "link failure counts in-flight" `Quick
+      test_link_failure_counts_in_flight;
     Alcotest.test_case "set_link notifies" `Quick test_set_link_notifies;
     Alcotest.test_case "preset_link silent" `Quick test_preset_link_silent;
     Alcotest.test_case "dmax enforced" `Quick test_dmax_enforced;

@@ -232,6 +232,45 @@ let qcheck_random_failures_converge =
       let o = TM.run ~params:p ~graph:g ~events () in
       o.TM.converged)
 
+(* A recovering NCU with [reset_on_recover] rejoins with empty remote
+   knowledge (only its own view and its surviving sequence counter) —
+   the paper's amnesiac-recovery assumption.  Node 3 dies right after
+   the first broadcast wave and comes back at t=50, between that wave
+   and the next one (period 64), so at the single round's check its
+   database holds its own view alone under reset, while without reset
+   the preseeded world-view lingers untouched through the outage. *)
+let outage_events =
+  [
+    { TM.at_time = 1.0; node = 3; alive = false };
+    { TM.at_time = 50.0; node = 3; alive = true };
+  ]
+
+let test_reset_on_recover_forgets () =
+  let g, _ = TM.deadlock_example_graph () in
+  let run ~reset =
+    let p =
+      { (base ()) with preseed = true; max_rounds = 1; reset_on_recover = reset }
+    in
+    TM.run ~params:p ~node_events:outage_events ~graph:g ~events:[] ()
+  in
+  let with_reset = run ~reset:true and without = run ~reset:false in
+  check_int "reset: only its own view" 1
+    (List.length (Core.Topology.known_nodes with_reset.TM.dbs.(3)));
+  check_int "no reset: stale world-view survives" 6
+    (List.length (Core.Topology.known_nodes without.TM.dbs.(3)))
+
+let test_reset_on_recover_reconverges () =
+  (* given rounds after the recovery, the periodic broadcasts refill
+     the wiped database and the system reaches consistency again *)
+  let g, _ = TM.deadlock_example_graph () in
+  let p =
+    { (base ()) with preseed = true; max_rounds = 8; reset_on_recover = true }
+  in
+  let o = TM.run ~params:p ~node_events:outage_events ~graph:g ~events:[] () in
+  check_bool "reconverged" true o.TM.converged;
+  check_int "relearned every node" 6
+    (List.length (Core.Topology.known_nodes o.TM.dbs.(3)))
+
 let suite =
   [
     Alcotest.test_case "static convergence (branching)" `Quick test_static_convergence_branching;
@@ -253,5 +292,9 @@ let suite =
     Alcotest.test_case "staggered periods" `Quick test_staggered_periods_converge;
     Alcotest.test_case "scale n=100 with failures" `Slow test_scale_100_with_failures;
     Alcotest.test_case "cyclic child order" `Quick test_cyclic_child_order;
+    Alcotest.test_case "reset on recover forgets" `Quick
+      test_reset_on_recover_forgets;
+    Alcotest.test_case "reset on recover reconverges" `Quick
+      test_reset_on_recover_reconverges;
     QCheck_alcotest.to_alcotest qcheck_random_failures_converge;
   ]

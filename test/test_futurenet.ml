@@ -40,4 +40,5 @@ let () =
       ("core.aggregate", Suite_aggregate.suite);
       ("experiments", Suite_experiments.suite);
       ("parallel", Suite_parallel.suite);
+      ("chaos", Suite_chaos.suite);
     ]
