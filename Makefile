@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel chaos chaos-smoke experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale chaos chaos-smoke experiments figures examples clean
 
 all: build
 
@@ -25,7 +25,19 @@ bench-json:
 bench-check:
 	dune exec bench/main.exe -- bench \
 	  --check BENCH_64.seed.json --check BENCH_256.seed.json \
-	  --check BENCH_1024.seed.json --check BENCH_4096.seed.json
+	  --check BENCH_1024.seed.json --check BENCH_4096.seed.json \
+	  --check BENCH_65536.seed.json
+
+# Scale smoke (DESIGN.md §12): the broadcast scenarios + the setup/
+# group at n=65536 with the O(n) memory gate armed (exit 7 when the
+# heap high-water mark exceeds 64 MiB + 3000 bytes/node), then a 10^5
+# branching-paths sweep through the CLI to prove the whole pipeline —
+# graph build, BFS, labelling, route compilation, broadcast — survives
+# six figures with no stack overflow.  Writes BENCH_65536.json for the
+# bench-check gate above.
+bench-scale:
+	dune exec bench/main.exe -- bench --json --sizes 65536 --mem-budget 3000
+	dune exec bin/futurenet_cli.exe -- bench -s bpaths -n 100000 -r 2 --jobs 1
 
 # Multicore sweep check at the acceptance size: times the n=1024
 # scaling suite and the replica sweeps at 1 and 4 domains, records

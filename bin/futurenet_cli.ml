@@ -14,26 +14,40 @@ open Cmdliner
 
 (* -- shared topology argument ----------------------------------------- *)
 
-let build_graph topology n seed =
-  let rng = Sim.Rng.create ~seed in
+(* Every CLI scenario graph comes from the process-wide compiled-topology
+   cache, so subcommands that run the same (family, n, seed) scenario
+   share one artifact — graph, BFS tree, labelling and compiled routes
+   are built once per process, not once per use. *)
+let build_artifact topology n seed =
   match topology with
-  | `Path -> Netgraph.Builders.path n
-  | `Ring -> Netgraph.Builders.ring n
-  | `Star -> Netgraph.Builders.star n
-  | `Complete -> Netgraph.Builders.complete n
+  | `Path -> Compile.Cache.path ~n
+  | `Ring -> Compile.Cache.ring ~n
+  | `Star -> Compile.Cache.star ~n
+  | `Complete -> Compile.Cache.complete ~n
   | `Grid ->
       let side = max 2 (int_of_float (sqrt (float_of_int n))) in
-      Netgraph.Builders.grid ~rows:side ~cols:((n + side - 1) / side)
+      Compile.Cache.grid ~rows:side ~cols:((n + side - 1) / side)
   | `Hypercube ->
       let rec dim d = if 1 lsl d >= n then d else dim (d + 1) in
-      Netgraph.Builders.hypercube (dim 0)
+      Compile.Cache.hypercube ~dim:(dim 0)
   | `Binary ->
       let rec depth d =
         if Netgraph.Builders.binary_tree_nodes ~depth:d >= n then d
         else depth (d + 1)
       in
-      Netgraph.Builders.complete_binary_tree ~depth:(depth 0)
-  | `Random -> Netgraph.Builders.random_connected rng ~n ~extra_edges:(n / 2)
+      Compile.Cache.complete_binary_tree ~depth:(depth 0)
+  | `Random -> Compile.Cache.random_connected ~seed ~n ~extra_edges:(n / 2)
+
+let build_graph topology n seed =
+  Compile.Topology.graph (build_artifact topology n seed)
+
+(* The artifact's labelling and routes are rooted at node 0, so they
+   only apply to a broadcast from that root. *)
+let bpaths_precomputed art ~root =
+  if root = 0 then
+    ( Some (Compile.Topology.labelling art),
+      Compile.Topology.routes art ~chaos:None )
+  else (None, None)
 
 (* an Arg.enum, so an unknown family is a proper Cmdliner error: non-zero
    exit and a usage message listing the valid names *)
@@ -142,9 +156,10 @@ let algo_name = function
   | `Bpaths -> "bpaths" | `Flood -> "flood" | `Dfs -> "dfs"
   | `Direct -> "direct" | `Layered -> "layered"
 
-let run_broadcast algo ?config ~graph ~root () =
+let run_broadcast algo ?config ?precomputed ?routes ~graph ~root () =
   match algo with
-  | `Bpaths -> Core.Branching_paths.run ?config ~graph ~root ()
+  | `Bpaths ->
+      Core.Branching_paths.run ?config ?precomputed ?routes ~graph ~root ()
   | `Flood -> Core.Flooding.run ?config ~graph ~root ()
   | `Dfs -> Core.Dfs_broadcast.run ?config ~graph ~root ()
   | `Direct -> Core.Direct_broadcast.run ?config ~graph ~root ()
@@ -179,8 +194,14 @@ let broadcast_cmd =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
   in
   let run topology n seed algo root json =
-    let graph = build_graph topology n seed in
-    let result = run_broadcast algo ~graph ~root () in
+    let art = build_artifact topology n seed in
+    let graph = Compile.Topology.graph art in
+    let precomputed, routes =
+      match algo with
+      | `Bpaths -> bpaths_precomputed art ~root
+      | _ -> (None, None)
+    in
+    let result = run_broadcast algo ?precomputed ?routes ~graph ~root () in
     if json then
       print_endline (broadcast_json ~algo ~topology ~graph ~root result)
     else
@@ -294,7 +315,8 @@ let trace_cmd =
     close_out oc
   in
   let run topology n seed scenario root out mode =
-    let graph = build_graph topology n seed in
+    let art = build_artifact topology n seed in
+    let graph = Compile.Topology.graph art in
     let n = Netgraph.Graph.n graph in
     let trace = Sim.Trace.create () in
     let registry = Hardware.Registry.create () in
@@ -305,7 +327,12 @@ let trace_cmd =
             { (Core.Broadcast.default_config ()) with
               trace = Some trace; registry = Some registry }
           in
-          let r = run_broadcast algo ~config ~graph ~root () in
+          let precomputed, routes =
+            match algo with
+            | `Bpaths -> bpaths_precomputed art ~root
+            | _ -> (None, None)
+          in
+          let r = run_broadcast algo ~config ?precomputed ?routes ~graph ~root () in
           Printf.printf "%s on %s (n=%d): %d/%d reached, %d syscalls, time %g\n"
             (algo_name algo) (topology_name topology) n
             (Core.Broadcast.coverage r) n r.Core.Broadcast.syscalls r.time;
@@ -411,7 +438,8 @@ let profile_cmd =
     close_out oc
   in
   let run topology n seed scenario root c p out json =
-    let graph = build_graph topology n seed in
+    let art = build_artifact topology n seed in
+    let graph = Compile.Topology.graph art in
     let n = Netgraph.Graph.n graph in
     let cost = Hardware.Cost_model.deterministic ~c ~p in
     let trace = Sim.Trace.create () in
@@ -420,7 +448,14 @@ let profile_cmd =
         let config =
           { (Core.Broadcast.default_config ()) with cost; trace = Some trace }
         in
-        ignore (run_broadcast algo ~config ~graph ~root () : Core.Broadcast.result)
+        let precomputed, routes =
+          match algo with
+          | `Bpaths -> bpaths_precomputed art ~root
+          | _ -> (None, None)
+        in
+        ignore
+          (run_broadcast algo ~config ?precomputed ?routes ~graph ~root ()
+            : Core.Broadcast.result)
     | `Election ->
         ignore (Core.Election.run ~cost ~trace ~graph () : Core.Election.outcome)
     | `Maintenance ->

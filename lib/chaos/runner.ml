@@ -33,9 +33,13 @@ let counter_value registry name =
   | Some c -> Registry.counter_value c
   | None -> 0
 
-let broadcast_algo scenario ~config ~graph ~root () =
+let broadcast_algo ?precomputed scenario ~config ~graph ~root () =
   match scenario with
-  | Sweep.Bpaths -> Core.Branching_paths.run ~config ~graph ~root ()
+  | Sweep.Bpaths ->
+      (* the labelling is computed from the static view, so sharing the
+         cached artifact is sound under chaos; compiled routes are not
+         (run drops them whenever a fault plan is armed) *)
+      Core.Branching_paths.run ~config ?precomputed ~graph ~root ()
   | Sweep.Flood -> Core.Flooding.run ~config ~graph ~root ()
   | Sweep.Dfs -> Core.Dfs_broadcast.run ~config ~graph ~root ()
   | Sweep.Direct -> Core.Direct_broadcast.run ~config ~graph ~root ()
@@ -54,7 +58,12 @@ let run_broadcast scenario (s : Schedule.t) graph =
       chaos = Some (Schedule.compile s);
     }
   in
-  let r = broadcast_algo scenario ~config ~graph ~root:0 () in
+  let precomputed =
+    match scenario with
+    | Sweep.Bpaths -> Some (Compile.Topology.labelling (Schedule.artifact_of s))
+    | _ -> None
+  in
+  let r = broadcast_algo ?precomputed scenario ~config ~graph ~root:0 () in
   let n = s.Schedule.n in
   let deliveries = Oracle.deliveries_per_node ~n trace in
   let oracles =

@@ -43,9 +43,23 @@ let rngs ~seed ~index =
   let graph_rng, fault_rng = Sim.Rng.split structure in
   (graph_rng, fault_rng, run)
 
-let graph_of t =
-  let graph_rng, _, _ = rngs ~seed:t.seed ~index:t.index in
-  Netgraph.Builders.random_connected graph_rng ~n:t.n ~extra_edges:(t.n / 2)
+(* The schedule's graph is a pure function of (n, seed, index), so it
+   lives in the compiled-topology cache: a shrink run replays the same
+   schedule dozens of times and rebuilds the graph exactly once. *)
+let artifact_of t =
+  Compile.Cache.find_or_build
+    {
+      Compile.Topology.family = "chaos-schedule";
+      n = t.n;
+      seed = t.seed;
+      index = t.index;
+      extra = t.n / 2;
+    }
+    (fun () ->
+      let graph_rng, _, _ = rngs ~seed:t.seed ~index:t.index in
+      Netgraph.Builders.random_connected graph_rng ~n:t.n ~extra_edges:(t.n / 2))
+
+let graph_of t = Compile.Topology.graph (artifact_of t)
 
 let run_rng t =
   let _, _, run = rngs ~seed:t.seed ~index:t.index in

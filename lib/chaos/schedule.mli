@@ -41,10 +41,17 @@ val generate : ?horizon:float -> n:int -> seed:int -> index:int -> unit -> t
     schedules are {e static} — every fault a cut or crash at time 0 —
     the regime where component-scoped budget oracles are sound. *)
 
+val artifact_of : t -> Compile.Topology.t
+(** The schedule's compiled-topology artifact, from the process-wide
+    {!Compile.Cache} keyed [(n, seed, index)]: replaying or shrinking
+    the same schedule rebuilds the graph (and any derived labelling)
+    exactly once. *)
+
 val graph_of : t -> Netgraph.Graph.t
-(** The instance graph: [random_connected ~n ~extra_edges:(n/2)] built
-    from the schedule's graph-stream child — identical whether called
-    at generation, replay or shrink time. *)
+(** [Compile.Topology.graph (artifact_of t)] — the instance graph:
+    [random_connected ~n ~extra_edges:(n/2)] built from the schedule's
+    graph-stream child — identical whether called at generation,
+    replay or shrink time. *)
 
 val run_rng : t -> Sim.Rng.t
 (** A fresh copy of the run-stream child (cost-model jitter, protocol

@@ -2,14 +2,11 @@ module Graph = Netgraph.Graph
 module Tree = Netgraph.Tree
 module Network = Hardware.Network
 
-type msg = { origin : int; tree_edges : (int * int) list }
+type msg = { origin : int; labelling : Labels.t }
 
 let tree_for ~view ~root = Netgraph.Spanning.bfs_tree view ~root
 
 let predicted_time_units tree = Labels.max_path_depth (Labels.compute tree)
-
-let tree_of_msg m =
-  Tree.of_parents ~root:m.origin ~parents:m.tree_edges
 
 (* Registry lookups happen only on protocol events (one per relaying
    node), never on the per-hop path, so by-name registration here is
@@ -22,59 +19,79 @@ let publish_paths ctx k =
           (Hardware.Registry.counter r "bpaths.paths_sent") k
     | _ -> ()
 
-let send_paths ~multicast ctx labelling m =
+(* The sends leaving one head: over pre-compiled routes when a route
+   table is supplied, else walk-built headers — the compiled route of a
+   path is exactly the header [send_walk] would build, so both arms
+   produce the same packets. *)
+let sends_for ctx ~routes labelling m =
   let self = Network.self ctx in
-  let send path =
-    Network.send_walk ~label:"bpaths" ~copy_at:(fun _ -> true) ctx ~walk:path m
-  in
-  let paths = Labels.paths_from labelling self in
-  publish_paths ctx (List.length paths);
-  match paths with
+  match routes with
+  | Some table ->
+      Array.to_list
+        (Array.map
+           (fun route () -> Network.send_compiled ~label:"bpaths" ctx ~route m)
+           table.(self))
+  | None ->
+      List.map
+        (fun path () ->
+          Network.send_walk ~label:"bpaths" ~copy_at:(fun _ -> true) ctx
+            ~walk:path m)
+        (Labels.paths_from labelling self)
+
+let send_paths ~multicast ctx sends =
+  publish_paths ctx (List.length sends);
+  match sends with
   | [] -> ()
-  | paths when multicast ->
+  | sends when multicast ->
       (* one activation ships every path: they leave through distinct
          child links, which the PARIS primitive covers *)
-      List.iter send paths
+      List.iter (fun s -> s ()) sends
   | first :: rest ->
       (* ablation: no multicast primitive - each further path needs its
          own software activation *)
-      send first;
+      first ();
       let rec drain = function
         | [] -> ()
-        | path :: more ->
+        | s :: more ->
             Network.set_timer ~label:"bpaths-extra" ctx ~delay:0.0 (fun () ->
-                send path;
+                s ();
                 drain more)
       in
       drain rest
 
-let spec ~multicast ~reached ~view v =
+let spec ?precomputed ?routes ~multicast ~reached ~view v =
   let relayed = ref false in
   {
     Network.on_start =
       (fun ctx ->
         let root = Network.self ctx in
-        let tree = tree_for ~view ~root in
-        let labelling = Labels.compute tree in
-        let m =
-          {
-            origin = root;
-            tree_edges =
-              List.map (fun (p, c) -> (c, p)) (Tree.edges tree);
-          }
+        let labelling =
+          match precomputed with
+          | Some l -> l
+          | None -> Labels.compute (tree_for ~view ~root)
         in
-        send_paths ~multicast ctx labelling m);
+        let m = { origin = root; labelling } in
+        send_paths ~multicast ctx (sends_for ctx ~routes labelling m));
     on_message =
       (fun ctx ~via:_ m ->
         reached.(v) <- true;
         if not !relayed then begin
           relayed := true;
-          let labelling = Labels.compute (tree_of_msg m) in
-          send_paths ~multicast ctx labelling m
+          (* the message shares the root's labelling: every relay would
+             recompute the identical decomposition from the same tree
+             description, so the paper's "tree description in the
+             message" is carried as the decomposition itself *)
+          send_paths ~multicast ctx (sends_for ctx ~routes m.labelling m)
         end);
     on_link_change = (fun _ ~peer:_ ~up:_ -> ());
   }
 
-let run ?(config = Broadcast.default_config ()) ?(multicast = true) ~graph
-    ~root () =
-  Broadcast.execute ~config ~graph ~root ~spec:(spec ~multicast) ()
+let run ?(config = Broadcast.default_config ()) ?(multicast = true) ?precomputed
+    ?routes ~graph ~root () =
+  (* a fault plan mutates topology mid-run: conservatively drop any
+     pre-compiled route table and rebuild headers from walks at send
+     time, so chaos never replays routes across the mutation *)
+  let routes = if config.Broadcast.chaos <> None then None else routes in
+  Broadcast.execute ~config ~graph ~root
+    ~spec:(spec ?precomputed ?routes ~multicast)
+    ()

@@ -18,10 +18,13 @@
 
 type msg = {
   origin : int;  (** the broadcasting node *)
-  tree_edges : (int * int) list;
-      (** the (child, parent) pairs of the broadcast tree — the "tree
-          description" the paper puts in the message so path heads
-          recognise themselves *)
+  labelling : Labels.t;
+      (** the broadcast tree's labelling and path decomposition — the
+          "tree description" the paper puts in the message so path
+          heads recognise themselves.  Every relay would recompute the
+          identical decomposition from the same tree, so the message
+          shares the root's artifact instead of shipping raw edges and
+          re-labelling at every head (which made setup quadratic). *)
 }
 
 val tree_for : view:Netgraph.Graph.t -> root:int -> Netgraph.Tree.t
@@ -35,17 +38,31 @@ val predicted_time_units : Netgraph.Tree.t -> int
     is the root's own trigger activation). *)
 
 val spec :
+  ?precomputed:Labels.t ->
+  ?routes:Hardware.Anr.route array array ->
   multicast:bool ->
   reached:bool array ->
   view:Netgraph.Graph.t ->
   int ->
   msg Hardware.Network.handlers
 (** Low-level handler factory (one node's handlers), for embedding the
-    broadcast in custom harnesses — {!run} wraps it. *)
+    broadcast in custom harnesses — {!run} wraps it.
+
+    [precomputed] is the labelling of [tree_for ~view ~root] computed
+    ahead of time (e.g. by a {!Compile.Topology} artifact); the root
+    skips its setup step and ships it directly.  [routes] is the
+    matching compiled route table — [routes.(v)] holds the compiled
+    copy-all headers of [Labels.paths_from labelling v], in the same
+    order — letting every head skip per-send header construction.
+    Both are pure amortisations: the run's packets, metrics and
+    timings are identical with or without them, which
+    test/suite_compile.ml checks. *)
 
 val run :
   ?config:Broadcast.config ->
   ?multicast:bool ->
+  ?precomputed:Labels.t ->
+  ?routes:Hardware.Anr.route array array ->
   graph:Netgraph.Graph.t ->
   root:int ->
   unit ->
@@ -56,4 +73,9 @@ val run :
     costs one time unit.  With [multicast:false] each path costs its
     own activation (ablation A1): the broadcast stays at n deliveries
     but its completion time degrades from O(log n) toward
-    O(log n * max-degree). *)
+    O(log n * max-degree).
+
+    When [config.chaos] carries a fault plan, [routes] is ignored: the
+    plan mutates topology mid-run, and compiled routes must never be
+    replayed across such a mutation (see {!Compile.Topology.routes},
+    which refuses to hand them out in the first place). *)

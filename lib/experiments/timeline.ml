@@ -76,7 +76,9 @@ let broadcast_timeline ~algorithm ~graph ~root =
     render ~n:(Netgraph.Graph.n graph) ~columns:(int_of_float horizon + 2) trace
   in
   match algorithm with
-  | `Branching -> execute (Core.Branching_paths.spec ~multicast:true)
+  | `Branching ->
+      execute (fun ~reached ~view v ->
+          Core.Branching_paths.spec ~multicast:true ~reached ~view v)
   | `Flooding -> execute Core.Flooding.spec
 
 let run () =

@@ -121,13 +121,18 @@ let random_connected rng ~n ~extra_edges =
   let added = ref 0 in
   let attempts = ref 0 in
   (* Extra edges by rejection sampling; cap attempts so dense requests
-     on tiny graphs terminate. *)
+     on tiny graphs terminate.  Dedup through a set of normalised edge
+     codes — same accept/reject decisions (hence the same rng stream
+     and the same graph) as scanning the edge list, at O(1) a probe. *)
+  let seen = Hashtbl.create (2 * (n + extra_edges)) in
+  let code u v = if u < v then (u * n) + v else (v * n) + u in
+  List.iter (fun (u, v) -> Hashtbl.replace seen (code u v) ()) !edges;
   while !added < extra_edges && !attempts < 100 * (extra_edges + 1) do
     incr attempts;
     let u = Sim.Rng.int rng n and v = Sim.Rng.int rng n in
-    if u <> v && not (List.mem (u, v) !edges) && not (List.mem (v, u) !edges)
-    then begin
+    if u <> v && not (Hashtbl.mem seen (code u v)) then begin
       edges := (u, v) :: !edges;
+      Hashtbl.replace seen (code u v) ();
       incr added
     end
   done;

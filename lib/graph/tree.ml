@@ -31,20 +31,30 @@ let of_parents ~root ~parents =
           (Printf.sprintf "Tree.of_parents: parent %d of %d is not a member" p v);
       Hashtbl.replace parent_tbl v p)
     parents;
-  (* Reject cycles: walking up from any node must reach the root. *)
+  (* Reject cycles: walking up from any node must reach the root.  The
+     on-path set makes each climb O(path length) — every node is walked
+     over at most twice across all climbs, so the whole check is linear
+     even on a single 10^5-deep path. *)
   let verified = Hashtbl.create 16 in
   Hashtbl.replace verified root ();
+  let on_path = Hashtbl.create 16 in
   let rec climb path v =
     if Hashtbl.mem verified v then
       List.iter (fun u -> Hashtbl.replace verified u ()) path
-    else if List.mem v path then
+    else if Hashtbl.mem on_path v then
       invalid_arg "Tree.of_parents: cycle detected"
-    else
+    else begin
+      Hashtbl.replace on_path v ();
       match Hashtbl.find_opt parent_tbl v with
       | None -> invalid_arg "Tree.of_parents: disconnected node"
       | Some p -> climb (v :: path) p
+    end
   in
-  List.iter (fun (v, _) -> climb [] v) parents;
+  List.iter
+    (fun (v, _) ->
+      Hashtbl.reset on_path;
+      climb [] v)
+    parents;
   let kids = Hashtbl.create (List.length parents + 1) in
   List.iter
     (fun (v, p) ->
@@ -75,9 +85,16 @@ let children t v =
   check_member t v;
   Option.value ~default:[] (Hashtbl.find_opt t.kids v)
 
-let nodes t =
-  let rec visit v acc = List.fold_left (fun a c -> visit c a) (v :: acc) (children t v) in
-  List.rev (visit t.root [])
+(* Preorder via an explicit worklist (children prepended keep the
+   recursive visit order); stack-safe at any height, O(n) total. *)
+let preorder_from t v0 =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest -> go (v :: acc) (children t v @ rest)
+  in
+  go [] [ v0 ]
+
+let nodes t = preorder_from t t.root
 
 let leaves t = List.filter (fun v -> children t v = []) (nodes t)
 
@@ -91,12 +108,23 @@ let depth_of t v =
   up v 0
 
 let height t =
-  List.fold_left (fun acc v -> max acc (depth_of t v)) 0 (leaves t)
+  (* one preorder pass with memoised depths: parents precede children *)
+  let depth = Hashtbl.create t.size in
+  Hashtbl.replace depth t.root 0;
+  List.fold_left
+    (fun acc v ->
+      let d =
+        match Hashtbl.find_opt t.parents v with
+        | None -> 0
+        | Some p -> Hashtbl.find depth p + 1
+      in
+      Hashtbl.replace depth v d;
+      max acc d)
+    0 (nodes t)
 
 let subtree_nodes t v =
   check_member t v;
-  let rec visit v acc = List.fold_left (fun a c -> visit c a) (v :: acc) (children t v) in
-  List.rev (visit v [])
+  preorder_from t v
 
 let subtree_size t v = List.length (subtree_nodes t v)
 
@@ -161,8 +189,12 @@ let is_subgraph t g =
   List.for_all (fun (p, v) -> Graph.has_edge g p v) (edges t)
 
 let pp ppf t =
-  let rec render prefix v =
-    Format.fprintf ppf "%s%d@." prefix v;
-    List.iter (render (prefix ^ "  ")) (children t v)
+  (* same output as the recursive prefix renderer, via a worklist *)
+  let rec render = function
+    | [] -> ()
+    | (prefix, v) :: rest ->
+        Format.fprintf ppf "%s%d@." prefix v;
+        let deeper = prefix ^ "  " in
+        render (List.map (fun c -> (deeper, c)) (children t v) @ rest)
   in
-  render "" t.root
+  render [ ("", t.root) ]

@@ -54,6 +54,26 @@ let route_link r i = r.(i) lsr 1
 let route_copy r i = r.(i) land 1 <> 0
 let route_elem r i = { link = route_link r i; copy = route_copy r i }
 
+(* [compile_walk g walk = compile (of_walk g walk)] element for
+   element, without the intermediate list — setup-pipeline callers
+   compile whole route tables this way. *)
+let compile_walk ?(copy_at = fun _ -> false) g walk =
+  match walk with
+  | [] -> invalid_arg "Anr.compile_walk: empty walk"
+  | [ _ ] -> [||]
+  | first :: _ ->
+      let codes = Array.make (List.length walk) 0 in
+      let rec fill i = function
+        | [] | [ _ ] -> codes.(i) <- 0 (* deliver *)
+        | u :: (v :: _ as rest) ->
+            let link = Netgraph.Graph.link_index g u v in
+            let copy = u <> first && copy_at u in
+            codes.(i) <- (link lsl 1) lor (if copy then 1 else 0);
+            fill (i + 1) rest
+      in
+      fill 0 walk;
+      codes
+
 let concat a b =
   match List.rev a with
   | { link = 0; copy = false } :: rev_prefix -> List.rev_append rev_prefix b

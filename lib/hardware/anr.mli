@@ -80,6 +80,12 @@ val route_copy : route -> int -> bool
 val route_elem : route -> int -> elem
 (** The element at a cursor position, re-materialised (testing aid). *)
 
+val compile_walk :
+  ?copy_at:(int -> bool) -> Netgraph.Graph.t -> int list -> route
+(** [compile_walk g walk] is [compile (of_walk ?copy_at g walk)]
+    without the intermediate list — for compiling route tables ahead
+    of time (see {!Network.send_compiled}). *)
+
 val concat : t -> t -> t
 (** [concat a b] splices two headers: [a]'s terminating NCU element is
     dropped and [b] is appended, so a packet follows [a]'s walk and

@@ -355,9 +355,11 @@ let self ctx = ctx.node
 let network ctx = ctx.net
 let now ctx = Sim.Engine.now ctx.net.engine
 
-let send ?(label = "") ctx ~route payload =
+(* Common injection path: [compiled] carries [header_len] elements.
+   [send] compiles the list header here; [send_compiled] skips that —
+   the dmax check, metrics, trace and switching are identical. *)
+let inject ~label ctx ~header_len compiled payload =
   let t = ctx.net in
-  let header_len = Anr.length route in
   let oversized =
     match t.dmax with Some bound -> header_len > bound | None -> false
   in
@@ -391,8 +393,14 @@ let send ?(label = "") ctx ~route payload =
       Sim.Trace.record t.trace
         (Sim.Trace.Send
            { node = ctx.node; time = Sim.Engine.now t.engine; msg_id; label });
-    switch t ctx.node ~via:(-1) (Anr.compile route) 0 ~label ~msg_id payload
+    switch t ctx.node ~via:(-1) compiled 0 ~label ~msg_id payload
   end
+
+let send ?(label = "") ctx ~route payload =
+  inject ~label ctx ~header_len:(Anr.length route) (Anr.compile route) payload
+
+let send_compiled ?(label = "") ctx ~route payload =
+  inject ~label ctx ~header_len:(Anr.route_length route) route payload
 
 let send_walk ?label ?copy_at ctx ~walk payload =
   (match walk with

@@ -137,6 +137,13 @@ val send : ?label:string -> 'msg context -> route:Anr.t -> 'msg -> unit
     free local multicast.
     @raise Invalid_argument if the route exceeds [dmax]. *)
 
+val send_compiled : ?label:string -> 'msg context -> route:Anr.route -> 'msg -> unit
+(** {!send} with a pre-compiled route (e.g. from a compiled-topology
+    artifact), skipping per-send header compilation.  Behaviourally
+    identical to sending the route's list form: same dmax check, same
+    metrics, trace events and switching.
+    @raise Invalid_argument if the route exceeds [dmax]. *)
+
 val send_walk :
   ?label:string ->
   ?copy_at:(int -> bool) ->

@@ -109,18 +109,31 @@ let run t task =
     match caller_exn with Some e -> raise e | None -> ()
   end
 
-let map t f xs =
+let map ?chunk t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool.map: chunk must be positive" else c
+      | None ->
+          (* batch enough per cursor fetch that tiny tasks are not
+             dominated by the contended fetch-and-add, while keeping
+             ~4 batches per worker for load balance *)
+          max 1 (n / (t.jobs * 4))
+    in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let body _worker =
       let rec drain () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
+        let i0 = Atomic.fetch_and_add next chunk in
+        if i0 < n then begin
+          let stop = min n (i0 + chunk) in
           (* distinct workers write distinct slots: no data race *)
-          results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+          for i = i0 to stop - 1 do
+            results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
+          done;
           drain ()
         end
       in
@@ -137,7 +150,7 @@ let map t f xs =
       results
   end
 
-let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+let map_list ?chunk t f xs = Array.to_list (map ?chunk t f (Array.of_list xs))
 
 let shutdown t =
   if not t.closed then begin

@@ -42,15 +42,22 @@ val run : t -> (int -> unit) -> unit
     block for {!map}; most callers want {!map}.
     @raise Invalid_argument on a closed or busy (re-entered) pool. *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f xs] applies [f] to every element, distributing items over
     the pool's workers, and returns the results {e in submission
     order}.  If one or more applications raise, the exception of the
     lowest index is re-raised after all workers drain — which worker
     hit it cannot change the outcome.
-    @raise Invalid_argument on a closed or busy pool. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+    Workers claim [chunk] consecutive indices per cursor fetch
+    (chunked self-scheduling); the default batches roughly four
+    claims per worker, so tiny tasks amortise the contended
+    fetch-and-add while long sweeps still balance.  The chunk size
+    can shift which worker computes which item but never the results:
+    every item lands in its submission slot either way.
+    @raise Invalid_argument on a closed or busy pool, or [chunk < 1]. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists. *)
 
 val shutdown : t -> unit

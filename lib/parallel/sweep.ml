@@ -63,10 +63,16 @@ type t = {
 }
 
 (* Each replica gets its own random-connected instance of size [n]
-   (seed-equivalent to the scaling bench family: extra_edges = n/2),
-   built from its private rng child, then runs the scenario on it. *)
-let run_replica scenario ~n ~trace_capacity index rng =
-  let graph = Netgraph.Builders.random_connected rng ~n ~extra_edges:(n / 2) in
+   (seed-equivalent to the scaling bench family: extra_edges = n/2)
+   through the compiled-topology cache.  The replica's rng child
+   splits into a graph half and a run half: the cache rebuilds the
+   graph from the graph half's stream, derived from (seed, index, n)
+   alone, so a cache hit cannot shift any later draw of the run
+   half — hit or miss is unobservable in the metrics. *)
+let run_replica scenario ~n ~seed ~trace_capacity index rng =
+  let _graph_rng, run_rng = Sim.Rng.split rng in
+  let art = Compile.Cache.sweep_replica ~seed ~index ~n in
+  let graph = Compile.Topology.graph art in
   let trace = Sim.Trace.create ~capacity:trace_capacity () in
   let registry = Hardware.Registry.create () in
   let replica =
@@ -81,7 +87,11 @@ let run_replica scenario ~n ~trace_capacity index rng =
         in
         let r =
           match algo with
-          | Bpaths -> Core.Branching_paths.run ~config ~graph ~root:0 ()
+          | Bpaths ->
+              Core.Branching_paths.run ~config
+                ~precomputed:(Compile.Topology.labelling art)
+                ?routes:(Compile.Topology.routes art ~chaos:config.chaos)
+                ~graph ~root:0 ()
           | Flood -> Core.Flooding.run ~config ~graph ~root:0 ()
           | Dfs -> Core.Dfs_broadcast.run ~config ~graph ~root:0 ()
           | Direct -> Core.Direct_broadcast.run ~config ~graph ~root:0 ()
@@ -121,7 +131,7 @@ let run_replica scenario ~n ~trace_capacity index rng =
         (* one replica-specific link failure mid-run, so the replicas
            exercise genuinely different executions *)
         let edges = Array.of_list (Netgraph.Graph.edges graph) in
-        let failed = edges.(Sim.Rng.int rng (Array.length edges)) in
+        let failed = edges.(Sim.Rng.int run_rng (Array.length edges)) in
         let params =
           {
             (Core.Topo_maintenance.default_params ()) with
@@ -158,7 +168,7 @@ let run ?pool ?(replicas = 8) ?(trace_capacity = default_trace_capacity)
   if replicas < 1 then invalid_arg "Sweep.run: replicas must be positive";
   let rngs = Sim.Rng.split_n (Sim.Rng.create ~seed) replicas in
   let items = Array.mapi (fun i rng -> (i, rng)) rngs in
-  let task (i, rng) = run_replica scenario ~n ~trace_capacity i rng in
+  let task (i, rng) = run_replica scenario ~n ~seed ~trace_capacity i rng in
   let t0 = Unix.gettimeofday () in
   let results =
     match pool with

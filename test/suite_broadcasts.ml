@@ -34,7 +34,7 @@ let test_all_algorithms_cover () =
           let r = run ~graph:g ~root:0 () in
           check_bool (name ^ "/" ^ algo ^ " covers") true (BC.all_reached r))
         [
-          ("bpaths", BP.run ?config:None ?multicast:None);
+          ("bpaths", BP.run ?config:None ?multicast:None ?precomputed:None ?routes:None);
           ("flood", FL.run ?config:None);
           ("dfs", DF.run ?config:None);
           ("direct", DI.run ?config:None);

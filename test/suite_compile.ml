@@ -1,0 +1,174 @@
+(* Tests for the compiled-topology cache (lib/compile, DESIGN.md §12):
+   physical sharing on hit, recompilation on miss, fault-plan route
+   invalidation, and the oracle regression showing what a stale route
+   table would break. *)
+
+module Cache = Compile.Cache
+module Topology = Compile.Topology
+module BP = Core.Branching_paths
+module B = Netgraph.Builders
+module G = Netgraph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sorted_edges g =
+  List.sort compare
+    (List.map (fun (u, v) -> (min u v, max u v)) (G.edges g))
+
+let test_hit_is_physically_shared () =
+  Cache.clear ();
+  let a = Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16 in
+  let b = Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16 in
+  check_bool "same artifact" true (a == b);
+  check_bool "same graph" true (Topology.graph a == Topology.graph b);
+  (* derived fields fill once and are shared through the artifact *)
+  check_bool "same labelling" true
+    (Topology.labelling a == Topology.labelling b);
+  let s = Cache.stats () in
+  check_int "one miss" 1 s.Cache.misses;
+  check_bool "at least one hit" true (s.Cache.hits >= 1)
+
+let test_miss_recompiles () =
+  Cache.clear ();
+  let a = Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16 in
+  let b = Cache.random_connected ~seed:6 ~n:32 ~extra_edges:16 in
+  let c = Cache.random_connected ~seed:5 ~n:48 ~extra_edges:24 in
+  check_bool "distinct artifacts" true (a != b && a != c && b != c);
+  check_bool "distinct graphs" true
+    (sorted_edges (Topology.graph a) <> sorted_edges (Topology.graph b));
+  check_int "three misses" 3 (Cache.stats ()).Cache.misses
+
+let test_artifact_matches_direct_builder () =
+  Cache.clear ();
+  let art = Cache.random_connected ~seed:7 ~n:40 ~extra_edges:20 in
+  let direct =
+    B.random_connected (Sim.Rng.create ~seed:7) ~n:40 ~extra_edges:20
+  in
+  Alcotest.(check (list (pair int int)))
+    "same graph as the uncached builder" (sorted_edges direct)
+    (sorted_edges (Topology.graph art))
+
+let test_sweep_replica_matches_sweep_streams () =
+  (* the canned sweep-replica family must reproduce exactly the stream
+     Parallel.Sweep derives for replica [index] of a master [seed] *)
+  Cache.clear ();
+  let seed = 42 and index = 3 and n = 32 in
+  let art = Cache.sweep_replica ~seed ~index ~n in
+  let child = (Sim.Rng.split_n (Sim.Rng.create ~seed) (index + 1)).(index) in
+  let graph_rng, _run = Sim.Rng.split child in
+  let expected = B.random_connected graph_rng ~n ~extra_edges:(n / 2) in
+  Alcotest.(check (list (pair int int)))
+    "replica graph" (sorted_edges expected)
+    (sorted_edges (Topology.graph art))
+
+let test_routes_compiled_once () =
+  Cache.clear ();
+  let art = Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16 in
+  match (Topology.routes art ~chaos:None, Topology.routes art ~chaos:None) with
+  | Some r1, Some r2 -> check_bool "one compiled table" true (r1 == r2)
+  | _ -> Alcotest.fail "routes must be available without a fault plan"
+
+let test_armed_plan_invalidates_routes () =
+  Cache.clear ();
+  let art = Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16 in
+  let plan =
+    [ Hardware.Fault_plan.Link_set { at = 0.0; u = 0; v = 1; up = false } ]
+  in
+  check_bool "armed plan yields no compiled routes" true
+    (Topology.routes art ~chaos:(Some plan) = None);
+  (* dropping the plan restores the (already compiled) table *)
+  check_bool "unarmed again" true (Topology.routes art ~chaos:None <> None)
+
+let test_run_drops_routes_under_chaos () =
+  (* belt and braces at the algorithm layer: even if a caller smuggles
+     a compiled table past the cache, Branching_paths.run ignores it
+     whenever a fault plan is armed, so the run is identical to the
+     route-free one *)
+  Cache.clear ();
+  let art = Cache.random_connected ~seed:9 ~n:24 ~extra_edges:12 in
+  let g = Topology.graph art in
+  let routes = Topology.routes art ~chaos:None in
+  let plan =
+    [ Hardware.Fault_plan.Link_set { at = 0.0; u = 0; v = 1; up = false } ]
+  in
+  let config = { (Core.Broadcast.default_config ()) with chaos = Some plan } in
+  let with_routes = BP.run ~config ?routes ~graph:g ~root:0 () in
+  let without = BP.run ~config ~graph:g ~root:0 () in
+  check_bool "chaos run ignores compiled routes" true (with_routes = without)
+
+(* The regression the invalidation rule exists for.  A compiled route
+   table is only sound as long as it is *the* decomposition of the
+   current tree: if invalidation failed and harnesses mixed tables
+   from two epochs (here modelled as the union of the fresh table and
+   one compiled from a different spanning tree of the same graph),
+   chain walks overlap and nodes hear the payload twice — exactly
+   what the chaos at-most-once oracle rejects. *)
+let test_stale_routes_violate_at_most_once () =
+  Cache.clear ();
+  let n = 6 in
+  let art = Cache.complete ~n in
+  let g = Topology.graph art in
+  let fresh =
+    match Topology.routes art ~chaos:None with
+    | Some r -> r
+    | None -> Alcotest.fail "routes must compile"
+  in
+  (* a stale epoch: the path 0-1-2-...-5 is also a spanning tree of the
+     complete graph; its single chain covers every node *)
+  let stale_tree =
+    Netgraph.Tree.of_parents ~root:0
+      ~parents:(List.init (n - 1) (fun i -> (i + 1, i)))
+  in
+  let stale = Topology.compile_routes (Core.Labels.compute stale_tree) g in
+  let mixed = Array.init n (fun v -> Array.append fresh.(v) stale.(v)) in
+  let deliveries_with routes =
+    let trace = Sim.Trace.create () in
+    let config =
+      { (Core.Broadcast.default_config ()) with trace = Some trace }
+    in
+    ignore
+      (BP.run ~config ~precomputed:(Topology.labelling art) ~routes ~graph:g
+         ~root:0 ()
+        : Core.Broadcast.result);
+    Chaos.Oracle.deliveries_per_node ~n trace
+  in
+  let ok routes =
+    (Chaos.Oracle.at_most_once_delivery ~deliveries:(deliveries_with routes))
+      .Hardware.Monitor.ok
+  in
+  check_bool "fresh table delivers each node once" true (ok fresh);
+  check_bool "stale-mixed table caught by the oracle" false (ok mixed)
+
+let test_precomputed_routes_parity () =
+  (* the fast path must be semantically invisible: same result record
+     with and without the shared artifact *)
+  Cache.clear ();
+  let art = Cache.random_connected ~seed:11 ~n:40 ~extra_edges:20 in
+  let g = Topology.graph art in
+  let plain = BP.run ~graph:g ~root:0 () in
+  let fast =
+    BP.run ~precomputed:(Topology.labelling art)
+      ?routes:(Topology.routes art ~chaos:None) ~graph:g ~root:0 ()
+  in
+  check_bool "identical results" true (plain = fast)
+
+let suite =
+  [
+    Alcotest.test_case "hit is physically shared" `Quick
+      test_hit_is_physically_shared;
+    Alcotest.test_case "miss recompiles" `Quick test_miss_recompiles;
+    Alcotest.test_case "matches direct builder" `Quick
+      test_artifact_matches_direct_builder;
+    Alcotest.test_case "sweep replica streams" `Quick
+      test_sweep_replica_matches_sweep_streams;
+    Alcotest.test_case "routes compiled once" `Quick test_routes_compiled_once;
+    Alcotest.test_case "fault plan invalidates routes" `Quick
+      test_armed_plan_invalidates_routes;
+    Alcotest.test_case "chaos run ignores routes" `Quick
+      test_run_drops_routes_under_chaos;
+    Alcotest.test_case "stale routes violate at-most-once" `Quick
+      test_stale_routes_violate_at_most_once;
+    Alcotest.test_case "precomputed parity" `Quick
+      test_precomputed_routes_parity;
+  ]

@@ -224,6 +224,142 @@ let test_exhaustive_pruefer_trees () =
   done;
   check_int "6^4 labelled trees" 1296 !count
 
+(* -- parity with the original recursive implementation ----------------- *)
+
+(* The pre-optimisation Labels.compute, kept verbatim as an executable
+   specification: the iterative rewrite must reproduce its labels, its
+   path list (same order, same node order inside each path), its
+   per-head grouping and its depths, byte for byte.  Recursion depth
+   here is the tree height, so the reference only runs on the modest
+   trees below — the iterative version owes it nothing at scale. *)
+module Reference = struct
+  type r = {
+    labels : (int, int) Hashtbl.t;
+    all_paths : int list list;
+    by_head : (int, int list list) Hashtbl.t;
+    path_depth : (int, int) Hashtbl.t;
+  }
+
+  let compute tree =
+    let labels = Hashtbl.create (T.size tree) in
+    let rec assign v =
+      let kid_labels = List.map assign (T.children tree v) in
+      let l =
+        match List.sort (fun a b -> compare b a) kid_labels with
+        | [] -> 0
+        | [ top ] -> top
+        | top :: second :: _ -> if top = second then top + 1 else top
+      in
+      Hashtbl.replace labels v l;
+      l
+    in
+    ignore (assign (T.root tree));
+    let lbl v = Hashtbl.find labels v in
+    let chain_of u c =
+      let rec extend v acc =
+        match List.filter (fun k -> lbl k = lbl c) (T.children tree v) with
+        | [] -> List.rev (v :: acc)
+        | [ k ] -> extend k (v :: acc)
+        | _ :: _ :: _ -> assert false
+      in
+      u :: extend c []
+    in
+    let all_paths = ref [] in
+    let by_head = Hashtbl.create 16 in
+    List.iter
+      (fun u ->
+        let heads_here =
+          List.filter
+            (fun c -> u = T.root tree || lbl u <> lbl c)
+            (T.children tree u)
+        in
+        let chains = List.map (chain_of u) heads_here in
+        if chains <> [] then Hashtbl.replace by_head u chains;
+        all_paths := List.rev_append chains !all_paths)
+      (T.nodes tree);
+    let all_paths = List.rev !all_paths in
+    let path_depth = Hashtbl.create (T.size tree) in
+    Hashtbl.replace path_depth (T.root tree) 0;
+    let rec propagate u =
+      let du = Hashtbl.find path_depth u in
+      let chains = Option.value ~default:[] (Hashtbl.find_opt by_head u) in
+      List.iter
+        (fun chain ->
+          List.iter
+            (fun v ->
+              if v <> u then begin
+                Hashtbl.replace path_depth v (du + 1);
+                propagate v
+              end)
+            chain)
+        chains
+    in
+    propagate (T.root tree);
+    { labels; all_paths; by_head; path_depth }
+end
+
+let parity_check t =
+  let l = L.compute t in
+  let r = Reference.compute t in
+  List.for_all
+    (fun v ->
+      L.label l v = Hashtbl.find r.Reference.labels v
+      && L.depth_in_paths l v = Hashtbl.find r.Reference.path_depth v
+      && L.paths_from l v
+         = Option.value ~default:[] (Hashtbl.find_opt r.Reference.by_head v))
+    (T.nodes t)
+  && L.paths l = r.Reference.all_paths
+  && L.max_label l = Hashtbl.find r.Reference.labels (T.root t)
+  && L.max_path_depth l
+     = Hashtbl.fold (fun _ d acc -> max d acc) r.Reference.path_depth 0
+
+let qcheck_parity_random =
+  QCheck.Test.make ~name:"iterative compute == recursive reference" ~count:200
+    QCheck.(pair (int_range 1 120) (int_range 0 1000))
+    (fun (n, salt) ->
+      let rng = Sim.Rng.create ~seed:((n * 1021) + salt) in
+      parity_check (tree_of (B.random_tree rng ~n) 0))
+
+let test_parity_structured () =
+  (* the tree shapes with distinctive decompositions, plus BFS trees of
+     general graphs (non-trivial sibling orders) *)
+  let graphs =
+    [
+      B.path 1; B.path 2; B.path 17; B.star 9; B.complete_binary_tree ~depth:5;
+      B.caterpillar ~spine:6 ~legs:2; B.ring 12; B.complete 9;
+      B.grid ~rows:4 ~cols:5;
+      B.random_connected (Sim.Rng.create ~seed:42) ~n:64 ~extra_edges:32;
+    ]
+  in
+  List.iter
+    (fun g -> check_bool "parity" true (parity_check (tree_of g 0)))
+    graphs
+
+let test_deep_path_stack_safety () =
+  (* the shape that overflowed the recursive implementation: one chain
+     of 200k nodes, height = n.  Must complete and decompose into a
+     single label-0 path of full depth 1. *)
+  let n = 200_000 in
+  let l = L.compute (tree_of (B.path n) 0) in
+  check_int "single chain" 1 (List.length (L.paths l));
+  check_int "label 0" 0 (L.max_label l);
+  check_int "path depth 1" 1 (L.max_path_depth l);
+  check_int "deep leaf depth" 1 (L.depth_in_paths l (n - 1))
+
+let test_deep_bfs_tree_stack_safety () =
+  (* same, through a BFS tree of a big random graph rather than an
+     explicit path: exercises preorder, labelling and depth passes on a
+     tree nobody hand-shaped *)
+  let n = 100_000 in
+  let g = B.random_connected (Sim.Rng.create ~seed:9) ~n ~extra_edges:(n / 2) in
+  let l = L.compute (tree_of g 0) in
+  check_bool "Theorem 2 at scale" true
+    (float_of_int (L.max_label l) <= Sim.Stats.log2 (float_of_int n) +. 1e-9);
+  let covered =
+    List.fold_left (fun acc p -> acc + List.length p - 1) 0 (L.paths l)
+  in
+  check_int "partition at scale" (n - 1) covered
+
 let qcheck_invariants_random =
   QCheck.Test.make ~name:"decomposition invariants on random trees" ~count:100
     QCheck.(int_range 2 60)
@@ -255,5 +391,9 @@ let suite =
     Alcotest.test_case "path label" `Quick test_path_label;
     Alcotest.test_case "caterpillar decomposition" `Quick test_caterpillar_decomposition;
     Alcotest.test_case "exhaustive Pruefer trees n=6" `Slow test_exhaustive_pruefer_trees;
+    Alcotest.test_case "parity on structured trees" `Quick test_parity_structured;
+    Alcotest.test_case "deep path is stack-safe" `Quick test_deep_path_stack_safety;
+    Alcotest.test_case "deep BFS tree is stack-safe" `Quick test_deep_bfs_tree_stack_safety;
+    QCheck_alcotest.to_alcotest qcheck_parity_random;
     QCheck_alcotest.to_alcotest qcheck_invariants_random;
   ]

@@ -88,6 +88,64 @@ let test_pool_reusable_across_generations () =
           out.(Array.length out - 1)
       done)
 
+(* -- chunked self-scheduling ------------------------------------------ *)
+
+let test_chunked_map_matches_sequential () =
+  (* every chunk size, every width: same results in the same slots *)
+  let xs = Array.init 101 Fun.id in
+  let f x = (x * 31) mod 257 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs (fun p ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+                expected
+                (P.map ~chunk p f xs))
+            [ 1; 2; 7; 101; 1000 ]))
+    [ 1; 2; 4 ]
+
+let test_chunked_preserves_order () =
+  P.with_pool ~jobs:4 (fun p ->
+      let out =
+        P.map ~chunk:3 p
+          (fun i ->
+            if i = 0 then Unix.sleepf 0.02;
+            i * 10)
+          (Array.init 32 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "submission order" (Array.init 32 (fun i -> i * 10)) out)
+
+let test_chunked_exception_contract () =
+  (* the lowest-index exception must win even when both raising items
+     land in the same chunk *)
+  P.with_pool ~jobs:2 (fun p ->
+      match
+        P.map ~chunk:8 p
+          (fun i -> if i = 3 || i = 5 then failwith (string_of_int i) else i)
+          (Array.init 16 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure s -> check_string "lowest index" "3" s)
+
+let test_chunk_validation () =
+  P.with_pool ~jobs:2 (fun p ->
+      check_bool "chunk=0 rejected" true
+        (match P.map ~chunk:0 p Fun.id [| 1 |] with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let qcheck_chunked_deterministic =
+  QCheck.Test.make ~name:"chunked map equals List.map at any (width, chunk)"
+    ~count:30
+    QCheck.(triple (list small_int) (int_range 1 4) (int_range 1 40))
+    (fun (xs, jobs, chunk) ->
+      let f x = (x * 7) mod 13 in
+      P.with_pool ~jobs (fun p -> P.map_list ~chunk p f xs) = List.map f xs)
+
 (* -- the determinism suite -------------------------------------------- *)
 
 (* The tentpole invariant: for every profile scenario, a sweep's
@@ -161,6 +219,14 @@ let suite =
       test_with_pool_returns_and_protects;
     Alcotest.test_case "pool reusable across generations" `Quick
       test_pool_reusable_across_generations;
+    Alcotest.test_case "chunked map matches sequential" `Quick
+      test_chunked_map_matches_sequential;
+    Alcotest.test_case "chunked map preserves order" `Quick
+      test_chunked_preserves_order;
+    Alcotest.test_case "chunked exception contract" `Quick
+      test_chunked_exception_contract;
+    Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
+    QCheck_alcotest.to_alcotest qcheck_chunked_deterministic;
     Alcotest.test_case "determinism: all scenarios, jobs 1 = jobs 4" `Slow
       test_determinism_all_scenarios;
     Alcotest.test_case "determinism across pool widths" `Quick

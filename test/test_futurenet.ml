@@ -40,5 +40,6 @@ let () =
       ("core.aggregate", Suite_aggregate.suite);
       ("experiments", Suite_experiments.suite);
       ("parallel", Suite_parallel.suite);
+      ("compile", Suite_compile.suite);
       ("chaos", Suite_chaos.suite);
     ]
