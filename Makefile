@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale chaos chaos-smoke experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-obs chaos chaos-smoke experiments figures examples clean
 
 all: build
 
@@ -30,14 +30,25 @@ bench-check:
 
 # Scale smoke (DESIGN.md §12): the broadcast scenarios + the setup/
 # group at n=65536 with the O(n) memory gate armed (exit 7 when the
-# heap high-water mark exceeds 64 MiB + 3000 bytes/node), then a 10^5
-# branching-paths sweep through the CLI to prove the whole pipeline —
-# graph build, BFS, labelling, route compilation, broadcast — survives
-# six figures with no stack overflow.  Writes BENCH_65536.json for the
+# heap high-water mark exceeds 64 MiB + 3000 bytes/node) and the
+# streamed-trace export on (DESIGN.md §13: the full broadcast trace
+# leaves the process through a 64 KiB sink buffer, so the memory gate
+# also proves streaming is O(buffer)), then a 10^5 branching-paths
+# sweep through the CLI to prove the whole pipeline — graph build,
+# BFS, labelling, route compilation, broadcast — survives six figures
+# with no stack overflow.  Writes BENCH_65536.json for the
 # bench-check gate above.
 bench-scale:
-	dune exec bench/main.exe -- bench --json --sizes 65536 --mem-budget 3000
+	dune exec bench/main.exe -- bench --json --sizes 65536 --mem-budget 3000 --stream
 	dune exec bin/futurenet_cli.exe -- bench -s bpaths -n 100000 -r 2 --jobs 1
+
+# Observability overhead gate (DESIGN.md §13): time each scenario with
+# traces off, with a disabled trace attached, and with a streaming
+# file sink attached; record the ratios in the BENCH json and exit 8
+# when a budget is blown (disabled must be ~1.0x, streaming within its
+# declared budget).
+bench-obs:
+	dune exec bench/main.exe -- bench --json --sizes 64,256 --obs-overhead
 
 # Multicore sweep check at the acceptance size: times the n=1024
 # scaling suite and the replica sweeps at 1 and 4 domains, records
@@ -51,9 +62,11 @@ bench-parallel:
 # n=64 (224 total).  Any oracle failure shrinks to a minimal
 # chaos-repro-*.json next to the build and exits 6; CI uploads those
 # repros as artifacts.  Byte-deterministic for a fixed (seed, -k)
-# whatever --jobs is.
+# whatever --jobs is.  The soak streams a progress heartbeat
+# (DESIGN.md §13) so a hung CI run shows where it stopped.
 chaos-smoke:
-	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 32 --seed 7 --jobs 2
+	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 32 --seed 7 --jobs 2 \
+	  --heartbeat chaos-heartbeat.jsonl --heartbeat-every 8
 
 # Full soak: more schedules, larger networks, all families.
 chaos:

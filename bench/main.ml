@@ -31,9 +31,23 @@
    - `--check FILE` : regression gate — no timing at all.  Diff the
                       BENCH_<n>.json next to the baseline FILE against
                       that baseline and exit 4 if any benchmark got
-                      slower by more than the tolerance.  Repeatable.
+                      slower by more than the tolerance, or if the
+                      baseline's schema_version is incompatible.
+                      Repeatable.
    - `--tolerance P`: allowed slow-down for `--check`, in percent
                       (default 15).
+   - `--stream`     : after timing, stream one branching-paths
+                      broadcast per size through a chunked file sink
+                      to TRACE_<n>.jsonl — the bounded-memory export
+                      path, exercised under `--mem-budget` at the
+                      scale sizes.
+   - `--obs-overhead`: self-measure the observability tax per size:
+                      each broadcast scenario runs traces-off,
+                      disabled-instruments-attached, and
+                      streaming-to-file-sink; the ratios land in the
+                      BENCH json and exceeding the declared budgets
+                      (disabled <= 1.05x, streaming <= the constant
+                      below) exits 8.
 
    The tables reproduce the paper's claims (see DESIGN.md section 3 and
    EXPERIMENTS.md); the bechamel suite times the implementations
@@ -361,27 +375,37 @@ type parallel_row = {
   pr_deterministic : bool;
 }
 
+(* One pool serves all scenarios of a size, so its telemetry summarises
+   the whole section.  Pool telemetry is wall-clock and scheduling
+   dependent — it is printed and published process-locally, and must
+   never leak into metrics_json (the byte-identical-at-any-jobs gate). *)
 let parallel_rows ~jobs ~replicas ~n =
   let module S = Parallel.Sweep in
-  List.map
-    (fun sc ->
-      let s1 = S.run sc ~replicas ~n ~seed:42 () in
-      let m1 = S.metrics_json s1 in
-      let sn, mn =
-        if jobs <= 1 then (s1, m1)
-        else
-          Parallel.Pool.with_pool ~jobs (fun pool ->
-              let s = S.run ~pool sc ~replicas ~n ~seed:42 () in
-              (s, S.metrics_json s))
-      in
-      {
-        pr_name = S.scenario_name sc;
-        pr_wall_1 = s1.S.wall_s;
-        pr_wall_n = sn.S.wall_s;
-        pr_speedup = s1.S.wall_s /. Float.max sn.S.wall_s 1e-9;
-        pr_deterministic = String.equal m1 mn;
-      })
-    parallel_scenarios
+  let row pool sc =
+    let s1 = S.run sc ~replicas ~n ~seed:42 () in
+    let m1 = S.metrics_json s1 in
+    let sn, mn =
+      match pool with
+      | None -> (s1, m1)
+      | Some pool ->
+          let s = S.run ~pool sc ~replicas ~n ~seed:42 () in
+          (s, S.metrics_json s)
+    in
+    {
+      pr_name = S.scenario_name sc;
+      pr_wall_1 = s1.S.wall_s;
+      pr_wall_n = sn.S.wall_s;
+      pr_speedup = s1.S.wall_s /. Float.max sn.S.wall_s 1e-9;
+      pr_deterministic = String.equal m1 mn;
+    }
+  in
+  if jobs <= 1 then (List.map (row None) parallel_scenarios, None)
+  else
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let rows = List.map (row (Some pool)) parallel_scenarios in
+        let reg = Hardware.Registry.create () in
+        Parallel.Pool.publish pool reg;
+        (rows, Some (Format.asprintf "%a" Hardware.Registry.pp_summary reg)))
 
 let print_parallel_rows ~jobs ~replicas rows =
   Printf.printf "%-20s %12s %12s %9s  %s   (%d replicas, %d jobs)\n" "sweep"
@@ -477,13 +501,228 @@ let print_profiles profiles =
     profiles;
   flush stdout
 
-let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel rows =
+(* -- observability overhead gate (bench --obs-overhead) --------------- *)
+
+(* Three variants of each broadcast scenario, timed min-of-k in
+   round-robin order (so clock drift hits all variants alike):
+
+   - off      : no trace, no registry — the production fast path;
+   - disabled : a disabled trace and registry attached — must cost the
+                same as off, or PR 1's zero-allocation disabled-path
+                guarantee has regressed (DESIGN.md section 7);
+   - stream   : every event serialised through a chunked file sink —
+                the full streaming-export tax.
+
+   The budgets are the declaration CI enforces (exit 8).  The
+   disabled budget is tight by design; the streaming budget is loose
+   because a microsecond-scale broadcast pays ~0.5us of Printf per
+   event, which is the cost of exporting at all, not a regression
+   surface — the json records the measured ratio either way. *)
+let obs_budget_disabled = 1.05
+let obs_budget_stream = 40.0
+
+type obs_row = {
+  ob_name : string;
+  ob_off_s : float;
+  ob_disabled_s : float;
+  ob_stream_s : float;
+  ob_events : int;
+  ob_bytes : int;
+}
+
+let obs_repeats ~n = if n <= 256 then 30 else if n <= 4096 then 10 else 3
+
+(* Min-of-k, round-robin across the variants, one shared warmup lap.
+   Each timed sample runs the scenario [iters] times back to back:
+   sub-millisecond scenarios jitter ~10% even under min-of-k, which
+   would trip the 1.05x disabled-path gate on noise alone, so the
+   batch size is calibrated off the warmup lap to put every sample in
+   the milliseconds. *)
+let time_variants ~repeats fs =
+  let warmup =
+    Array.map
+      (fun f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+      fs
+  in
+  let iters =
+    (* batch the fastest variant up to ~5 ms per sample, capped so the
+       slowest variant's samples stay tractable *)
+    let fastest = Array.fold_left Float.min infinity warmup in
+    max 1 (min 64 (int_of_float (0.005 /. Float.max fastest 1e-9)))
+  in
+  let best = Array.make (Array.length fs) infinity in
+  for _ = 1 to repeats do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        let d = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+        if d < best.(i) then best.(i) <- d)
+      fs
+  done;
+  best
+
+let obs_overhead_rows ~n =
+  let art = bench_art ~n in
+  let g = Compile.Topology.graph art in
+  let labelling, routes = bpaths_precomputed art in
+  let scenarios =
+    [
+      ( Printf.sprintf "e1/flooding-broadcast-n%d" n,
+        fun config ->
+          ignore
+            (Core.Flooding.run ~config ~graph:g ~root:0 ()
+              : Core.Broadcast.result) );
+      ( Printf.sprintf "e1/branching-paths-broadcast-n%d" n,
+        fun config ->
+          ignore
+            (Core.Branching_paths.run ~config ~precomputed:labelling ?routes
+               ~graph:g ~root:0 ()
+              : Core.Broadcast.result) );
+    ]
+  in
+  let stream_path = Printf.sprintf "OBS_STREAM_%d.jsonl" n in
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let off () = run (Core.Broadcast.default_config ()) in
+        let disabled () =
+          run
+            {
+              (Core.Broadcast.default_config ()) with
+              trace = Some (Sim.Trace.disabled ());
+              registry = Some (Hardware.Registry.disabled ());
+            }
+        in
+        let events = ref 0 and bytes = ref 0 in
+        let stream () =
+          let sink = Sim.Sink.file stream_path in
+          Fun.protect
+            ~finally:(fun () -> Sim.Sink.close sink)
+            (fun () ->
+              ignore (Sim.Sink.emit sink (Sim.Trace_export.stream_header ()));
+              let trace = Sim.Trace_export.stream_trace sink in
+              run
+                {
+                  (Core.Broadcast.default_config ()) with
+                  trace = Some trace;
+                  registry = Some (Hardware.Registry.create ());
+                };
+              Sim.Trace_export.stream_finish sink trace);
+          events := Sim.Sink.emitted sink;
+          bytes := Sim.Sink.bytes sink
+        in
+        let best =
+          time_variants ~repeats:(obs_repeats ~n) [| off; disabled; stream |]
+        in
+        {
+          ob_name = name;
+          ob_off_s = best.(0);
+          ob_disabled_s = best.(1);
+          ob_stream_s = best.(2);
+          ob_events = !events;
+          ob_bytes = !bytes;
+        })
+      scenarios
+  in
+  (try Sys.remove stream_path with Sys_error _ -> ());
+  rows
+
+let obs_ratio num den = num /. Float.max den 1e-9
+
+let print_obs_rows rows =
+  Printf.printf "%-45s %10s %10s %7s %10s %7s %9s %10s\n" "scenario" "off (ms)"
+    "disab (ms)" "ratio" "strm (ms)" "ratio" "events" "bytes";
+  List.iter
+    (fun r ->
+      Printf.printf "%-45s %10.4f %10.4f %6.3fx %10.4f %6.2fx %9d %10d\n"
+        r.ob_name (r.ob_off_s *. 1e3) (r.ob_disabled_s *. 1e3)
+        (obs_ratio r.ob_disabled_s r.ob_off_s)
+        (r.ob_stream_s *. 1e3)
+        (obs_ratio r.ob_stream_s r.ob_off_s)
+        r.ob_events r.ob_bytes)
+    rows;
+  Printf.printf
+    "budgets: disabled <= %.2fx, streaming <= %.0fx (violation exits 8)\n%!"
+    obs_budget_disabled obs_budget_stream
+
+let enforce_obs_budget ~n rows =
+  let violations =
+    List.concat_map
+      (fun r ->
+        let d = obs_ratio r.ob_disabled_s r.ob_off_s in
+        let s = obs_ratio r.ob_stream_s r.ob_off_s in
+        (if d > obs_budget_disabled then
+           [
+             Printf.sprintf "%s: disabled-path ratio %.3f > %.2f" r.ob_name d
+               obs_budget_disabled;
+           ]
+         else [])
+        @
+        if s > obs_budget_stream then
+          [
+            Printf.sprintf "%s: streaming ratio %.2f > %.0f" r.ob_name s
+              obs_budget_stream;
+          ]
+        else [])
+      rows
+  in
+  if violations <> [] then begin
+    List.iter
+      (fun v -> Printf.eprintf "n=%d: observability overhead: %s\n" n v)
+      violations;
+    exit 8
+  end
+
+(* -- streamed trace export (bench --stream) --------------------------- *)
+
+(* One branching-paths broadcast per size through the chunked file
+   sink: the bounded-memory export path the scale sizes exercise under
+   --mem-budget.  Returns (events, bytes, path). *)
+let stream_trace_export ~n =
+  let art = bench_art ~n in
+  let g = Compile.Topology.graph art in
+  let labelling, routes = bpaths_precomputed art in
+  let path = Printf.sprintf "TRACE_%d.jsonl" n in
+  let sink = Sim.Sink.file path in
+  Fun.protect
+    ~finally:(fun () -> Sim.Sink.close sink)
+    (fun () ->
+      ignore
+        (Sim.Sink.emit sink
+           (Sim.Trace_export.stream_header
+              ~fields:
+                [
+                  ("scenario", "\"branching-paths-broadcast\"");
+                  ("n", string_of_int n);
+                  ("seed", "42");
+                  ("root", "0");
+                ]
+              ()));
+      let trace = Sim.Trace_export.stream_trace sink in
+      let config =
+        { (Core.Broadcast.default_config ()) with trace = Some trace }
+      in
+      let r =
+        Core.Branching_paths.run ~config ~precomputed:labelling ?routes
+          ~graph:g ~root:0 ()
+      in
+      Sim.Trace_export.stream_finish ~time:r.Core.Broadcast.time sink trace);
+  (Sim.Sink.emitted sink, Sim.Sink.bytes sink, path)
+
+let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel ~obs rows =
   let file = Printf.sprintf "BENCH_%d.json" n in
   let oc = open_out file in
   Printf.fprintf oc
-    "{\n  \"n\": %d,\n  \"git_rev\": \"%s\",\n  \"peak_heap_bytes\": %d,\n\
+    "{\n  \"n\": %d,\n  \"schema_version\": %d,\n  \"git_rev\": \"%s\",\n\
+    \  \"peak_heap_bytes\": %d,\n\
     \  \"results\": [\n"
-    n (json_escape rev) peak_heap_bytes;
+    n Sim.Trace_export.schema_version (json_escape rev) peak_heap_bytes;
   let total = List.length rows in
   List.iteri
     (fun i (name, est) ->
@@ -555,6 +794,26 @@ let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel rows =
             r.pr_deterministic sep)
         rows;
       output_string oc "    ]\n  }");
+  if obs <> [] then begin
+    (* keyed "scenario", invisible to the --check name/ns_per_run parser *)
+    output_string oc ",\n  \"obs_overhead\": [\n";
+    let total = List.length obs in
+    List.iteri
+      (fun i r ->
+        let sep = if i = total - 1 then "" else "," in
+        Printf.fprintf oc
+          "    { \"scenario\": \"%s\", \"off_s\": %.6f, \"disabled_s\": \
+           %.6f, \"disabled_ratio\": %.4f, \"stream_s\": %.6f, \
+           \"stream_ratio\": %.4f, \"stream_events\": %d, \"stream_bytes\": \
+           %d }%s\n"
+          (json_escape r.ob_name) r.ob_off_s r.ob_disabled_s
+          (obs_ratio r.ob_disabled_s r.ob_off_s)
+          r.ob_stream_s
+          (obs_ratio r.ob_stream_s r.ob_off_s)
+          r.ob_events r.ob_bytes sep)
+      obs;
+    output_string oc "  ]"
+  end;
   output_string oc "\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d results)\n%!" file total
@@ -633,6 +892,26 @@ let bench_n json =
   Option.map int_of_float
     (number_after json "\"n\"" 0 (String.length json))
 
+let bench_schema json =
+  Option.map int_of_float
+    (number_after json "\"schema_version\"" 0 (String.length json))
+
+(* A baseline from another schema generation would diff spuriously
+   (renamed sections, re-keyed entries); refuse it with a pointed
+   error instead.  Baselines predating the field count as version 1. *)
+let check_schema ~path json =
+  let found = Option.value ~default:1 (bench_schema json) in
+  let want = Sim.Trace_export.schema_version in
+  if found = want then true
+  else begin
+    Printf.eprintf
+      "bench check: %s has schema_version %d but this binary writes %d — \
+       re-baseline it (re-run `bench --json` and commit the new seed file) \
+       instead of comparing across schemas\n"
+      path found want;
+    false
+  end
+
 (* Diff the BENCH_<n>.json sitting next to [baseline_path] against that
    baseline.  Pure file comparison — nothing is re-timed — so the gate
    is deterministic on any machine.  A benchmark missing from the
@@ -643,6 +922,8 @@ let check_baseline ~tolerance baseline_path =
       Printf.eprintf "bench check: %s\n" msg;
       false
   | baseline -> (
+      if not (check_schema ~path:baseline_path baseline) then false
+      else
       match bench_n baseline with
       | None ->
           Printf.eprintf "bench check: %s has no \"n\" field\n" baseline_path;
@@ -766,7 +1047,8 @@ let strip_group name =
       String.sub name (i + 1) (String.length name - i - 1)
   | _ -> name
 
-let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget () =
+let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget
+    ~stream ~obs () =
   print_endline "\n###### bechamel timing suite ######";
   let sizes = if smoke then [ 64 ] else List.sort compare sizes in
   let quota = if smoke then 0.01 else 0.25 in
@@ -787,6 +1069,7 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget () =
           (measure ~quota (scaling_tests ~n))
       in
       print_rows rows;
+      Format.printf "%a@." Compile.Cache.pp_stats ();
       let profiles = if profile then profile_rows ~n else [] in
       if profile then begin
         Printf.printf "\n-- critical-path profiles, n = %d --\n%!" n;
@@ -802,8 +1085,12 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget () =
         end
         else begin
           Printf.printf "\n-- parallel sweeps, n = %d --\n%!" n;
-          let prows = parallel_rows ~jobs ~replicas ~n in
+          let prows, telemetry = parallel_rows ~jobs ~replicas ~n in
           print_parallel_rows ~jobs ~replicas prows;
+          (match telemetry with
+          | Some summary ->
+              Printf.printf "pool telemetry (jobs=%d):\n%s%!" jobs summary
+          | None -> ());
           if List.exists (fun r -> not r.pr_deterministic) prows then begin
             Printf.eprintf
               "n=%d: parallel sweep metrics diverged between job counts\n" n;
@@ -812,9 +1099,27 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget () =
           Some (jobs, replicas, prows)
         end
       in
+      if stream then begin
+        let events, bytes, path = stream_trace_export ~n in
+        Printf.printf
+          "\n-- streamed trace, n = %d: %d events (%d bytes) -> %s --\n%!" n
+          events bytes path
+      end;
+      let obs_rows =
+        if obs then begin
+          Printf.printf "\n-- observability overhead, n = %d --\n%!" n;
+          let orows = obs_overhead_rows ~n in
+          print_obs_rows orows;
+          orows
+        end
+        else []
+      in
       if json then
         write_bench_json ~n ~rev ~peak_heap_bytes:(peak_heap_bytes ())
-          ~profiles ~parallel rows;
+          ~profiles ~parallel ~obs:obs_rows rows;
+      (* enforcement comes after the json write so a violation still
+         leaves the measured ratios on disk for inspection *)
+      if obs then enforce_obs_budget ~n obs_rows;
       if monitors then begin
         Printf.printf "\n-- paper-bound monitors, n = %d --\n%!" n;
         run_monitor_checks ~n
@@ -843,6 +1148,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [all | figures | bench | e1..e9 | a1..a5]...\n\
     \       main.exe bench [--smoke] [--json] [--monitors] [--profile]\n\
+    \                      [--stream] [--obs-overhead]\n\
     \                      [--sizes N,N,...] [--jobs N] [--mem-budget BYTES]\n\
     \       main.exe bench --check BASELINE.json [--check ...] [--tolerance P]"
 
@@ -867,6 +1173,7 @@ let run_args args =
         (* bench consumes its flags, then continues with what is left *)
         let smoke = ref false and json = ref false and monitors = ref false in
         let profile = ref false in
+        let stream = ref false and obs = ref false in
         let jobs = ref (Parallel.Pool.default_jobs ()) in
         let sizes = ref default_sizes in
         let checks = ref [] in
@@ -884,6 +1191,12 @@ let run_args args =
               flags rest
           | "--profile" :: rest ->
               profile := true;
+              flags rest
+          | "--stream" :: rest ->
+              stream := true;
+              flags rest
+          | "--obs-overhead" :: rest ->
+              obs := true;
               flags rest
           | "--check" :: value :: rest ->
               checks := value :: !checks;
@@ -952,7 +1265,7 @@ let run_args args =
         else
           run_bechamel ~smoke:!smoke ~json:!json ~monitors:!monitors
             ~profile:!profile ~jobs:!jobs ~sizes:!sizes
-            ~mem_budget:!mem_budget ();
+            ~mem_budget:!mem_budget ~stream:!stream ~obs:!obs ();
         loop rest
     | id :: rest ->
         (match Experiments.find id with
@@ -979,4 +1292,4 @@ let () =
       Experiments.run_all ();
       run_bechamel ~smoke:false ~json:false ~monitors:false ~profile:false
         ~jobs:(Parallel.Pool.default_jobs ())
-        ~sizes:default_sizes ~mem_budget:None ()
+        ~sizes:default_sizes ~mem_budget:None ~stream:false ~obs:false ()

@@ -309,16 +309,54 @@ let trace_cmd =
   let root_arg =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
   in
+  let stream_arg =
+    Arg.(value & opt (some string) None
+           & info [ "stream" ] ~docv:"FILE"
+               ~doc:"Stream the trace as chunked JSONL to $(docv) while the \
+                     scenario runs, in O(sink buffer) memory — works at any \
+                     n.  Replaces the materialised $(b,--out) files; \
+                     monitors that replay the ring buffer are skipped.")
+  in
   let write_file path contents =
     let oc = open_out path in
     output_string oc contents;
     close_out oc
   in
-  let run topology n seed scenario root out mode =
+  let scenario_tag = function
+    | (`Bpaths | `Flood | `Dfs | `Direct | `Layered) as algo -> algo_name algo
+    | `Election -> "election"
+  in
+  let run topology n seed scenario root out mode stream =
     let art = build_artifact topology n seed in
     let graph = Compile.Topology.graph art in
     let n = Netgraph.Graph.n graph in
-    let trace = Sim.Trace.create () in
+    let sink =
+      match stream with
+      | None -> None
+      | Some path ->
+          let sink = Sim.Sink.file path in
+          ignore
+            (Sim.Sink.emit sink
+               (Sim.Trace_export.stream_header
+                  ~fields:
+                    [
+                      ("scenario",
+                       Printf.sprintf "%S" (scenario_tag scenario));
+                      ("topology",
+                       Printf.sprintf "%S" (topology_name topology));
+                      ("n", string_of_int n);
+                      ("seed", string_of_int seed);
+                      ("root", string_of_int root);
+                    ]
+                  ())
+              : bool);
+          Some (path, sink)
+    in
+    let trace =
+      match sink with
+      | None -> Sim.Trace.create ()
+      | Some (_, sink) -> Sim.Trace_export.stream_trace sink
+    in
     let registry = Hardware.Registry.create () in
     let reports =
       match scenario with
@@ -363,14 +401,31 @@ let trace_cmd =
             Hardware.Monitor.fifo_per_link trace;
           ]
     in
-    let jsonl_path = out ^ ".jsonl" in
-    let chrome_path = out ^ ".chrome.json" in
-    write_file jsonl_path (Sim.Trace_export.jsonl trace);
-    write_file chrome_path (Sim.Trace_export.chrome trace);
-    Printf.printf "wrote %s (%d events) and %s\n" jsonl_path
-      (Sim.Trace.length trace) chrome_path;
+    let reports =
+      match sink with
+      | None ->
+          let jsonl_path = out ^ ".jsonl" in
+          let chrome_path = out ^ ".chrome.json" in
+          write_file jsonl_path (Sim.Trace_export.jsonl trace);
+          write_file chrome_path (Sim.Trace_export.chrome trace);
+          Printf.printf "wrote %s (%d events) and %s\n" jsonl_path
+            (Sim.Trace.length trace) chrome_path;
+          reports
+      | Some (path, sink) ->
+          Sim.Trace_export.stream_finish sink trace;
+          Sim.Sink.close sink;
+          Printf.printf
+            "streamed %s (%d lines, %d bytes, %d dropped at the sink)\n"
+            path (Sim.Sink.emitted sink) (Sim.Sink.bytes sink)
+            (Sim.Trace.dropped_sink trace);
+          (* The ring retains nothing in stream mode, so monitors that
+             replay it would pass vacuously — drop them. *)
+          List.filter (fun r -> r.Hardware.Monitor.monitor <> "fifo-per-link")
+            reports
+    in
     print_endline "registry:";
     Format.printf "%a@?" Hardware.Registry.pp_summary registry;
+    Format.printf "%a@." Compile.Cache.pp_stats ();
     print_endline "monitors:";
     List.iter (fun r -> Format.printf "%a@." Hardware.Monitor.pp_report r) reports;
     match Hardware.Monitor.enforce mode reports with
@@ -385,7 +440,7 @@ let trace_cmd =
              trace_event JSON, print the metrics registry, and check the \
              paper-bound monitors.")
     Term.(const run $ topology_arg $ n_arg $ seed_arg $ scenario_arg
-          $ root_arg $ out_arg $ monitors_arg)
+          $ root_arg $ out_arg $ monitors_arg $ stream_arg)
 
 (* -- profile ---------------------------------------------------------------- *)
 
@@ -559,13 +614,28 @@ let bench_cmd =
     let sweep pool =
       Parallel.Sweep.run ?pool ~replicas scenario ~n ~seed ()
     in
-    let s =
-      if jobs <= 1 then sweep None
+    (* Pool/cache telemetry is wall-clock dependent, so it only ever
+       reaches the text summary — the json output stays byte-identical
+       at any --jobs (DESIGN.md §10). *)
+    let s, pool_telemetry =
+      if jobs <= 1 then (sweep None, None)
       else
-        Parallel.Pool.with_pool ~jobs (fun pool -> sweep (Some pool))
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            let s = sweep (Some pool) in
+            let reg = Hardware.Registry.create () in
+            Parallel.Pool.publish pool reg;
+            (s, Some reg))
     in
     if json then print_endline (Parallel.Sweep.to_json s)
-    else Format.printf "%a@?" Parallel.Sweep.pp s
+    else begin
+      Format.printf "%a@?" Parallel.Sweep.pp s;
+      (match pool_telemetry with
+       | None -> ()
+       | Some reg ->
+           print_endline "pool telemetry:";
+           Format.printf "%a@?" Hardware.Registry.pp_summary reg);
+      Format.printf "%a@." Compile.Cache.pp_stats ()
+    end
   in
   Cmd.v
     (Cmd.info "bench"
@@ -619,6 +689,18 @@ let chaos_cmd =
            & info [ "out-dir" ] ~docv:"DIR"
                ~doc:"Directory for chaos-repro-*.json counterexamples.")
   in
+  let heartbeat_arg =
+    Arg.(value & opt (some string) None
+           & info [ "heartbeat" ] ~docv:"FILE"
+               ~doc:"Stream periodic soak/shrink progress records \
+                     (JSONL) to $(docv) while the soak runs.")
+  in
+  let heartbeat_every_arg =
+    Arg.(value & opt int 8
+           & info [ "heartbeat-every" ] ~docv:"K"
+               ~doc:"Beat every $(docv) completed schedules or shrink \
+                     probes (the final completion always beats).")
+  in
   let replay_file json path =
     match Chaos.Runner.replay path with
     | Error msg ->
@@ -629,7 +711,7 @@ let chaos_cmd =
         else Format.printf "%a@?" Chaos.Runner.pp_verdict v;
         if not v.Chaos.Runner.ok then exit 6
   in
-  let run n seed scenario schedules jobs json replay out_dir =
+  let run n seed scenario schedules jobs json replay out_dir hb_path hb_every =
     match replay with
     | Some path -> replay_file json path
     | None ->
@@ -638,7 +720,26 @@ let chaos_cmd =
           | Some s -> [ s ]
           | None -> Parallel.Sweep.all_scenarios
         in
-        let soak pool sc = Chaos.Runner.soak ?pool sc ~n ~seed ~schedules () in
+        let hb =
+          match hb_path with
+          | None -> None
+          | Some path ->
+              let sink = Sim.Sink.file path in
+              ignore
+                (Sim.Sink.emit sink
+                   (Sim.Trace_export.stream_header ~kind:"chaos"
+                      ~fields:
+                        [ ("n", string_of_int n);
+                          ("seed", string_of_int seed);
+                          ("schedules", string_of_int schedules) ]
+                      ())
+                  : bool);
+              Some (path, sink, Chaos.Runner.heartbeat ~every:hb_every sink)
+        in
+        let heartbeat = Option.map (fun (_, _, h) -> h) hb in
+        let soak pool sc =
+          Chaos.Runner.soak ?pool ?heartbeat sc ~n ~seed ~schedules ()
+        in
         let soaks =
           if jobs <= 1 then List.map (soak None) scenarios
           else
@@ -659,11 +760,20 @@ let chaos_cmd =
             soaks
         in
         Format.print_flush ();
+        let close_hb () =
+          match hb with
+          | None -> ()
+          | Some (path, sink, _) ->
+              Sim.Sink.close sink;
+              if not json then
+                Printf.printf "heartbeat: %d records (%d bytes) in %s\n"
+                  (Sim.Sink.emitted sink) (Sim.Sink.bytes sink) path
+        in
         if failing <> [] then begin
           (* shrink each counterexample to a minimal repro before exiting *)
           List.iter
             (fun v ->
-              let minimal = Chaos.Runner.shrink v in
+              let minimal = Chaos.Runner.shrink ?heartbeat v in
               let path =
                 Filename.concat out_dir
                   (Printf.sprintf "chaos-repro-%s-%d.json"
@@ -680,8 +790,10 @@ let chaos_cmd =
                      minimal.Chaos.Runner.schedule.Chaos.Schedule.faults)
                   path)
             failing;
+          close_hb ();
           exit 6
         end
+        else close_hb ()
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -691,7 +803,8 @@ let chaos_cmd =
              any failing schedule to a minimal JSON repro.  Exit 6 when \
              an oracle fails.")
     Term.(const run $ chaos_n_arg $ seed_arg $ scenario_arg $ schedules_arg
-          $ chaos_jobs_arg $ json_flag $ replay_arg $ out_dir_arg)
+          $ chaos_jobs_arg $ json_flag $ replay_arg $ out_dir_arg
+          $ heartbeat_arg $ heartbeat_every_arg)
 
 (* -- maintenance ----------------------------------------------------------- *)
 

@@ -177,11 +177,72 @@ let run_schedule scenario (s : Schedule.t) =
     time;
   }
 
-let soak ?pool scenario ~n ~seed ~schedules () =
+(* -- Heartbeat --------------------------------------------------------- *)
+
+(* Long soaks are silent for minutes; the heartbeat streams periodic
+   progress records through a Sink so an operator (or CI log) can see
+   schedules completing and failures accumulating live.  Completion
+   order under a pool is nondeterministic, so heartbeat records carry
+   only monotone aggregates (done / failure counts), never per-index
+   results — verdicts stay deterministic, the heartbeat is telemetry. *)
+type heartbeat = {
+  hb_sink : Sim.Sink.t;
+  hb_every : int;
+  hb_mutex : Mutex.t;  (* pool workers beat concurrently *)
+  mutable hb_done : int;
+  mutable hb_failed : int;
+}
+
+let heartbeat ?(every = 8) sink =
+  if every < 1 then invalid_arg "Runner.heartbeat: every must be >= 1";
+  {
+    hb_sink = sink;
+    hb_every = every;
+    hb_mutex = Mutex.create ();
+    hb_done = 0;
+    hb_failed = 0;
+  }
+
+let hb_locked hb f =
+  Mutex.lock hb.hb_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hb.hb_mutex) f
+
+let hb_emit hb line =
+  ignore (Sim.Sink.emit hb.hb_sink line : bool);
+  Sim.Sink.flush hb.hb_sink
+
+let hb_soak_record scenario ~n ~seed ~total hb =
+  Printf.sprintf
+    "{\"type\":\"chaos_heartbeat\",\"scenario\":\"%s\",\"n\":%d,\"seed\":%d,\
+     \"done\":%d,\"total\":%d,\"failures\":%d}"
+    (Sweep.scenario_name scenario)
+    n seed hb.hb_done total hb.hb_failed
+
+let hb_schedule_done hb scenario ~n ~seed ~total ok =
+  hb_locked hb (fun () ->
+      hb.hb_done <- hb.hb_done + 1;
+      if not ok then hb.hb_failed <- hb.hb_failed + 1;
+      if hb.hb_done mod hb.hb_every = 0 || hb.hb_done = total then
+        hb_emit hb (hb_soak_record scenario ~n ~seed ~total hb))
+
+let soak ?pool ?heartbeat:hb scenario ~n ~seed ~schedules () =
   if schedules < 1 then invalid_arg "Runner.soak: schedules must be positive";
+  (* a heartbeat is reusable across sequential soaks: progress counts
+     restart with each soak, the sink keeps accumulating records *)
+  (match hb with
+  | Some hb ->
+      hb_locked hb (fun () ->
+          hb.hb_done <- 0;
+          hb.hb_failed <- 0)
+  | None -> ());
   let indices = Array.init schedules Fun.id in
   let task index =
-    run_schedule scenario (Schedule.generate ~n ~seed ~index ())
+    let v = run_schedule scenario (Schedule.generate ~n ~seed ~index ()) in
+    (match hb with
+    | Some hb ->
+        hb_schedule_done hb scenario ~n ~seed ~total:schedules v.ok
+    | None -> ());
+    v
   in
   let verdicts =
     match pool with
@@ -194,14 +255,68 @@ let soak ?pool scenario ~n ~seed ~schedules () =
 
 let still_fails scenario s = not (run_schedule scenario s).ok
 
-let shrink verdict =
+let shrink ?heartbeat:hb verdict =
   if verdict.ok then
     invalid_arg "Runner.shrink: the verdict passed, nothing to shrink";
-  let minimal =
-    Shrink.minimize ~still_fails:(still_fails verdict.scenario)
-      verdict.schedule
+  let index = verdict.schedule.Schedule.index in
+  let attempts = ref 0 in
+  let predicate =
+    match hb with
+    | None -> still_fails verdict.scenario
+    | Some hb ->
+        (* every ddmin probe is one full scenario run: that is where a
+           shrink spends its time, so that is what the heartbeat counts *)
+        fun s ->
+          let fails = still_fails verdict.scenario s in
+          incr attempts;
+          if !attempts mod hb.hb_every = 0 then
+            hb_locked hb (fun () ->
+                hb_emit hb
+                  (Printf.sprintf
+                     "{\"type\":\"chaos_shrink\",\"scenario\":\"%s\",\
+                      \"schedule\":%d,\"attempts\":%d,\"faults\":%d,\
+                      \"still_fails\":%b}"
+                     (Sweep.scenario_name verdict.scenario)
+                     index !attempts
+                     (List.length s.Schedule.faults)
+                     fails));
+          fails
   in
-  run_schedule verdict.scenario minimal
+  let minimal = Shrink.minimize ~still_fails:predicate verdict.schedule in
+  let v = run_schedule verdict.scenario minimal in
+  (match hb with
+  | Some hb ->
+      hb_locked hb (fun () ->
+          hb_emit hb
+            (Printf.sprintf
+               "{\"type\":\"chaos_shrunk\",\"scenario\":\"%s\",\"schedule\":%d,\
+                \"attempts\":%d,\"faults\":%d,\"ok\":%b}"
+               (Sweep.scenario_name verdict.scenario)
+               index !attempts
+               (List.length minimal.Schedule.faults)
+               v.ok))
+  | None -> ());
+  v
+
+(* Totals for the registry: like Pool.publish, counters sum so
+   registries from several soaks merge order-independently. *)
+let publish soak r =
+  if Hardware.Registry.enabled r then begin
+    let module R = Hardware.Registry in
+    let faults =
+      Array.fold_left
+        (fun acc v -> acc + List.length v.schedule.Schedule.faults)
+        0 soak.verdicts
+    in
+    R.add
+      (R.counter r "chaos.schedules" ~help:"schedules executed")
+      (Array.length soak.verdicts);
+    R.add
+      (R.counter r "chaos.oracle_failures" ~help:"schedules with a red oracle")
+      (failures soak);
+    R.add (R.counter r "chaos.faults_injected" ~help:"fault events armed")
+      faults
+  end
 
 (* -- JSON -------------------------------------------------------------- *)
 

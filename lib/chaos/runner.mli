@@ -34,8 +34,29 @@ val failures : soak -> int
 val run_schedule : scenario -> Schedule.t -> verdict
 (** Deterministic: depends only on the arguments. *)
 
+(** {1 Heartbeat}
+
+    Periodic JSONL progress records streamed through a {!Sim.Sink.t},
+    so a long soak is observable while it runs.  Records carry only
+    monotone aggregates (schedules done, failures so far) — completion
+    order under a pool is nondeterministic, and the heartbeat must not
+    leak it into anything deterministic.  Record types:
+    [chaos_heartbeat] (soak progress), [chaos_shrink] (ddmin probes),
+    [chaos_shrunk] (shrink result). *)
+
+type heartbeat
+
+val heartbeat : ?every:int -> Sim.Sink.t -> heartbeat
+(** Beat every [every] completed schedules / shrink probes (default
+    8; the final completion always beats).  The caller owns the sink.
+    A heartbeat may be reused across sequential soaks and shrinks —
+    progress counts restart with each soak, the sink keeps
+    accumulating records, emission is serialised.
+    @raise Invalid_argument if [every < 1]. *)
+
 val soak :
   ?pool:Parallel.Pool.t ->
+  ?heartbeat:heartbeat ->
   scenario ->
   n:int ->
   seed:int ->
@@ -45,11 +66,16 @@ val soak :
 (** Run schedule indices [0 .. schedules-1], through [pool] when given.
     @raise Invalid_argument if [schedules < 1]. *)
 
-val shrink : verdict -> verdict
+val shrink : ?heartbeat:heartbeat -> verdict -> verdict
 (** Delta-debug then magnitude-shrink the failing verdict's schedule
     ({!Shrink.minimize} with "this scenario's oracles still fail" as
     the predicate) and re-run the minimal schedule.
     @raise Invalid_argument on a passing verdict. *)
+
+val publish : soak -> Hardware.Registry.t -> unit
+(** Fold soak totals into a registry: [chaos.schedules],
+    [chaos.oracle_failures], [chaos.faults_injected] counters.
+    Merge-safe in any order; no-op on a disabled registry. *)
 
 (** {1 JSON} *)
 

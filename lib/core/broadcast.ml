@@ -44,8 +44,10 @@ let execute ~config ~graph ~root ~spec () =
   (* queue peak is bounded by in-flight packets, itself O(n) for every
      broadcast here; the hint saves the doubling regrowth per replica *)
   let engine = Sim.Engine.create ~queue_capacity:(Graph.n graph) () in
+  (* no caller-supplied trace means nobody can observe one: run with
+     recording off rather than materialising the whole run in RAM *)
   let trace =
-    match config.trace with Some t -> t | None -> Sim.Trace.create ()
+    match config.trace with Some t -> t | None -> Sim.Trace.disabled ()
   in
   let view = Option.value ~default:graph config.view in
   let reached = Array.make (Graph.n graph) false in
@@ -66,16 +68,10 @@ let execute ~config ~graph ~root ~spec () =
       assert false);
   Network.publish_distributions net;
   let m = Network.metrics net in
-  let time =
-    List.fold_left
-      (fun acc e ->
-        match e with
-        | Sim.Trace.Receive { time; _ } | Sim.Trace.Syscall { time; _ } ->
-            Float.max acc time
-        | _ -> acc)
-      0.0
-      (Sim.Trace.events trace)
-  in
+  (* completion = the last NCU activation finishing; taken from the
+     network's busy-until marks so it holds with tracing off or
+     streaming (a trace fold would see an empty ring) *)
+  let time = Network.last_activation_time net in
   {
     time;
     syscalls = Metrics.syscalls m;

@@ -137,16 +137,30 @@ let publish_distributions t =
         (fun v ->
           Registry.observe h (float_of_int (Metrics.syscalls_at t.metrics v)))
         t.graph;
-      (* a bounded trace recorder that overflowed silently would make
-         any profile computed from it wrong; surface the eviction count
-         as a first-class instrument *)
-      let evicted = Sim.Trace.dropped t.trace in
-      if evicted > 0 then
+      (* a trace that lost events silently would make any profile
+         computed from it wrong; surface both loss modes as
+         first-class instruments (ring evictions lose the oldest
+         prefix, sink refusals the newest suffix) *)
+      let ring = Sim.Trace.dropped_ring t.trace in
+      if ring > 0 then
         Registry.add
-          (Registry.counter r "sim.trace.dropped"
+          (Registry.counter r "sim.trace.dropped_ring"
              ~help:"trace events evicted by the ring-buffer capacity")
-          evicted
+          ring;
+      let sink = Sim.Trace.dropped_sink t.trace in
+      if sink > 0 then
+        Registry.add
+          (Registry.counter r "sim.trace.dropped_sink"
+             ~help:"trace events refused by the streaming sink")
+          sink
   | _ -> ()
+
+(* The busy-until high-water marks double as completion times: every
+   activation bumps its node's mark to the finish time, so the max is
+   exactly the time of the last Receive/Syscall event a trace would
+   have recorded — available even with tracing off. *)
+let last_activation_time t =
+  Array.fold_left Float.max 0.0 t.ncu_busy_until
 
 let link_record t u v =
   match Graph.undirected_edge_id t.graph u v with

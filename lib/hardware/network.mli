@@ -77,9 +77,17 @@ val registry : 'msg t -> Registry.t option
     to publish their own instruments next to the [net.*] family. *)
 
 val publish_distributions : 'msg t -> unit
-(** Fold end-of-run distributions into the registry (currently the
-    [net.syscalls_per_node] histogram).  Call after the simulation has
-    quiesced; no-op without an enabled registry. *)
+(** Fold end-of-run distributions into the registry: the
+    [net.syscalls_per_node] histogram, plus [sim.trace.dropped_ring] /
+    [sim.trace.dropped_sink] counters whenever the trace lost events
+    (the counter's presence is itself the warning).  Call after the
+    simulation has quiesced; no-op without an enabled registry. *)
+
+val last_activation_time : 'msg t -> float
+(** Completion time of the last NCU activation anywhere in the
+    network, [0.] if nothing ever ran — equal to the latest
+    [Receive]/[Syscall] event time a trace of the run would contain,
+    but available with tracing off. *)
 
 val start : ?label:string -> 'msg t -> int -> unit
 (** Trigger [on_start] at the node.  The activation is charged as a

@@ -18,6 +18,26 @@
 
 type task = int -> unit
 
+(* Per-worker telemetry.  Each worker writes only its own slot while a
+   generation is in flight; the submitter reads after the drain
+   barrier (the mutex-protected [running = 0] handshake), so every
+   read is ordered after the writes it observes.  Wall-clock spans are
+   telemetry only — they never feed back into scheduling or results,
+   so determinism is untouched. *)
+type wstat = {
+  mutable w_tasks : int;  (* map items executed *)
+  mutable w_chunks : int;  (* cursor claims that yielded work *)
+  mutable w_busy : float;  (* seconds inside submitted tasks *)
+  mutable w_idle : float;  (* seconds of a generation spent not busy *)
+}
+
+type worker_stats = {
+  tasks : int;
+  chunks : int;
+  busy_s : float;
+  idle_s : float;
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -29,6 +49,9 @@ type t = {
   mutable closed : bool;
   mutable busy : bool;  (* a run is in flight (re-entrancy guard) *)
   mutable helpers : unit Domain.t array;
+  stats : wstat array;  (* one slot per worker *)
+  gen_busy : float array;  (* this generation's busy span per worker *)
+  mutable generations_done : int;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -45,9 +68,14 @@ let helper_loop t worker =
       seen := t.generation;
       let task = match t.current with Some f -> f | None -> assert false in
       Mutex.unlock t.mutex;
+      let t0 = Unix.gettimeofday () in
       (* [map] wraps per-item exceptions into its result slots; this
          catch-all only shields the pool from a raising [run] task *)
       (try task worker with _ -> ());
+      let span = Unix.gettimeofday () -. t0 in
+      let s = t.stats.(worker) in
+      s.w_busy <- s.w_busy +. span;
+      t.gen_busy.(worker) <- span;
       Mutex.lock t.mutex;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.idle;
@@ -71,6 +99,11 @@ let create ~jobs =
       closed = false;
       busy = false;
       helpers = [||];
+      stats =
+        Array.init jobs (fun _ ->
+            { w_tasks = 0; w_chunks = 0; w_busy = 0.0; w_idle = 0.0 });
+      gen_busy = Array.make jobs 0.0;
+      generations_done = 0;
     }
   in
   (* helpers must close over the very record we return, so the array is
@@ -85,7 +118,14 @@ let jobs t = t.jobs
 
 let run t task =
   if t.closed then invalid_arg "Pool.run: pool is closed";
-  if t.jobs = 1 then task 0
+  if t.jobs = 1 then begin
+    let t0 = Unix.gettimeofday () in
+    let caller_exn = (try task 0; None with e -> Some e) in
+    let s = t.stats.(0) in
+    s.w_busy <- s.w_busy +. (Unix.gettimeofday () -. t0);
+    t.generations_done <- t.generations_done + 1;
+    match caller_exn with Some e -> raise e | None -> ()
+  end
   else begin
     Mutex.lock t.mutex;
     if t.busy then begin
@@ -98,14 +138,28 @@ let run t task =
     t.generation <- t.generation + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
+    let t0 = Unix.gettimeofday () in
     let caller_exn = (try task 0; None with e -> Some e) in
+    let caller_span = Unix.gettimeofday () -. t0 in
+    let s0 = t.stats.(0) in
+    s0.w_busy <- s0.w_busy +. caller_span;
+    t.gen_busy.(0) <- caller_span;
     Mutex.lock t.mutex;
     while t.running > 0 do
       Condition.wait t.idle t.mutex
     done;
     t.current <- None;
     t.busy <- false;
+    t.generations_done <- t.generations_done + 1;
     Mutex.unlock t.mutex;
+    (* idle = the stretch of this generation a worker spent waiting
+       for stragglers; computed after the drain barrier, when every
+       helper has written its busy span *)
+    let wall = Unix.gettimeofday () -. t0 in
+    for w = 0 to t.jobs - 1 do
+      let s = t.stats.(w) in
+      s.w_idle <- s.w_idle +. Float.max 0.0 (wall -. t.gen_busy.(w))
+    done;
     match caller_exn with Some e -> raise e | None -> ()
   end
 
@@ -125,11 +179,14 @@ let map ?chunk t f xs =
     in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let body _worker =
+    let body worker =
+      let s = t.stats.(worker) in
       let rec drain () =
         let i0 = Atomic.fetch_and_add next chunk in
         if i0 < n then begin
           let stop = min n (i0 + chunk) in
+          s.w_chunks <- s.w_chunks + 1;
+          s.w_tasks <- s.w_tasks + (stop - i0);
           (* distinct workers write distinct slots: no data race *)
           for i = i0 to stop - 1 do
             results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
@@ -151,6 +208,67 @@ let map ?chunk t f xs =
   end
 
 let map_list ?chunk t f xs = Array.to_list (map ?chunk t f (Array.of_list xs))
+
+(* -- Telemetry --------------------------------------------------------- *)
+
+let stats t =
+  Array.map
+    (fun s ->
+      {
+        tasks = s.w_tasks;
+        chunks = s.w_chunks;
+        busy_s = s.w_busy;
+        idle_s = s.w_idle;
+      })
+    t.stats
+
+let generations t = t.generations_done
+
+let reset_stats t =
+  Array.iter
+    (fun s ->
+      s.w_tasks <- 0;
+      s.w_chunks <- 0;
+      s.w_busy <- 0.0;
+      s.w_idle <- 0.0)
+    t.stats;
+  t.generations_done <- 0
+
+let span_buckets = [| 0.0001; 0.001; 0.01; 0.1; 1.0; 10.0; 100.0 |]
+
+(* Totals go to counters and per-worker spans to histograms, so
+   registries published from several pools merge order-independently
+   (Registry.merge: counters sum, histogram bins add, gauges keep the
+   max) exactly like the per-replica registries of DESIGN.md §10. *)
+let publish t r =
+  if Hardware.Registry.enabled r then begin
+    let module R = Hardware.Registry in
+    let total f = Array.fold_left (fun acc s -> acc + f s) 0 t.stats in
+    R.add
+      (R.counter r "pool.tasks" ~help:"map items executed by this pool")
+      (total (fun s -> s.w_tasks));
+    R.add
+      (R.counter r "pool.chunks"
+         ~help:"cursor claims that yielded work (chunked self-scheduling)")
+      (total (fun s -> s.w_chunks));
+    R.add
+      (R.counter r "pool.generations" ~help:"run/map submissions completed")
+      t.generations_done;
+    R.set (R.gauge r "pool.jobs" ~help:"worker count") (float_of_int t.jobs);
+    let busy =
+      R.histogram r "pool.worker_busy_s" ~buckets:span_buckets
+        ~help:"seconds each worker spent inside submitted tasks"
+    in
+    let idle =
+      R.histogram r "pool.worker_idle_s" ~buckets:span_buckets
+        ~help:"seconds each worker spent waiting out generations"
+    in
+    Array.iter
+      (fun s ->
+        R.observe busy s.w_busy;
+        R.observe idle s.w_idle)
+      t.stats
+  end
 
 let shutdown t =
   if not t.closed then begin

@@ -60,6 +60,38 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists. *)
 
+(** {1 Telemetry}
+
+    Cheap always-on per-worker counters and wall-clock spans (the
+    observability layer's answer to "is the pool actually busy?").
+    Telemetry never feeds back into scheduling or results; it is
+    wall-clock and scheduling dependent, so it must {e never} be
+    folded into deterministic outputs such as [Sweep.metrics_json] —
+    publish it into a process-local registry instead. *)
+
+type worker_stats = {
+  tasks : int;  (** {!map} items this worker executed *)
+  chunks : int;  (** cursor claims that yielded work *)
+  busy_s : float;  (** seconds inside submitted tasks *)
+  idle_s : float;  (** seconds of generations spent waiting *)
+}
+
+val stats : t -> worker_stats array
+(** One snapshot per worker (index = worker id, 0 is the caller).
+    Call between submissions — the drain barrier orders the reads. *)
+
+val generations : t -> int
+(** {!run}/{!map} submissions completed. *)
+
+val reset_stats : t -> unit
+
+val publish : t -> Hardware.Registry.t -> unit
+(** Fold the totals into a registry: [pool.tasks], [pool.chunks],
+    [pool.generations] counters, a [pool.jobs] gauge, and
+    [pool.worker_busy_s] / [pool.worker_idle_s] histograms (one
+    observation per worker).  Merge-safe in any order.  No-op on a
+    disabled registry. *)
+
 val shutdown : t -> unit
 (** Wake and join the helper domains.  Idempotent.  Submitting to a
     shut-down pool raises.  Must not be called concurrently with

@@ -11,32 +11,72 @@ type t = {
   mutable items : event list;  (* newest first *)
   mutable count : int;
   mutable recorded : int;  (* all-time offers, surviving trims *)
+  mutable sink_dropped : int;  (* offers the consumer refused *)
   capacity : int option;
   enabled : bool;
+  keep : bool;  (* retain events in the ring *)
+  consumer : (event -> bool) option;
 }
 
 let create ?capacity () =
-  { items = []; count = 0; recorded = 0; capacity; enabled = true }
+  {
+    items = [];
+    count = 0;
+    recorded = 0;
+    sink_dropped = 0;
+    capacity;
+    enabled = true;
+    keep = true;
+    consumer = None;
+  }
 
 let disabled () =
-  { items = []; count = 0; recorded = 0; capacity = None; enabled = false }
+  {
+    items = [];
+    count = 0;
+    recorded = 0;
+    sink_dropped = 0;
+    capacity = None;
+    enabled = false;
+    keep = false;
+    consumer = None;
+  }
+
+let streaming ?(keep = false) ?capacity ~consumer () =
+  {
+    items = [];
+    count = 0;
+    recorded = 0;
+    sink_dropped = 0;
+    capacity;
+    enabled = true;
+    keep;
+    consumer = Some consumer;
+  }
 
 let enabled t = t.enabled
+let is_streaming t = t.consumer <> None
 
 let record t e =
   if t.enabled then begin
-    t.items <- e :: t.items;
-    t.count <- t.count + 1;
     t.recorded <- t.recorded + 1;
-    match t.capacity with
-    | Some cap when t.count > cap ->
-        (* Trim lazily: drop the oldest half when 2x over capacity to
-           keep amortised cost constant. *)
-        if t.count > 2 * cap then begin
-          t.items <- List.filteri (fun i _ -> i < cap) t.items;
-          t.count <- cap
-        end
-    | _ -> ()
+    (match t.consumer with
+    | Some consume -> if not (consume e) then
+        t.sink_dropped <- t.sink_dropped + 1
+    | None -> ());
+    if t.keep then begin
+      t.items <- e :: t.items;
+      t.count <- t.count + 1;
+      match t.capacity with
+      | Some cap when t.count > cap ->
+          (* Trim lazily: drop the oldest half when 2x over capacity to
+             keep amortised cost constant. *)
+          if t.count > 2 * cap then begin
+            t.items <- List.filteri (fun i _ -> i < cap) t.items;
+            t.count <- cap
+          end
+      | _ -> ()
+    end
   end
 
 let events t =
@@ -51,12 +91,18 @@ let length t =
   match t.capacity with Some cap -> min cap t.count | None -> t.count
 
 let recorded t = t.recorded
-let dropped t = t.recorded - length t
+
+(* A keep=false streaming trace retains nothing by design; only a
+   retaining ring counts evictions. *)
+let dropped_ring t = if t.keep then t.recorded - length t else 0
+let dropped_sink t = t.sink_dropped
+let dropped t = dropped_ring t + dropped_sink t
 
 let clear t =
   t.items <- [];
   t.count <- 0;
-  t.recorded <- 0
+  t.recorded <- 0;
+  t.sink_dropped <- 0
 
 let time_of = function
   | Hop { time; _ }

@@ -30,9 +30,22 @@ val create : ?capacity:int -> unit -> t
 val disabled : unit -> t
 (** A recorder that discards every event (zero-cost tracing off). *)
 
+val streaming :
+  ?keep:bool -> ?capacity:int -> consumer:(event -> bool) -> unit -> t
+(** [streaming ~consumer ()] returns a recorder that hands every event
+    to [consumer] as it is recorded.  A [false] return from [consumer]
+    means the downstream sink refused the event; such refusals are
+    counted in {!dropped_sink}.  By default ([keep = false]) nothing is
+    retained in memory — {!events} is empty and the run streams in
+    O(sink buffer) space; pass [~keep:true] (optionally bounded by
+    [capacity]) to also keep the ring for monitors that replay it. *)
+
 val enabled : t -> bool
 (** Whether {!record} retains events.  Hot paths test this before
     building an event, so tracing-off costs no allocation at all. *)
+
+val is_streaming : t -> bool
+(** Whether a consumer is attached. *)
 
 val record : t -> event -> unit
 val events : t -> event list
@@ -45,10 +58,19 @@ val recorded : t -> int
     {!clear}), including events a bounded recorder has since
     evicted. *)
 
+val dropped_ring : t -> int
+(** Events lost to the ring-buffer capacity bound (evicted oldest
+    first).  Always zero for a [keep = false] streaming trace, which
+    retains nothing by contract. *)
+
+val dropped_sink : t -> int
+(** Events a streaming consumer refused (sink backpressure — a bounded
+    file sink past its byte budget, a sampling sink skipping). *)
+
 val dropped : t -> int
-(** [recorded t - length t]: events lost to the capacity bound.  A
-    profile or export computed over a trace with [dropped > 0] is
-    missing prefix events and must say so. *)
+(** [dropped_ring t + dropped_sink t]: total events lost.  A profile or
+    export computed over a trace with [dropped > 0] is missing events
+    and must say so. *)
 
 val clear : t -> unit
 

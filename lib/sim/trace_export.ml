@@ -5,6 +5,11 @@
 
 let json_float f = Printf.sprintf "%.12g" f
 
+(* Bumped whenever the JSONL record vocabulary or the BENCH json shape
+   changes incompatibly.  2: streamed headers + split dropped_ring /
+   dropped_sink truncation accounting. *)
+let schema_version = 2
+
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in
   Buffer.add_char buf '"';
@@ -57,12 +62,18 @@ let jsonl_of_event (e : Trace.event) =
 let truncation_time t =
   match Trace.events t with e :: _ -> Trace.time_of e | [] -> 0.0
 
+(* Ring evictions and sink refusals are different failure modes (the
+   former loses the oldest prefix, the latter the newest suffix), so
+   the record carries both alongside the total. *)
+let truncation_record ~time t =
+  Printf.sprintf
+    {|{"type":"truncated","time":%s,"dropped":%d,"dropped_ring":%d,"dropped_sink":%d}|}
+    (json_float time) (Trace.dropped t) (Trace.dropped_ring t)
+    (Trace.dropped_sink t)
+
 let to_jsonl buf t =
-  let dropped = Trace.dropped t in
-  if dropped > 0 then begin
-    Buffer.add_string buf
-      (Printf.sprintf {|{"type":"truncated","time":%s,"dropped":%d}|}
-         (json_float (truncation_time t)) dropped);
+  if Trace.dropped t > 0 then begin
+    Buffer.add_string buf (truncation_record ~time:(truncation_time t) t);
     Buffer.add_char buf '\n'
   end;
   List.iter
@@ -75,6 +86,30 @@ let jsonl t =
   let buf = Buffer.create 4096 in
   to_jsonl buf t;
   Buffer.contents buf
+
+(* -- Streaming -------------------------------------------------------- *)
+
+let stream_header ?(kind = "trace") ?(fields = []) () =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v) fields)
+  in
+  Printf.sprintf {|{"type":"header","schema_version":%d,"kind":%s%s}|}
+    schema_version (json_string kind) extra
+
+let event_consumer sink e = Sink.emit sink (jsonl_of_event e)
+
+let stream_trace ?keep ?capacity sink =
+  Trace.streaming ?keep ?capacity ~consumer:(event_consumer sink) ()
+
+(* The leading-record trick of [to_jsonl] is impossible when lines
+   have already left the process, so a streamed export announces loss
+   in a trailing record instead; consumers treat a final "truncated"
+   record exactly like a leading one. *)
+let stream_finish ?(time = 0.0) sink t =
+  if Trace.dropped t > 0 then
+    ignore (Sink.emit sink (truncation_record ~time t));
+  Sink.flush sink
 
 (* -- Chrome trace_event ----------------------------------------------- *)
 

@@ -21,6 +21,11 @@
     order is fixed and floats are printed with ["%.12g"].  This is
     what makes golden-file testing of the exporters possible. *)
 
+val schema_version : int
+(** Version of the JSONL record vocabulary and the BENCH json shape.
+    Streamed exports carry it in their header record; [bench --check]
+    refuses baselines written under a different version. *)
+
 val jsonl_of_event : Trace.event -> string
 (** One event as a single-line JSON object (no trailing newline).
     Every object carries ["type"] and ["time"] fields plus the
@@ -28,12 +33,42 @@ val jsonl_of_event : Trace.event -> string
 
 val to_jsonl : Buffer.t -> Trace.t -> unit
 (** All events of the trace, one {!jsonl_of_event} line each,
-    newline-terminated, chronological order.  When the trace's bounded
-    recorder evicted events ([Trace.dropped > 0]), the first line is a
-    [{"type":"truncated","time":...,"dropped":N}] warning record, so a
-    consumer can never mistake a truncated trace for a complete one. *)
+    newline-terminated, chronological order.  When the trace lost
+    events ([Trace.dropped > 0]), the first line is a
+    [{"type":"truncated","time":...,"dropped":N,"dropped_ring":R,
+    "dropped_sink":S}] warning record, so a consumer can never mistake
+    a truncated trace for a complete one. *)
 
 val jsonl : Trace.t -> string
+
+(** {1 Streaming}
+
+    The bounded-memory export path: events are serialised as they are
+    recorded and pushed through a {!Sink.t}, so a run of any size
+    exports in O(sink buffer) memory.  Output is byte-identical to a
+    materialised {!to_jsonl} of the same complete run (modulo the
+    header record), whatever the sink buffer size or [--jobs] width. *)
+
+val stream_header : ?kind:string -> ?fields:(string * string) list -> unit ->
+  string
+(** The first line of a streamed export:
+    [{"type":"header","schema_version":N,"kind":...}] plus [fields]
+    (pre-rendered JSON values, e.g. [("n", "4096")]) appended in
+    order.  [kind] defaults to ["trace"]. *)
+
+val event_consumer : Sink.t -> Trace.event -> bool
+(** Serialise one event through the sink; [false] when refused. *)
+
+val stream_trace : ?keep:bool -> ?capacity:int -> Sink.t -> Trace.t
+(** [stream_trace sink] is
+    [Trace.streaming ~consumer:(event_consumer sink) ()]: a trace whose
+    events stream through [sink] as they happen. *)
+
+val stream_finish : ?time:float -> Sink.t -> Trace.t -> unit
+(** End a streamed export: when the trace lost events, emit a trailing
+    truncation record (a streamed file cannot carry a leading one),
+    then flush the sink.  Does not close it — the caller owns the
+    sink. *)
 
 val to_chrome :
   ?process_name:string ->

@@ -221,6 +221,61 @@ let test_small_soak_green () =
       check_int (Sweep.scenario_name scenario) 0 (R.failures soak))
     Sweep.all_scenarios
 
+(* -- heartbeat --------------------------------------------------------- *)
+
+let heartbeat_lines buf =
+  List.filter (fun l -> l <> "")
+    (String.split_on_char '\n' (Buffer.contents buf))
+
+let test_soak_heartbeat_records () =
+  let buf = Buffer.create 256 in
+  let sink = Sim.Sink.buffer buf in
+  let hb = R.heartbeat ~every:2 sink in
+  ignore (R.soak ~heartbeat:hb Sweep.Bpaths ~n:16 ~seed:2 ~schedules:6 ()
+          : R.soak);
+  let lines = heartbeat_lines buf in
+  (* beats at done=2,4,6; the final completion coincides with a beat *)
+  check_int "one record per beat" 3 (List.length lines);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun l ->
+      check_bool "record type" true (contains l {|"type":"chaos_heartbeat"|}))
+    lines;
+  let final = List.nth lines 2 in
+  check_bool "final record reports completion" true
+    (contains final {|"done":6,"total":6,"failures":0|});
+  (* reuse across sequential soaks: progress restarts, the sink keeps
+     accumulating *)
+  ignore (R.soak ~heartbeat:hb Sweep.Bpaths ~n:16 ~seed:2 ~schedules:3 ()
+          : R.soak);
+  let lines = heartbeat_lines buf in
+  check_int "second soak appends" 5 (List.length lines);
+  check_bool "second soak restarts its counts" true
+    (contains (List.nth lines 4) {|"done":3,"total":3|});
+  Sim.Sink.close sink
+
+let test_soak_heartbeat_under_pool () =
+  (* beats are mutex-serialised; counts stay exact at any width *)
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      let buf = Buffer.create 256 in
+      let sink = Sim.Sink.buffer buf in
+      let hb = R.heartbeat ~every:4 sink in
+      ignore (R.soak ~pool ~heartbeat:hb Sweep.Flood ~n:16 ~seed:2
+                ~schedules:8 ()
+              : R.soak);
+      check_int "beats at 4 and 8" 2 (List.length (heartbeat_lines buf));
+      Sim.Sink.close sink)
+
+let test_heartbeat_rejects_bad_every () =
+  check_bool "every=0 rejected" true
+    (match R.heartbeat ~every:0 (Sim.Sink.null ()) with
+    | (_ : R.heartbeat) -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "generation deterministic" `Quick
@@ -240,5 +295,11 @@ let suite =
     Alcotest.test_case "planted bug detected" `Quick test_planted_bug_detected;
     Alcotest.test_case "planted bug shrinks" `Quick test_planted_bug_shrinks_small;
     Alcotest.test_case "small soak green" `Quick test_small_soak_green;
+    Alcotest.test_case "soak heartbeat records" `Quick
+      test_soak_heartbeat_records;
+    Alcotest.test_case "soak heartbeat under pool" `Quick
+      test_soak_heartbeat_under_pool;
+    Alcotest.test_case "heartbeat rejects bad every" `Quick
+      test_heartbeat_rejects_bad_every;
     QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
   ]

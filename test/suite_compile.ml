@@ -153,10 +153,43 @@ let test_precomputed_routes_parity () =
   in
   check_bool "identical results" true (plain = fast)
 
+let test_publish_and_pp_stats () =
+  Cache.clear ();
+  ignore (Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16);
+  ignore (Cache.random_connected ~seed:5 ~n:32 ~extra_edges:16);
+  ignore (Cache.random_connected ~seed:6 ~n:32 ~extra_edges:16);
+  let module R = Hardware.Registry in
+  let r = R.create () in
+  Cache.publish r;
+  let counter name =
+    match R.find_counter r name with
+    | Some c -> R.counter_value c
+    | None -> Alcotest.failf "counter %s not published" name
+  in
+  let s = Cache.stats () in
+  check_int "hits" s.Cache.hits (counter "compile.cache.hits");
+  check_int "misses" s.Cache.misses (counter "compile.cache.misses");
+  check_int "evictions" s.Cache.evictions (counter "compile.cache.evictions");
+  (match R.find_gauge r "compile.cache.resident" with
+  | Some g ->
+      check_int "resident gauge" (Cache.resident ())
+        (int_of_float (R.gauge_value g))
+  | None -> Alcotest.fail "resident gauge not published");
+  (* the text summary carries the same numbers *)
+  let line = Format.asprintf "%a" Cache.pp_stats () in
+  check_bool "pp_stats mentions misses" true
+    (let needle = Printf.sprintf "%d misses" s.Cache.misses in
+     let nh = String.length line and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub line i nn = needle || go (i + 1)) in
+     go 0);
+  (* publishing into a disabled registry is a silent no-op *)
+  Cache.publish (R.disabled ())
+
 let suite =
   [
     Alcotest.test_case "hit is physically shared" `Quick
       test_hit_is_physically_shared;
+    Alcotest.test_case "cache stats published" `Quick test_publish_and_pp_stats;
     Alcotest.test_case "miss recompiles" `Quick test_miss_recompiles;
     Alcotest.test_case "matches direct builder" `Quick
       test_artifact_matches_direct_builder;

@@ -88,6 +88,63 @@ let test_pool_reusable_across_generations () =
           out.(Array.length out - 1)
       done)
 
+(* -- pool telemetry ---------------------------------------------------- *)
+
+let test_stats_account_for_every_item () =
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs (fun p ->
+          ignore (P.map p (fun x -> x * 2) (Array.init 57 Fun.id) : int array);
+          ignore (P.map p (fun x -> x + 1) (Array.init 13 Fun.id) : int array);
+          let stats = P.stats p in
+          check_int
+            (Printf.sprintf "jobs=%d: one stat per worker" jobs)
+            jobs (Array.length stats);
+          let total field = Array.fold_left (fun a s -> a + field s) 0 stats in
+          check_int
+            (Printf.sprintf "jobs=%d: tasks sum to items" jobs)
+            70
+            (total (fun s -> s.P.tasks));
+          check_bool "chunks cover the tasks" true
+            (total (fun s -> s.P.chunks) >= 1);
+          check_int "generations" 2 (P.generations p);
+          check_bool "busy time non-negative" true
+            (Array.for_all (fun s -> s.P.busy_s >= 0.0) stats);
+          check_bool "idle time non-negative" true
+            (Array.for_all (fun s -> s.P.idle_s >= 0.0) stats);
+          P.reset_stats p;
+          let stats = P.stats p in
+          check_int "reset clears tasks" 0
+            (Array.fold_left (fun a s -> a + s.P.tasks) 0 stats);
+          check_int "reset clears generations" 0 (P.generations p)))
+    [ 1; 3 ]
+
+let test_publish_merges_order_independently () =
+  (* telemetry must fold through Registry.merge whatever the order the
+     per-pool registries are merged in *)
+  P.with_pool ~jobs:2 (fun p ->
+      ignore (P.map p Fun.id (Array.init 20 Fun.id) : int array);
+      let module R = Hardware.Registry in
+      let pub () =
+        let r = R.create () in
+        P.publish p r;
+        r
+      in
+      let a = pub () and b = pub () in
+      let ab = R.create () and ba = R.create () in
+      R.merge ~into:ab a;
+      R.merge ~into:ab b;
+      R.merge ~into:ba b;
+      R.merge ~into:ba a;
+      check_string "merge order-independent"
+        (Format.asprintf "%a" R.pp_summary ab)
+        (Format.asprintf "%a" R.pp_summary ba);
+      (match R.find_counter ab "pool.tasks" with
+      | None -> Alcotest.fail "pool.tasks not published"
+      | Some c -> check_int "tasks doubled by the merge" 40 (R.counter_value c));
+      (* a disabled registry swallows telemetry silently *)
+      P.publish p (R.disabled ()))
+
 (* -- chunked self-scheduling ------------------------------------------ *)
 
 let test_chunked_map_matches_sequential () =
@@ -219,6 +276,10 @@ let suite =
       test_with_pool_returns_and_protects;
     Alcotest.test_case "pool reusable across generations" `Quick
       test_pool_reusable_across_generations;
+    Alcotest.test_case "stats account for every item" `Quick
+      test_stats_account_for_every_item;
+    Alcotest.test_case "publish merges order-independently" `Quick
+      test_publish_merges_order_independently;
     Alcotest.test_case "chunked map matches sequential" `Quick
       test_chunked_map_matches_sequential;
     Alcotest.test_case "chunked map preserves order" `Quick

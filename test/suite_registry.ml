@@ -160,8 +160,8 @@ let test_election_publishes_consistent_instruments () =
   | None -> Alcotest.fail "missing election.route_len"
 
 (* A run whose bounded trace overflowed must surface the eviction
-   count as sim.trace.dropped — the profiler's signal that any DAG it
-   builds from this trace is incomplete. *)
+   count as sim.trace.dropped_ring — the profiler's signal that any
+   DAG it builds from this trace is incomplete. *)
 let test_trace_eviction_published () =
   let g = B.path 16 in
   let trace = Sim.Trace.create ~capacity:8 () in
@@ -170,12 +170,15 @@ let test_trace_eviction_published () =
     { (BC.default_config ()) with trace = Some trace; registry = Some reg }
   in
   ignore (BP.run ~config ~graph:g ~root:0 () : BC.result);
-  check_bool "the run overflowed the ring" true (Sim.Trace.dropped trace > 0);
-  (match R.find_counter reg "sim.trace.dropped" with
+  check_bool "the run overflowed the ring" true
+    (Sim.Trace.dropped_ring trace > 0);
+  (match R.find_counter reg "sim.trace.dropped_ring" with
   | Some c ->
-      check_int "counter = trace accounting" (Sim.Trace.dropped trace)
+      check_int "counter = trace accounting" (Sim.Trace.dropped_ring trace)
         (R.counter_value c)
-  | None -> Alcotest.fail "missing sim.trace.dropped");
+  | None -> Alcotest.fail "missing sim.trace.dropped_ring");
+  check_bool "ring loss is not sink loss" true
+    (R.find_counter reg "sim.trace.dropped_sink" = None);
   (* a run that fits in its ring must not register the instrument: the
      counter's presence is itself the warning *)
   let roomy = Sim.Trace.create () in
@@ -185,7 +188,41 @@ let test_trace_eviction_published () =
   in
   ignore (BP.run ~config:config2 ~graph:g ~root:0 () : BC.result);
   check_bool "no loss, no instrument" true
-    (R.find_counter reg2 "sim.trace.dropped" = None)
+    (R.find_counter reg2 "sim.trace.dropped_ring" = None)
+
+(* Sink backpressure during a streamed run surfaces through the other
+   counter, so ring truncation and sink refusal stay distinguishable
+   in the registry. *)
+let test_trace_sink_drops_published () =
+  let g = B.path 16 in
+  let buf = Buffer.create 256 in
+  (* enough budget for a few lines, then refuse the rest *)
+  let inner = Sim.Sink.buffer buf in
+  let count = ref 0 in
+  let sink =
+    Sim.Sink.create
+      ~emit:(fun line ->
+        incr count;
+        if !count <= 5 then Sim.Sink.emit inner line else false)
+      ()
+  in
+  let trace = Sim.Trace_export.stream_trace sink in
+  let reg = R.create () in
+  let config =
+    { (BC.default_config ()) with trace = Some trace; registry = Some reg }
+  in
+  ignore (BP.run ~config ~graph:g ~root:0 () : BC.result);
+  check_bool "the sink refused events" true
+    (Sim.Trace.dropped_sink trace > 0);
+  check_int "streaming keeps nothing in the ring" 0
+    (Sim.Trace.dropped_ring trace);
+  (match R.find_counter reg "sim.trace.dropped_sink" with
+  | Some c ->
+      check_int "counter = trace accounting" (Sim.Trace.dropped_sink trace)
+        (R.counter_value c)
+  | None -> Alcotest.fail "missing sim.trace.dropped_sink");
+  check_bool "sink loss is not ring loss" true
+    (R.find_counter reg "sim.trace.dropped_ring" = None)
 
 (* A disabled (or absent) registry must not change the measured
    execution at all. *)
@@ -298,6 +335,8 @@ let suite =
       test_election_publishes_consistent_instruments;
     Alcotest.test_case "trace eviction published" `Quick
       test_trace_eviction_published;
+    Alcotest.test_case "trace sink drops published" `Quick
+      test_trace_sink_drops_published;
     Alcotest.test_case "registry does not perturb the run" `Quick
       test_registry_does_not_perturb_run;
     Alcotest.test_case "merge sums counters" `Quick test_merge_counters_sum;

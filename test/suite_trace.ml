@@ -126,6 +126,53 @@ let test_time_of_variants () =
   check_time (Sim.Trace.Link_change { u = 0; v = 1; up = false; time = 4.5 }) 4.5;
   check_time (Sim.Trace.Custom { time = 5.5; label = "" }) 5.5
 
+(* streaming mode: every event goes to the consumer, nothing is
+   retained, and sink refusals are accounted separately from ring
+   evictions *)
+let test_streaming_retains_nothing () =
+  let seen = ref 0 in
+  let t = Sim.Trace.streaming ~consumer:(fun _ -> incr seen; true) () in
+  check_bool "enabled" true (Sim.Trace.enabled t);
+  check_bool "is_streaming" true (Sim.Trace.is_streaming t);
+  check_bool "create is not streaming" false
+    (Sim.Trace.is_streaming (Sim.Trace.create ()));
+  for i = 1 to 5 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "consumer saw every event" 5 !seen;
+  check_int "ring retains nothing" 0 (Sim.Trace.length t);
+  check_int "recorded still counts" 5 (Sim.Trace.recorded t);
+  check_int "an empty ring is not an eviction" 0 (Sim.Trace.dropped_ring t);
+  check_int "no sink refusals" 0 (Sim.Trace.dropped_sink t);
+  check_int "dropped total" 0 (Sim.Trace.dropped t)
+
+let test_streaming_sink_refusals_counted () =
+  let seen = ref 0 in
+  let t =
+    Sim.Trace.streaming ~consumer:(fun _ -> incr seen; !seen <= 3) ()
+  in
+  for i = 1 to 8 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "refusals are sink drops" 5 (Sim.Trace.dropped_sink t);
+  check_int "not ring drops" 0 (Sim.Trace.dropped_ring t);
+  check_int "total" 5 (Sim.Trace.dropped t);
+  Sim.Trace.clear t;
+  check_int "clear resets sink drops" 0 (Sim.Trace.dropped_sink t)
+
+let test_streaming_keep_also_fills_ring () =
+  let t =
+    Sim.Trace.streaming ~keep:true ~capacity:4 ~consumer:(fun _ -> true) ()
+  in
+  for i = 1 to 10 do
+    Sim.Trace.record t (hop (float_of_int i))
+  done;
+  check_int "ring bounded" 4 (Sim.Trace.length t);
+  check_int "evictions are ring drops" 6 (Sim.Trace.dropped_ring t);
+  check_int "no sink drops" 0 (Sim.Trace.dropped_sink t);
+  Alcotest.(check (list (float 1e-9)))
+    "newest four" [ 7.0; 8.0; 9.0; 10.0 ] (times t)
+
 let test_pp_smoke () =
   let t = Sim.Trace.create () in
   Sim.Trace.record t (hop 1.0);
@@ -148,5 +195,11 @@ let suite =
       test_recorded_and_dropped;
     Alcotest.test_case "filter and count" `Quick test_filter_count;
     Alcotest.test_case "time_of variants" `Quick test_time_of_variants;
+    Alcotest.test_case "streaming retains nothing" `Quick
+      test_streaming_retains_nothing;
+    Alcotest.test_case "streaming sink refusals counted" `Quick
+      test_streaming_sink_refusals_counted;
+    Alcotest.test_case "streaming keep fills ring" `Quick
+      test_streaming_keep_also_fills_ring;
     Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
   ]

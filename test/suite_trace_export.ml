@@ -17,6 +17,7 @@ module BP = Core.Branching_paths
 
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
 
 (* the fixed-seed scenario every golden file is generated from *)
 let golden_trace () =
@@ -115,7 +116,8 @@ let test_truncation_is_announced () =
     | None -> jl
   in
   check_string "truncation record leads the jsonl"
-    {|{"type":"truncated","time":7,"dropped":6}|} first_line;
+    {|{"type":"truncated","time":7,"dropped":6,"dropped_ring":6,"dropped_sink":0}|}
+    first_line;
   let doc = E.chrome t in
   check_bool "chrome carries the warning instant" true
     (contains doc "trace truncated (6 events dropped)");
@@ -130,6 +132,128 @@ let test_intact_trace_has_no_truncation_record () =
     (contains (E.jsonl t) "truncated");
   check_bool "chrome silent when complete" false
     (contains (E.chrome t) "truncated")
+
+(* -- streaming -------------------------------------------------------- *)
+
+(* run the golden scenario once with a kept trace and once streamed
+   through a sink: the streamed bytes must equal the materialised
+   export of the same run (a complete run has no truncation record) *)
+let run_golden_through trace =
+  let g =
+    Netgraph.Builders.random_connected (Sim.Rng.create ~seed:5) ~n:6
+      ~extra_edges:2
+  in
+  let config = { (BC.default_config ()) with trace = Some trace } in
+  ignore (BP.run ~config ~graph:g ~root:0 () : BC.result)
+
+let streamed_jsonl sink =
+  let t = E.stream_trace sink in
+  run_golden_through t;
+  E.stream_finish sink t;
+  (t, sink)
+
+let test_streamed_equals_materialised () =
+  let kept = T.create () in
+  run_golden_through kept;
+  let buf = Buffer.create 4096 in
+  let t, sink = streamed_jsonl (Sim.Sink.buffer buf) in
+  Sim.Sink.close sink;
+  check_string "streamed bytes = materialised export" (E.jsonl kept)
+    (Buffer.contents buf);
+  check_int "nothing dropped" 0 (T.dropped t);
+  check_int "ring retained nothing" 0 (T.length t)
+
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_streamed_file_identical_at_any_chunk_size () =
+  let via_file chunk_bytes =
+    let path = Filename.temp_file "stream_test" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let sink = Sim.Sink.file ~chunk_bytes path in
+        let _t, sink = streamed_jsonl sink in
+        Sim.Sink.close sink;
+        read_file_bytes path)
+  in
+  let reference = via_file 65536 in
+  check_bool "non-empty" true (String.length reference > 0);
+  List.iter
+    (fun chunk_bytes ->
+      check_string
+        (Printf.sprintf "chunk_bytes=%d" chunk_bytes)
+        reference (via_file chunk_bytes))
+    [ 1; 13; 4096 ]
+
+let test_streamed_replicas_jobs_independent () =
+  (* each replica streams into its own buffer inside a pool worker; the
+     per-replica bytes must not depend on the job count *)
+  let replica_bytes jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Pool.map pool
+          (fun seed ->
+            let buf = Buffer.create 4096 in
+            let sink = Sim.Sink.buffer buf in
+            let t = E.stream_trace sink in
+            let g =
+              Netgraph.Builders.random_connected (Sim.Rng.create ~seed)
+                ~n:24 ~extra_edges:4
+            in
+            let config = { (BC.default_config ()) with trace = Some t } in
+            ignore (BP.run ~config ~graph:g ~root:0 () : BC.result);
+            E.stream_finish sink t;
+            Sim.Sink.close sink;
+            Buffer.contents buf)
+          (Array.init 6 (fun i -> i + 1)))
+  in
+  let sequential = replica_bytes 1 in
+  let parallel = replica_bytes 3 in
+  Array.iteri
+    (fun i bytes ->
+      check_string (Printf.sprintf "replica %d" i) bytes parallel.(i))
+    sequential
+
+let test_stream_finish_trailing_truncation () =
+  let buf = Buffer.create 256 in
+  let sink = Sim.Sink.buffer buf in
+  let refuse_after = 2 in
+  let seen = ref 0 in
+  let t =
+    T.streaming
+      ~consumer:(fun e ->
+        incr seen;
+        !seen <= refuse_after && E.event_consumer sink e)
+      ()
+  in
+  for i = 1 to 5 do
+    T.record t (T.Hop { src = 0; dst = 1; time = float_of_int i; msg_id = i })
+  done;
+  E.stream_finish ~time:5.0 sink t;
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  let last_line =
+    List.fold_left (fun acc l -> if l = "" then acc else l) "" lines
+  in
+  check_string "trailing truncation record"
+    {|{"type":"truncated","time":5,"dropped":3,"dropped_ring":0,"dropped_sink":3}|}
+    last_line
+
+let test_stream_header_shape () =
+  check_string "default header"
+    (Printf.sprintf {|{"type":"header","schema_version":%d,"kind":"trace"}|}
+       E.schema_version)
+    (E.stream_header ());
+  check_string "kind and fields"
+    (Printf.sprintf
+       {|{"type":"header","schema_version":%d,"kind":"chaos","n":64,"name":"x"}|}
+       E.schema_version)
+    (E.stream_header ~kind:"chaos"
+       ~fields:[ ("n", "64"); ("name", {|"x"|}) ]
+       ())
 
 let test_exports_of_empty_trace () =
   let t = T.create () in
@@ -148,6 +272,15 @@ let suite =
     Alcotest.test_case "intact trace stays silent" `Quick
       test_intact_trace_has_no_truncation_record;
     Alcotest.test_case "empty trace exports" `Quick test_exports_of_empty_trace;
+    Alcotest.test_case "streamed equals materialised" `Quick
+      test_streamed_equals_materialised;
+    Alcotest.test_case "streamed file identical at any chunk size" `Quick
+      test_streamed_file_identical_at_any_chunk_size;
+    Alcotest.test_case "streamed replicas jobs-independent" `Quick
+      test_streamed_replicas_jobs_independent;
+    Alcotest.test_case "stream_finish trailing truncation" `Quick
+      test_stream_finish_trailing_truncation;
+    Alcotest.test_case "stream header shape" `Quick test_stream_header_shape;
     Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
     Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
   ]

@@ -7,6 +7,7 @@ let () =
       ("sim.heap", Suite_heap.suite);
       ("sim.engine", Suite_engine.suite);
       ("sim.stats", Suite_stats.suite);
+      ("sim.sink", Suite_sink.suite);
       ("sim.trace", Suite_trace.suite);
       ("sim.trace_export", Suite_trace_export.suite);
       ("graph.graph", Suite_graph.suite);
