@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-obs chaos chaos-smoke experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-obs chaos chaos-smoke query-smoke experiments figures examples clean
 
 all: build
 
@@ -72,6 +72,21 @@ chaos-smoke:
 chaos:
 	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 64 --seed 7 --jobs 4
 	dune exec bin/futurenet_cli.exe -- chaos -s all -n 128 -k 32 --seed 11 --jobs 4
+
+# Trace analytics smoke (DESIGN.md §14): stream one n=4096 broadcast
+# to JSONL, analyse it with `futurenet query` (kind and per-link
+# grouping, C/P latency percentiles), then re-stream the same seeded
+# scenario and prove `futurenet diff` calls the two runs identical.
+# The text reports land next to the build; CI uploads them as
+# artifacts.  --monitors warn: a streaming trace keeps no ring, so the
+# ring-replaying monitors are skipped (exit 3 under fail, by design).
+query-smoke:
+	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream query-smoke-4096.jsonl
+	dune exec bin/futurenet_cli.exe -- query query-smoke-4096.jsonl --group-by kind > query-smoke-report.txt
+	dune exec bin/futurenet_cli.exe -- query query-smoke-4096.jsonl --kind hop --group-by link >> query-smoke-report.txt
+	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream query-smoke-4096-again.jsonl
+	dune exec bin/futurenet_cli.exe -- diff query-smoke-4096.jsonl query-smoke-4096-again.jsonl > query-diff-report.txt
+	cat query-smoke-report.txt query-diff-report.txt
 
 experiments:
 	dune exec bench/main.exe -- all

@@ -10,7 +10,8 @@
    - `--smoke`      : tiny quota and n=64 only — a fast CI sanity check.
    - `--json`       : additionally write one BENCH_<n>.json per scaling
                       size (name, ns/run, plus the semantic system-call /
-                      hop / drop counts of each workload, n, git rev)
+                      hop / drop counts of each workload, the simulated
+                      latency percentiles of each scenario, n, git rev)
                       into the current directory, so successive PRs
                       accumulate a perf trajectory to regress against.
    - `--monitors`   : after timing, re-run one checked execution per
@@ -407,6 +408,45 @@ let parallel_rows ~jobs ~replicas ~n =
         Parallel.Pool.publish pool reg;
         (rows, Some (Format.asprintf "%a" Hardware.Registry.pp_summary reg)))
 
+(* When a sweep's metrics diverge between job counts, re-run the
+   offending scenarios with ~keep_events:true at jobs=1 and jobs=N and
+   hand the first divergent replica's event streams to Query.Diff: the
+   exit-5 report names the event index, the charged node and the
+   binding-predecessor chain instead of just a boolean. *)
+let localise_parallel_divergence ~jobs ~replicas ~n scenarios =
+  let module S = Parallel.Sweep in
+  List.iter
+    (fun sc ->
+      let s1 = S.run sc ~replicas ~n ~seed:42 ~keep_events:true () in
+      let sn =
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            S.run ~pool sc ~replicas ~n ~seed:42 ~keep_events:true ())
+      in
+      let count = min (Array.length s1.S.events) (Array.length sn.S.events) in
+      let rec first i =
+        if i >= count then None
+        else if s1.S.events.(i) <> sn.S.events.(i) then Some i
+        else first (i + 1)
+      in
+      match first 0 with
+      | None ->
+          Printf.eprintf
+            "  %s: replica traces replayed identically on the keep-events \
+             re-run — the metrics divergence did not reproduce\n"
+            (S.scenario_name sc)
+      | Some i ->
+          let outcome =
+            Query.Diff.of_events ~baseline:s1.S.events.(i) sn.S.events.(i)
+          in
+          Printf.eprintf "  %s, replica %d:\n" (S.scenario_name sc) i;
+          List.iter
+            (fun l -> if l <> "" then Printf.eprintf "    %s\n" l)
+            (String.split_on_char '\n'
+               (Query.Diff.report ~baseline:"jobs=1"
+                  ~candidate:(Printf.sprintf "jobs=%d" jobs)
+                  outcome)))
+    scenarios
+
 let print_parallel_rows ~jobs ~replicas rows =
   Printf.printf "%-20s %12s %12s %9s  %s   (%d replicas, %d jobs)\n" "sweep"
     "jobs=1 (s)" "jobs=N (s)" "speedup" "deterministic" replicas jobs;
@@ -499,6 +539,98 @@ let print_profiles profiles =
              else "")
       | None -> Printf.printf "%-45s (no NCU activation in trace)\n" name)
     profiles;
+  flush stdout
+
+(* -- simulated latency percentiles (bench --json) --------------------- *)
+
+(* One untimed run of each scaling workload with a streaming latency
+   aggregator attached: the events are priced (per-hop / delivery /
+   end-to-end percentiles in the paper's C/P terms) as they are
+   recorded and never materialised, so this section works at the scale
+   sizes under --mem-budget.  Simulated time is deterministic, which
+   is why --check can hold these values to exact equality while
+   ns_per_run only gets a tolerance. *)
+(* OCaml 5.1 never returns small-block pool memory to the OS, and the
+   --mem-budget gate reads the process heap high-water mark — which
+   only ever grows.  A traced 10^6-event run must therefore not let
+   its churn outrun the incremental major GC: force a full collection
+   every 2^17 offers so churn reuses swept pool slots instead of
+   mapping fresh pools.  Untimed sections only. *)
+let gc_paced f =
+  let tick = ref 0 in
+  fun e ->
+    incr tick;
+    if !tick land 0x1FFFF = 0 then Gc.full_major ();
+    f e
+
+let latency_rows ~n =
+  let art = bench_art ~n in
+  let g = Compile.Topology.graph art in
+  let labelling, routes = bpaths_precomputed art in
+  let priced run =
+    let lat = Query.Latency.create () in
+    let trace =
+      Sim.Trace.streaming
+        ~consumer:
+          (gc_paced (fun e ->
+               Query.Latency.observe lat e;
+               true))
+        ()
+    in
+    run trace;
+    lat
+  in
+  let bcast_config trace =
+    { (Core.Broadcast.default_config ()) with trace = Some trace }
+  in
+  let broadcasts =
+    [
+      ( Printf.sprintf "e1/flooding-broadcast-n%d" n,
+        priced (fun trace ->
+            ignore
+              (Core.Flooding.run ~config:(bcast_config trace) ~graph:g ~root:0
+                 ()
+                : Core.Broadcast.result)) );
+      ( Printf.sprintf "e1/branching-paths-broadcast-n%d" n,
+        priced (fun trace ->
+            ignore
+              (Core.Branching_paths.run ~config:(bcast_config trace)
+                 ~precomputed:labelling ?routes ~graph:g ~root:0 ()
+                : Core.Broadcast.result)) );
+    ]
+  in
+  if broadcast_only ~n then broadcasts
+  else
+    let ring = ring_graph ~n in
+    let maintenance_rounds = if n >= 1024 then 1 else 2 in
+    let maintenance_graph = Compile.Topology.graph (maintenance_art ~n) in
+    broadcasts
+    @ [
+        ( Printf.sprintf "e6/election-ring%d" n,
+          priced (fun trace ->
+              ignore (Core.Election.run ~trace ~graph:ring ()
+                       : Core.Election.outcome)) );
+        ( Printf.sprintf "e5/maintenance-%d-rounds-n%d" maintenance_rounds n,
+          priced (fun trace ->
+              let params =
+                {
+                  (Core.Topo_maintenance.default_params ()) with
+                  max_rounds = maintenance_rounds;
+                  trace = Some trace;
+                }
+              in
+              ignore
+                (Core.Topo_maintenance.run ~params ~graph:maintenance_graph
+                   ~events:[] ()
+                  : Core.Topo_maintenance.outcome)) );
+      ]
+
+let print_latency_rows rows =
+  List.iter
+    (fun (name, lat) ->
+      Printf.printf "%s\n" name;
+      Format.printf "%a" Query.Latency.pp lat)
+    rows;
   flush stdout
 
 (* -- observability overhead gate (bench --obs-overhead) --------------- *)
@@ -689,7 +821,15 @@ let stream_trace_export ~n =
   let g = Compile.Topology.graph art in
   let labelling, routes = bpaths_precomputed art in
   let path = Printf.sprintf "TRACE_%d.jsonl" n in
-  let sink = Sim.Sink.file path in
+  let file = Sim.Sink.file path in
+  (* pace the GC from the export path too (see [gc_paced]): the
+     serialised lines are pure churn and must not grow the pool set *)
+  let sink =
+    Sim.Sink.create
+      ~emit:(gc_paced (fun line -> Sim.Sink.emit file line))
+      ~close:(fun () -> Sim.Sink.close file)
+      ()
+  in
   Fun.protect
     ~finally:(fun () -> Sim.Sink.close sink)
     (fun () ->
@@ -713,9 +853,31 @@ let stream_trace_export ~n =
           ~graph:g ~root:0 ()
       in
       Sim.Trace_export.stream_finish ~time:r.Core.Broadcast.time sink trace);
-  (Sim.Sink.emitted sink, Sim.Sink.bytes sink, path)
+  (Sim.Sink.emitted file, Sim.Sink.bytes file, path)
 
-let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel ~obs rows =
+(* Flattened per-scenario latency entry: "<dist>_<stat>" keys, NaN
+   (empty distribution) rendered as 0 to stay valid JSON. *)
+let latency_entry_fields lat =
+  let module L = Query.Latency in
+  let dist prefix h =
+    List.map (fun (k, v) -> (prefix ^ "_" ^ k, v)) (L.dist_fields h)
+  in
+  [
+    ("c", L.c lat);
+    ("p", L.p lat);
+    ("messages", float_of_int (L.messages lat));
+    ("deliveries", float_of_int (L.deliveries lat));
+    ("unknown", float_of_int (L.unknown lat));
+    ("c_work", L.c_work lat);
+    ("p_work", L.p_work lat);
+    ("wait", L.wait lat);
+  ]
+  @ dist "hop" (L.hop lat)
+  @ dist "delivery" (L.delivery lat)
+  @ dist "e2e" (L.e2e lat)
+
+let write_bench_json ~n ~rev ~peak_heap_bytes ~workloads ~profiles ~latency
+    ~parallel ~obs rows =
   let file = Printf.sprintf "BENCH_%d.json" n in
   let oc = open_out file in
   Printf.fprintf oc
@@ -738,7 +900,7 @@ let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel ~obs rows =
             (json_escape name) sep)
     rows;
   output_string oc "  ],\n  \"workloads\": [\n";
-  let sem = semantic_rows ~n in
+  let sem = workloads in
   let total = List.length sem in
   List.iteri
     (fun i (name, (syscalls, hops, drops, dropped_in_flight)) ->
@@ -771,6 +933,27 @@ let write_bench_json ~n ~rev ~peak_heap_bytes ~profiles ~parallel ~obs rows =
             Printf.fprintf oc "    { \"name\": \"%s\", \"span\": null }%s\n"
               (json_escape name) sep)
       profiles;
+    output_string oc "  ]"
+  end;
+  if latency <> [] then begin
+    (* keyed "scenario", so the --check name/ns_per_run parser never
+       sees these rows; the latency gate compares them by field *)
+    output_string oc ",\n  \"latency\": [\n";
+    let total = List.length latency in
+    List.iteri
+      (fun i (name, lat) ->
+        let sep = if i = total - 1 then "" else "," in
+        let fields =
+          String.concat ", "
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "\"%s\": %.12g" k
+                   (if Float.is_nan v then 0.0 else v))
+               (latency_entry_fields lat))
+        in
+        Printf.fprintf oc "    { \"scenario\": \"%s\", %s }%s\n"
+          (json_escape name) fields sep)
+      latency;
     output_string oc "  ]"
   end;
   (match parallel with
@@ -888,6 +1071,107 @@ let bench_rows json =
   in
   collect [] 0
 
+(* The "latency" section: flat objects keyed "scenario".  Returns each
+   entry as (scenario, raw object text); fields are re-extracted per
+   key with [number_after].  The array holds only flat objects, so it
+   ends at the first ']' after its '['. *)
+let latency_entries json =
+  match find_sub json "\"latency\"" 0 with
+  | None -> []
+  | Some li -> (
+      match String.index_from_opt json li '[' with
+      | None -> []
+      | Some start ->
+          let stop =
+            match String.index_from_opt json start ']' with
+            | Some i -> i
+            | None -> String.length json
+          in
+          let section = String.sub json start (stop - start) in
+          let rec collect acc i =
+            match String.index_from_opt section i '{' with
+            | None -> List.rev acc
+            | Some o -> (
+                match String.index_from_opt section o '}' with
+                | None -> List.rev acc
+                | Some c ->
+                    collect (String.sub section o (c - o + 1) :: acc) (c + 1))
+          in
+          List.filter_map
+            (fun obj ->
+              match find_sub obj "\"scenario\"" 0 with
+              | None -> None
+              | Some si ->
+                  Option.bind
+                    (String.index_from_opt obj (si + 10) '"')
+                    (fun q1 ->
+                      Option.map
+                        (fun q2 ->
+                          (String.sub obj (q1 + 1) (q2 - q1 - 1), obj))
+                        (String.index_from_opt obj (q1 + 1) '"')))
+            (collect [] 0))
+
+(* The fields the latency gate holds to equality.  Simulated time is a
+   deterministic function of (scenario, n, seed), so any drift here is
+   a semantic change, not noise — unlike ns_per_run there is no
+   tolerance. *)
+let latency_check_fields =
+  [
+    "\"messages\"";
+    "\"deliveries\"";
+    "\"unknown\"";
+    "\"hop_count\"";
+    "\"hop_p50\"";
+    "\"hop_p95\"";
+    "\"hop_p99\"";
+    "\"e2e_count\"";
+    "\"e2e_p50\"";
+    "\"e2e_p95\"";
+    "\"e2e_p99\"";
+  ]
+
+let latency_field obj key = number_after obj key 0 (String.length obj)
+
+(* Exact up to float printing: %.12g round-trips these values. *)
+let latency_field_equal a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_latency ~baseline_path ~current_path baseline current =
+  match latency_entries baseline with
+  | [] -> true (* baseline predates the latency section: nothing to hold *)
+  | base_entries ->
+      let cur_entries = latency_entries current in
+      List.fold_left
+        (fun ok (scenario, bobj) ->
+          match List.assoc_opt scenario cur_entries with
+          | None ->
+              Printf.printf "  latency/%-37s MISSING from %s\n" scenario
+                current_path;
+              false
+          | Some cobj ->
+              let bad =
+                List.filter_map
+                  (fun key ->
+                    match (latency_field bobj key, latency_field cobj key) with
+                    | Some bv, Some cv when latency_field_equal bv cv -> None
+                    | Some bv, Some cv ->
+                        Some (Printf.sprintf "%s %.12g -> %.12g" key bv cv)
+                    | Some _, None -> Some (key ^ " missing")
+                    | None, _ -> None (* field absent from the baseline *))
+                  latency_check_fields
+              in
+              if bad = [] then begin
+                Printf.printf "  latency/%-37s ok\n" scenario;
+                ok
+              end
+              else begin
+                Printf.printf "  latency/%-37s DRIFTED vs %s: %s\n" scenario
+                  baseline_path (String.concat ", " bad);
+                false
+              end)
+        true base_entries
+
 let bench_n json =
   Option.map int_of_float
     (number_after json "\"n\"" 0 (String.length json))
@@ -949,23 +1233,30 @@ let check_baseline ~tolerance baseline_path =
                 false
               end
               else
-                List.fold_left
-                  (fun ok (name, bv) ->
-                    match List.assoc_opt name current_rows with
-                    | None ->
-                        Printf.printf "  %-45s MISSING from %s\n" name
-                          current_path;
-                        false
-                    | Some cv ->
-                        let delta = (cv -. bv) /. bv *. 100.0 in
-                        let regressed =
-                          cv > bv *. (1.0 +. (tolerance /. 100.0))
-                        in
-                        Printf.printf "  %-45s %12.0f -> %12.0f  %+7.1f%%  %s\n"
-                          name bv cv delta
-                          (if regressed then "REGRESSION" else "ok");
-                        ok && not regressed)
-                  true rows))
+                let ns_ok =
+                  List.fold_left
+                    (fun ok (name, bv) ->
+                      match List.assoc_opt name current_rows with
+                      | None ->
+                          Printf.printf "  %-45s MISSING from %s\n" name
+                            current_path;
+                          false
+                      | Some cv ->
+                          let delta = (cv -. bv) /. bv *. 100.0 in
+                          let regressed =
+                            cv > bv *. (1.0 +. (tolerance /. 100.0))
+                          in
+                          Printf.printf
+                            "  %-45s %12.0f -> %12.0f  %+7.1f%%  %s\n" name bv
+                            cv delta
+                            (if regressed then "REGRESSION" else "ok");
+                          ok && not regressed)
+                    true rows
+                in
+                let lat_ok =
+                  check_latency ~baseline_path ~current_path baseline current
+                in
+                ns_ok && lat_ok))
 
 (* -- memory accounting (bench --mem-budget) --------------------------- *)
 
@@ -1070,10 +1361,20 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget
       in
       print_rows rows;
       Format.printf "%a@." Compile.Cache.pp_stats ();
+      (* the untimed semantic re-runs go first, while the pool set is
+         still the timing suite's: OCaml 5.1 never shrinks it, so
+         section order decides the high-water mark the --mem-budget
+         gate reads *)
+      let workloads = if json then semantic_rows ~n else [] in
       let profiles = if profile then profile_rows ~n else [] in
       if profile then begin
         Printf.printf "\n-- critical-path profiles, n = %d --\n%!" n;
         print_profiles profiles
+      end;
+      let latency = if json then latency_rows ~n else [] in
+      if latency <> [] then begin
+        Printf.printf "\n-- simulated latency, n = %d --\n%!" n;
+        print_latency_rows latency
       end;
       let parallel =
         if broadcast_only ~n then begin
@@ -1094,6 +1395,18 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget
           if List.exists (fun r -> not r.pr_deterministic) prows then begin
             Printf.eprintf
               "n=%d: parallel sweep metrics diverged between job counts\n" n;
+            let diverged =
+              List.filter
+                (fun sc ->
+                  List.exists
+                    (fun r ->
+                      (not r.pr_deterministic)
+                      && String.equal r.pr_name
+                           (Parallel.Sweep.scenario_name sc))
+                    prows)
+                parallel_scenarios
+            in
+            localise_parallel_divergence ~jobs ~replicas ~n diverged;
             exit 5
           end;
           Some (jobs, replicas, prows)
@@ -1116,7 +1429,7 @@ let run_bechamel ~smoke ~json ~monitors ~profile ~jobs ~sizes ~mem_budget
       in
       if json then
         write_bench_json ~n ~rev ~peak_heap_bytes:(peak_heap_bytes ())
-          ~profiles ~parallel ~obs:obs_rows rows;
+          ~workloads ~profiles ~latency ~parallel ~obs:obs_rows rows;
       (* enforcement comes after the json write so a violation still
          leaves the measured ratios on disk for inspection *)
       if obs then enforce_obs_budget ~n obs_rows;

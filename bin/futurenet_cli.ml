@@ -8,6 +8,8 @@
      bench       run a multicore replica sweep of one scenario
      chaos       soak scenarios under seeded fault schedules + oracles
      trace       run a scenario and export its structured trace
+     query       analyse a JSONL trace stream offline (filter/group/p99)
+     diff        first-divergence localisation between two trace streams
      tree        print the optimal computation tree for given C, P, n *)
 
 open Cmdliner
@@ -401,7 +403,7 @@ let trace_cmd =
             Hardware.Monitor.fifo_per_link trace;
           ]
     in
-    let reports =
+    let reports, skipped =
       match sink with
       | None ->
           let jsonl_path = out ^ ".jsonl" in
@@ -410,7 +412,7 @@ let trace_cmd =
           write_file chrome_path (Sim.Trace_export.chrome trace);
           Printf.printf "wrote %s (%d events) and %s\n" jsonl_path
             (Sim.Trace.length trace) chrome_path;
-          reports
+          (reports, [])
       | Some (path, sink) ->
           Sim.Trace_export.stream_finish sink trace;
           Sim.Sink.close sink;
@@ -419,20 +421,37 @@ let trace_cmd =
             path (Sim.Sink.emitted sink) (Sim.Sink.bytes sink)
             (Sim.Trace.dropped_sink trace);
           (* The ring retains nothing in stream mode, so monitors that
-             replay it would pass vacuously — drop them. *)
-          List.filter (fun r -> r.Hardware.Monitor.monitor <> "fifo-per-link")
-            reports
+             replay it would pass vacuously — drop them, loudly. *)
+          let kept, skipped =
+            List.partition
+              (fun r -> r.Hardware.Monitor.monitor <> "fifo-per-link")
+              reports
+          in
+          (kept, List.map (fun r -> r.Hardware.Monitor.monitor) skipped)
     in
+    if skipped <> [] then
+      Printf.printf
+        "warning: --stream keeps no ring to replay; skipped monitor(s): %s\n"
+        (String.concat ", " skipped);
     print_endline "registry:";
     Format.printf "%a@?" Hardware.Registry.pp_summary registry;
     Format.printf "%a@." Compile.Cache.pp_stats ();
     print_endline "monitors:";
     List.iter (fun r -> Format.printf "%a@." Hardware.Monitor.pp_report r) reports;
-    match Hardware.Monitor.enforce mode reports with
+    (match Hardware.Monitor.enforce mode reports with
     | _ -> ()
     | exception Hardware.Monitor.Violation failed ->
         Printf.eprintf "%d monitor violation(s)\n" (List.length failed);
-        exit 3
+        exit 3);
+    (* a skipped monitor cannot pass: under --monitors fail, skipping
+       is itself a violation, not a free pass *)
+    if mode = Hardware.Monitor.Fail && skipped <> [] then begin
+      Printf.eprintf
+        "trace --stream: %d monitor(s) skipped under --monitors fail: %s\n"
+        (List.length skipped)
+        (String.concat ", " skipped);
+      exit 3
+    end
   in
   Cmd.v
     (Cmd.info "trace"
@@ -709,7 +728,13 @@ let chaos_cmd =
     | Ok v ->
         if json then print_endline (Chaos.Runner.verdict_json v)
         else Format.printf "%a@?" Chaos.Runner.pp_verdict v;
-        if not v.Chaos.Runner.ok then exit 6
+        if not v.Chaos.Runner.ok then begin
+          (if not json then
+             match Chaos.Runner.baseline_divergence v with
+             | Ok report -> print_string report
+             | Error msg -> Printf.printf "(no baseline diff: %s)\n" msg);
+          exit 6
+        end
   in
   let run n seed scenario schedules jobs json replay out_dir hb_path hb_every =
     match replay with
@@ -725,16 +750,17 @@ let chaos_cmd =
           | None -> None
           | Some path ->
               let sink = Sim.Sink.file path in
-              ignore
-                (Sim.Sink.emit sink
-                   (Sim.Trace_export.stream_header ~kind:"chaos"
-                      ~fields:
-                        [ ("n", string_of_int n);
-                          ("seed", string_of_int seed);
-                          ("schedules", string_of_int schedules) ]
-                      ())
-                  : bool);
-              Some (path, sink, Chaos.Runner.heartbeat ~every:hb_every sink)
+              (* Runner.heartbeat writes the schema header itself
+                 (kind "chaos_heartbeat") — these fields ride along *)
+              Some
+                ( path,
+                  sink,
+                  Chaos.Runner.heartbeat ~every:hb_every
+                    ~fields:
+                      [ ("n", string_of_int n);
+                        ("seed", string_of_int seed);
+                        ("schedules", string_of_int schedules) ]
+                    sink )
         in
         let heartbeat = Option.map (fun (_, _, h) -> h) hb in
         let soak pool sc =
@@ -782,13 +808,23 @@ let chaos_cmd =
                      minimal.Chaos.Runner.schedule.Chaos.Schedule.index)
               in
               Chaos.Runner.write_repro ~path minimal;
-              if not json then
+              if not json then begin
                 Printf.printf
                   "  shrunk schedule %d to %d fault event(s); repro at %s\n"
                   minimal.Chaos.Runner.schedule.Chaos.Schedule.index
                   (List.length
                      minimal.Chaos.Runner.schedule.Chaos.Schedule.faults)
-                  path)
+                  path;
+                (* localise: where the shrunken schedule's trace first
+                   departs from its fault-free twin *)
+                match Chaos.Runner.baseline_divergence minimal with
+                | Ok report ->
+                    print_string ("  " ^ String.concat "\n  "
+                      (String.split_on_char '\n' (String.trim report)));
+                    print_newline ()
+                | Error msg ->
+                    Printf.printf "  (no baseline diff: %s)\n" msg
+              end)
             failing;
           close_hb ();
           exit 6
@@ -805,6 +841,153 @@ let chaos_cmd =
     Term.(const run $ chaos_n_arg $ seed_arg $ scenario_arg $ schedules_arg
           $ chaos_jobs_arg $ json_flag $ replay_arg $ out_dir_arg
           $ heartbeat_arg $ heartbeat_every_arg)
+
+(* -- query (offline trace analytics) ----------------------------------- *)
+
+let query_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"FILE"
+               ~doc:"A schema-v2 JSONL stream: a $(b,trace --stream) export, \
+                     a materialised trace .jsonl, or a chaos heartbeat file.")
+  in
+  let kind_conv =
+    Arg.enum (List.map (fun k -> (Query.Engine.kind_name k, k))
+                Query.Engine.all_kinds)
+  in
+  let kinds_arg =
+    Arg.(value & opt_all kind_conv []
+           & info [ "kind" ] ~docv:"KIND"
+               ~doc:"Keep only events of $(docv) ($(b,hop), $(b,syscall), \
+                     $(b,send), $(b,receive), $(b,drop), $(b,link_change), \
+                     $(b,custom)); repeatable.")
+  in
+  let nodes_arg =
+    Arg.(value & opt_all int []
+           & info [ "node" ] ~docv:"NODE"
+               ~doc:"Keep only events touching $(docv) (a hop matches on \
+                     either endpoint); repeatable.")
+  in
+  let link_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ u; v ] -> (
+          match (int_of_string_opt u, int_of_string_opt v) with
+          | Some u, Some v -> Ok (u, v)
+          | _ -> Error (`Msg (Printf.sprintf "bad link %S (want U:V)" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad link %S (want U:V)" s))
+    in
+    let print ppf (u, v) = Format.fprintf ppf "%d:%d" u v in
+    Arg.conv (parse, print)
+  in
+  let link_arg =
+    Arg.(value & opt (some link_conv) None
+           & info [ "link" ] ~docv:"U:V"
+               ~doc:"Keep only hops (and link changes) over the directed \
+                     link $(docv).")
+  in
+  let phase_arg =
+    Arg.(value & opt (some string) None
+           & info [ "phase" ] ~docv:"LABEL"
+               ~doc:"Keep only events whose label equals $(docv) exactly \
+                     (sends, receives, syscalls, custom marks).")
+  in
+  let since_arg =
+    Arg.(value & opt (some float) None
+           & info [ "since" ] ~docv:"T"
+               ~doc:"Keep only events at simulated time >= $(docv).")
+  in
+  let until_arg =
+    Arg.(value & opt (some float) None
+           & info [ "until" ] ~docv:"T"
+               ~doc:"Keep only events at simulated time <= $(docv).")
+  in
+  let group_conv =
+    Arg.enum
+      [ ("kind", Query.Engine.By_kind); ("node", Query.Engine.By_node);
+        ("phase", Query.Engine.By_phase); ("link", Query.Engine.By_link) ]
+  in
+  let group_arg =
+    Arg.(value & opt (some group_conv) None
+           & info [ "g"; "group-by" ] ~docv:"DIM"
+               ~doc:"Group matched events by $(b,kind), $(b,node), \
+                     $(b,phase) or $(b,link).")
+  in
+  let c_arg =
+    Arg.(value & opt float 0.0
+           & info [ "c" ] ~docv:"C"
+               ~doc:"Per-hop switching bound used to split latency into \
+                     work and wait (default 0, the new model).")
+  in
+  let p_arg =
+    Arg.(value & opt float 1.0
+           & info [ "p" ] ~docv:"P"
+               ~doc:"Per-delivery processing bound (default 1).")
+  in
+  let run file kinds nodes link phase since until group_by c p json =
+    let filter =
+      { Query.Engine.kinds; nodes; link; phase; since; until }
+    in
+    let cost = Hardware.Cost_model.deterministic ~c ~p in
+    match Query.Engine.run_file ~cost ~filter ?group_by file with
+    | Error msg ->
+        Printf.eprintf "query: %s\n" msg;
+        exit 2
+    | Ok report ->
+        if json then print_endline (Query.Engine.to_json report)
+        else Format.printf "%a@?" Query.Engine.pp report
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Analyse a JSONL trace stream offline: filter by \
+             node/link/kind/phase/time-window, group, and aggregate — \
+             count, mean and p50/p95/p99 latency distributions priced in \
+             the paper's C/P terms — in O(bins) memory however long the \
+             stream.")
+    Term.(const run $ file_arg $ kinds_arg $ nodes_arg $ link_arg $ phase_arg
+          $ since_arg $ until_arg $ group_arg $ c_arg $ p_arg $ json_flag)
+
+(* -- diff (first-divergence localisation) ------------------------------- *)
+
+let diff_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"BASELINE" ~doc:"The reference JSONL stream.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None
+           & info [] ~docv:"CANDIDATE" ~doc:"The stream to compare.")
+  in
+  let window_arg =
+    Arg.(value & opt int 4096
+           & info [ "window" ] ~docv:"W"
+               ~doc:"How many common-prefix events the binding-predecessor \
+                     chain may reach back through (bounds memory).")
+  in
+  let c_arg =
+    Arg.(value & opt float 0.0
+           & info [ "c" ] ~docv:"C"
+               ~doc:"Hop cost used to rank binding constraints (default 0).")
+  in
+  let run a b window c json =
+    match Query.Diff.of_files ~window ~c ~baseline:a b with
+    | Error msg ->
+        Printf.eprintf "diff: %s\n" msg;
+        exit 2
+    | Ok outcome ->
+        if json then print_endline (Query.Diff.to_json outcome)
+        else print_string (Query.Diff.report ~baseline:a ~candidate:b outcome);
+        (match outcome with
+        | Query.Diff.Identical _ -> ()
+        | Query.Diff.Diverged _ -> exit Query.Diff.exit_code)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Causally align two JSONL trace streams and report the first \
+             divergence: event index, charged node, and the chain of \
+             binding causal predecessors leading to it.  Exit 9 when the \
+             streams diverge.")
+    Term.(const run $ a_arg $ b_arg $ window_arg $ c_arg $ json_flag)
 
 (* -- maintenance ----------------------------------------------------------- *)
 
@@ -908,5 +1091,5 @@ let () =
           [
             experiment_cmd; figures_cmd; timeline_cmd; broadcast_cmd;
             election_cmd; trace_cmd; profile_cmd; bench_cmd; chaos_cmd;
-            maintenance_cmd; tree_cmd;
+            query_cmd; diff_cmd; maintenance_cmd; tree_cmd;
           ]))

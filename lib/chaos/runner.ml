@@ -84,7 +84,8 @@ let run_broadcast scenario (s : Schedule.t) graph =
     r.hops,
     r.drops,
     counter_value registry "net.dropped_in_flight",
-    r.time )
+    r.time,
+    Some trace )
 
 let run_election (s : Schedule.t) graph =
   let trace = Sim.Trace.create ~capacity:trace_capacity () in
@@ -108,7 +109,8 @@ let run_election (s : Schedule.t) graph =
     o.chaos_hops,
     o.chaos_drops,
     counter_value registry "net.dropped_in_flight",
-    o.chaos_time )
+    o.chaos_time,
+    Some trace )
 
 (* The maintenance run gets no trace: rounds of n broadcasts can
    overflow any bounded recorder, and a truncated trace would make the
@@ -154,28 +156,66 @@ let run_maintenance (s : Schedule.t) graph =
     o.hops,
     counter_value registry "net.drops",
     counter_value registry "net.dropped_in_flight",
-    o.time )
+    o.time,
+    None )
 
-let run_schedule scenario (s : Schedule.t) =
+let run_schedule_full scenario (s : Schedule.t) =
   let graph = Schedule.graph_of s in
-  let oracles, syscalls, hops, drops, dropped_in_flight, time =
+  let oracles, syscalls, hops, drops, dropped_in_flight, time, trace =
     match scenario with
     | Sweep.Bpaths | Sweep.Flood | Sweep.Dfs | Sweep.Direct | Sweep.Layered ->
         run_broadcast scenario s graph
     | Sweep.Election -> run_election s graph
     | Sweep.Maintenance -> run_maintenance s graph
   in
-  {
-    scenario;
-    schedule = s;
-    oracles;
-    ok = List.for_all (fun r -> r.Monitor.ok) oracles;
-    syscalls;
-    hops;
-    drops;
-    dropped_in_flight;
-    time;
-  }
+  ( {
+      scenario;
+      schedule = s;
+      oracles;
+      ok = List.for_all (fun r -> r.Monitor.ok) oracles;
+      syscalls;
+      hops;
+      drops;
+      dropped_in_flight;
+      time;
+    },
+    trace )
+
+let run_schedule scenario s = fst (run_schedule_full scenario s)
+
+let run_schedule_traced scenario s =
+  match run_schedule_full scenario s with
+  | v, Some trace -> (v, Some (Sim.Trace.events trace))
+  | v, None -> (v, None)
+
+(* Localising a failure: replay the (shrunken) schedule traced, replay
+   its fault-free twin — same (seed, index, n, jitter), so the same
+   graph, cost model and rng streams — and report where the two traces
+   first part ways.  The twin is the execution the faults perturbed,
+   which makes the divergence point the first observable effect of the
+   minimal fault set. *)
+let baseline_divergence ?window v =
+  let healthy = { v.schedule with Schedule.faults = [] } in
+  match
+    (run_schedule_traced v.scenario healthy,
+     run_schedule_traced v.scenario v.schedule)
+  with
+  | (_, Some baseline), (_, Some candidate) ->
+      let c = (Schedule.cost v.schedule).Hardware.Cost_model.c in
+      let outcome = Query.Diff.of_events ?window ~c ~baseline candidate in
+      Ok
+        (Query.Diff.report ~baseline:"fault-free baseline"
+           ~candidate:
+             (Printf.sprintf "schedule %d (%d faults)"
+                v.schedule.Schedule.index
+                (List.length v.schedule.Schedule.faults))
+           outcome)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "%s runs untraced (unbounded rounds would overflow any ring); no \
+            baseline diff"
+           (Sweep.scenario_name v.scenario))
 
 (* -- Heartbeat --------------------------------------------------------- *)
 
@@ -193,8 +233,15 @@ type heartbeat = {
   mutable hb_failed : int;
 }
 
-let heartbeat ?(every = 8) sink =
+let heartbeat ?(every = 8) ?(fields = []) sink =
   if every < 1 then invalid_arg "Runner.heartbeat: every must be >= 1";
+  (* heartbeat files are schema-v2 streams like trace exports: a
+     header line up front tells readers what vocabulary follows *)
+  ignore
+    (Sim.Sink.emit sink
+       (Sim.Trace_export.stream_header ~kind:"chaos_heartbeat" ~fields ())
+      : bool);
+  Sim.Sink.flush sink;
   {
     hb_sink = sink;
     hb_every = every;

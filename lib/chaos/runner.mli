@@ -34,6 +34,23 @@ val failures : soak -> int
 val run_schedule : scenario -> Schedule.t -> verdict
 (** Deterministic: depends only on the arguments. *)
 
+val run_schedule_traced :
+  scenario -> Schedule.t -> verdict * Sim.Trace.event list option
+(** Same run, also returning the recorded trace events (in order).
+    [None] for scenarios that run untraced by design (maintenance:
+    unbounded rounds would overflow any ring and make the delivery
+    oracles unsound on a truncated trace). *)
+
+val baseline_divergence : ?window:int -> verdict -> (string, string) result
+(** Localise a failing verdict: replay its schedule traced, replay the
+    fault-free twin ([faults = []] — same seed, index and jitter, so
+    the same graph, cost model and rng streams), and render the first
+    trace divergence between the two as a {!Query.Diff} report — the
+    first observable effect of the fault set.  [Error] for untraced
+    scenarios.  Deterministic; callable on any verdict (a passing
+    schedule whose faults never perturbed the trace reports the traces
+    identical). *)
+
 (** {1 Heartbeat}
 
     Periodic JSONL progress records streamed through a {!Sim.Sink.t},
@@ -46,9 +63,14 @@ val run_schedule : scenario -> Schedule.t -> verdict
 
 type heartbeat
 
-val heartbeat : ?every:int -> Sim.Sink.t -> heartbeat
+val heartbeat :
+  ?every:int -> ?fields:(string * string) list -> Sim.Sink.t -> heartbeat
 (** Beat every [every] completed schedules / shrink probes (default
-    8; the final completion always beats).  The caller owns the sink.
+    8; the final completion always beats).  Creation immediately
+    writes a {!Sim.Trace_export.stream_header} line (kind
+    ["chaos_heartbeat"], with [fields] as extra metadata — values are
+    pre-rendered JSON), so heartbeat files are schema-versioned
+    streams like trace exports.  The caller owns the sink.
     A heartbeat may be reused across sequential soaks and shrinks —
     progress counts restart with each soak, the sink keeps
     accumulating records, emission is serialised.

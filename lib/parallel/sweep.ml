@@ -60,6 +60,7 @@ type t = {
   replicas : replica array;
   merged : Hardware.Registry.t;
   wall_s : float;
+  events : Sim.Trace.event list array;
 }
 
 (* Each replica gets its own random-connected instance of size [n]
@@ -69,7 +70,7 @@ type t = {
    graph from the graph half's stream, derived from (seed, index, n)
    alone, so a cache hit cannot shift any later draw of the run
    half — hit or miss is unobservable in the metrics. *)
-let run_replica scenario ~n ~seed ~trace_capacity index rng =
+let run_replica scenario ~n ~seed ~trace_capacity ~keep_events index rng =
   let _graph_rng, run_rng = Sim.Rng.split rng in
   let art = Compile.Cache.sweep_replica ~seed ~index ~n in
   let graph = Compile.Topology.graph art in
@@ -159,16 +160,18 @@ let run_replica scenario ~n ~seed ~trace_capacity index rng =
           trace_events = Sim.Trace.length trace;
         }
   in
-  (replica, registry)
+  (replica, registry, if keep_events then Sim.Trace.events trace else [])
 
 let default_trace_capacity = 100_000
 
 let run ?pool ?(replicas = 8) ?(trace_capacity = default_trace_capacity)
-    scenario ~n ~seed () =
+    ?(keep_events = false) scenario ~n ~seed () =
   if replicas < 1 then invalid_arg "Sweep.run: replicas must be positive";
   let rngs = Sim.Rng.split_n (Sim.Rng.create ~seed) replicas in
   let items = Array.mapi (fun i rng -> (i, rng)) rngs in
-  let task (i, rng) = run_replica scenario ~n ~seed ~trace_capacity i rng in
+  let task (i, rng) =
+    run_replica scenario ~n ~seed ~trace_capacity ~keep_events i rng
+  in
   let t0 = Unix.gettimeofday () in
   let results =
     match pool with
@@ -177,15 +180,18 @@ let run ?pool ?(replicas = 8) ?(trace_capacity = default_trace_capacity)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let merged = Hardware.Registry.create () in
-  Array.iter (fun (_, reg) -> Hardware.Registry.merge ~into:merged reg) results;
+  Array.iter
+    (fun (_, reg, _) -> Hardware.Registry.merge ~into:merged reg)
+    results;
   {
     scenario;
     n;
     seed;
     jobs = (match pool with Some p -> Pool.jobs p | None -> 1);
-    replicas = Array.map fst results;
+    replicas = Array.map (fun (r, _, _) -> r) results;
     merged;
     wall_s;
+    events = Array.map (fun (_, _, ev) -> ev) results;
   }
 
 (* -- JSON ------------------------------------------------------------- *)

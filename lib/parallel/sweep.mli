@@ -43,6 +43,11 @@ type t = {
       (** per-replica registries folded with {!Hardware.Registry.merge}
           in submission order *)
   wall_s : float;
+  events : Sim.Trace.event list array;
+      (** per-replica trace events, submission order — populated only
+          under [run ~keep_events:true], empty lists otherwise.  Never
+          part of {!metrics_json}: traces are for divergence forensics
+          ({!Query.Diff}), not for the determinism contract. *)
 }
 
 val default_trace_capacity : int
@@ -51,6 +56,7 @@ val run :
   ?pool:Pool.t ->
   ?replicas:int ->
   ?trace_capacity:int ->
+  ?keep_events:bool ->
   scenario ->
   n:int ->
   seed:int ->
@@ -58,6 +64,10 @@ val run :
   t
 (** [run scenario ~n ~seed ()] executes [replicas] (default 8)
     independent replicas, through [pool] when given (inline otherwise).
+    [keep_events] (default false) additionally returns every replica's
+    trace events in {!field-events} — materialises up to
+    [trace_capacity] events per replica, so reserve it for localising
+    a divergence, not for routine sweeps.
     @raise Invalid_argument if [replicas < 1]. *)
 
 val metrics_json : t -> string

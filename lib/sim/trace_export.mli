@@ -26,6 +26,11 @@ val schema_version : int
     Streamed exports carry it in their header record; [bench --check]
     refuses baselines written under a different version. *)
 
+val json_string : string -> string
+(** A JSON string literal with this writer's escaping, exported so
+    downstream renderers (the query engine's reports) escape labels
+    byte-identically to the trace stream they quote. *)
+
 val jsonl_of_event : Trace.event -> string
 (** One event as a single-line JSON object (no trailing newline).
     Every object carries ["type"] and ["time"] fields plus the

@@ -221,6 +221,46 @@ let test_small_soak_green () =
       check_int (Sweep.scenario_name scenario) 0 (R.failures soak))
     Sweep.all_scenarios
 
+(* -- first-divergence localisation ------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_baseline_divergence_localises_fault () =
+  (* some schedule's faults must observably perturb an election (they
+     run long enough that link faults land mid-run), and the fault-free
+     twin's diff must localise the first divergent event *)
+  let rec find index =
+    if index > 32 then Alcotest.fail "no perturbing schedule in 33 tries"
+    else
+      let v =
+        R.run_schedule Sweep.Election (Sch.generate ~n:16 ~seed:5 ~index ())
+      in
+      match R.baseline_divergence v with
+      | Ok report when contains report "first divergence at event" -> report
+      | Ok _ -> find (index + 1)
+      | Error e -> Alcotest.failf "baseline_divergence: %s" e
+  in
+  let report = find 0 in
+  check_bool "report names the fault-free side" true
+    (contains report "fault-free baseline");
+  check_bool "report charges a node" true (contains report "charged to node")
+
+let test_baseline_divergence_deterministic () =
+  let v = R.run_schedule Sweep.Bpaths (Sch.generate ~n:16 ~seed:5 ~index:2 ()) in
+  match (R.baseline_divergence v, R.baseline_divergence v) with
+  | Ok a, Ok b -> check_string "same report twice" a b
+  | _ -> Alcotest.fail "baseline_divergence failed on a traced scenario"
+
+let test_baseline_divergence_untraced_is_error () =
+  let v =
+    R.run_schedule Sweep.Maintenance (Sch.generate ~n:12 ~seed:5 ~index:0 ())
+  in
+  check_bool "maintenance runs untraced" true
+    (Result.is_error (R.baseline_divergence v))
+
 (* -- heartbeat --------------------------------------------------------- *)
 
 let heartbeat_lines buf =
@@ -234,28 +274,32 @@ let test_soak_heartbeat_records () =
   ignore (R.soak ~heartbeat:hb Sweep.Bpaths ~n:16 ~seed:2 ~schedules:6 ()
           : R.soak);
   let lines = heartbeat_lines buf in
-  (* beats at done=2,4,6; the final completion coincides with a beat *)
-  check_int "one record per beat" 3 (List.length lines);
+  (* line 0 is the stream header; beats at done=2,4,6 follow (the
+     final completion coincides with a beat) *)
+  check_int "header plus one record per beat" 4 (List.length lines);
   let contains hay needle =
     let nh = String.length hay and nn = String.length needle in
     let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
     go 0
   in
+  check_bool "first line is a chaos_heartbeat header" true
+    (contains (List.hd lines) {|"type":"header"|}
+    && contains (List.hd lines) {|"kind":"chaos_heartbeat"|});
   List.iter
     (fun l ->
       check_bool "record type" true (contains l {|"type":"chaos_heartbeat"|}))
-    lines;
-  let final = List.nth lines 2 in
+    (List.tl lines);
+  let final = List.nth lines 3 in
   check_bool "final record reports completion" true
     (contains final {|"done":6,"total":6,"failures":0|});
   (* reuse across sequential soaks: progress restarts, the sink keeps
-     accumulating *)
+     accumulating; the header was written once, at creation *)
   ignore (R.soak ~heartbeat:hb Sweep.Bpaths ~n:16 ~seed:2 ~schedules:3 ()
           : R.soak);
   let lines = heartbeat_lines buf in
-  check_int "second soak appends" 5 (List.length lines);
+  check_int "second soak appends" 6 (List.length lines);
   check_bool "second soak restarts its counts" true
-    (contains (List.nth lines 4) {|"done":3,"total":3|});
+    (contains (List.nth lines 5) {|"done":3,"total":3|});
   Sim.Sink.close sink
 
 let test_soak_heartbeat_under_pool () =
@@ -267,7 +311,8 @@ let test_soak_heartbeat_under_pool () =
       ignore (R.soak ~pool ~heartbeat:hb Sweep.Flood ~n:16 ~seed:2
                 ~schedules:8 ()
               : R.soak);
-      check_int "beats at 4 and 8" 2 (List.length (heartbeat_lines buf));
+      check_int "header + beats at 4 and 8" 3
+        (List.length (heartbeat_lines buf));
       Sim.Sink.close sink)
 
 let test_heartbeat_rejects_bad_every () =
@@ -295,6 +340,12 @@ let suite =
     Alcotest.test_case "planted bug detected" `Quick test_planted_bug_detected;
     Alcotest.test_case "planted bug shrinks" `Quick test_planted_bug_shrinks_small;
     Alcotest.test_case "small soak green" `Quick test_small_soak_green;
+    Alcotest.test_case "baseline divergence localises fault" `Quick
+      test_baseline_divergence_localises_fault;
+    Alcotest.test_case "baseline divergence deterministic" `Quick
+      test_baseline_divergence_deterministic;
+    Alcotest.test_case "baseline divergence untraced is error" `Quick
+      test_baseline_divergence_untraced_is_error;
     Alcotest.test_case "soak heartbeat records" `Quick
       test_soak_heartbeat_records;
     Alcotest.test_case "soak heartbeat under pool" `Quick

@@ -106,6 +106,36 @@ let test_sampling_keeps_every_kth () =
     (Invalid_argument "Sink.sampling: every must be >= 1") (fun () ->
       ignore (S.sampling ~every:0 (S.null ())))
 
+let test_sampling_every_one_is_identity () =
+  let buf = Buffer.create 64 in
+  let s = S.sampling ~every:1 (S.buffer buf) in
+  let accepted = feed s in
+  S.close s;
+  check_bool "every line accepted" true (List.for_all Fun.id accepted);
+  check_int "nothing dropped" 0 (S.dropped s);
+  check_string "byte-identical to the unsampled sink"
+    (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+    (Buffer.contents buf)
+
+let test_file_max_bytes_smaller_than_one_line () =
+  (* a line that does not fit is dropped whole — never written as a
+     prefix — while a later, shorter line that does fit still lands *)
+  with_temp_file (fun path ->
+      let long = {|{"type":"hop","time":1,"src":0,"dst":1,"msg_id":7}|} in
+      let short = {|{"a":1}|} in
+      let s =
+        S.file ~chunk_bytes:4 ~max_bytes:(String.length short + 1) path
+      in
+      let first = S.emit s long in
+      let second = S.emit s short in
+      S.close s;
+      check_bool "oversized line refused" false first;
+      check_bool "fitting line accepted" true second;
+      check_int "one drop" 1 (S.dropped s);
+      check_int "one emit" 1 (S.emitted s);
+      check_string "no partial bytes of the refused line" (short ^ "\n")
+        (read_file path))
+
 let test_close_is_idempotent_and_final () =
   let closes = ref 0 in
   let s = S.create ~close:(fun () -> incr closes) ~emit:(fun _ -> true) () in
@@ -145,6 +175,10 @@ let suite =
       test_file_max_bytes_backpressure;
     Alcotest.test_case "sampling sink keeps every kth" `Quick
       test_sampling_keeps_every_kth;
+    Alcotest.test_case "sampling every=1 is the identity" `Quick
+      test_sampling_every_one_is_identity;
+    Alcotest.test_case "max-bytes below one line drops it whole" `Quick
+      test_file_max_bytes_smaller_than_one_line;
     Alcotest.test_case "close idempotent, emit-after-close raises" `Quick
       test_close_is_idempotent_and_final;
     Alcotest.test_case "wrapper accounting tracks refusals" `Quick

@@ -43,4 +43,5 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("compile", Suite_compile.suite);
       ("chaos", Suite_chaos.suite);
+      ("query", Suite_query.suite);
     ]
