@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-obs chaos chaos-smoke query-smoke experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-million bench-obs chaos chaos-smoke query-smoke experiments figures examples clean
 
 all: build
 
@@ -26,21 +26,32 @@ bench-check:
 	dune exec bench/main.exe -- bench \
 	  --check BENCH_64.seed.json --check BENCH_256.seed.json \
 	  --check BENCH_1024.seed.json --check BENCH_4096.seed.json \
-	  --check BENCH_65536.seed.json
+	  --check BENCH_16384.seed.json --check BENCH_65536.seed.json
 
-# Scale smoke (DESIGN.md §12): the broadcast scenarios + the setup/
-# group at n=65536 with the O(n) memory gate armed (exit 7 when the
-# heap high-water mark exceeds 64 MiB + 3000 bytes/node) and the
-# streamed-trace export on (DESIGN.md §13: the full broadcast trace
-# leaves the process through a 64 KiB sink buffer, so the memory gate
-# also proves streaming is O(buffer)), then a 10^5 branching-paths
-# sweep through the CLI to prove the whole pipeline — graph build,
-# BFS, labelling, route compilation, broadcast — survives six figures
-# with no stack overflow.  Writes BENCH_65536.json for the
+# Scale smoke (DESIGN.md §12, §15): every scenario — broadcasts,
+# election on the random graph, 4-origin maintenance rounds, setup/ —
+# un-gated at n=16384 and 65536, timed one-shot, with the O(n) memory
+# gate armed (exit 7 when the heap high-water mark exceeds
+# 64 MiB + 10000 bytes/node) and the streamed-trace export on
+# (DESIGN.md §13: the full broadcast trace leaves the process through
+# a 64 KiB sink buffer, so the memory gate also proves streaming is
+# O(buffer)), then a 10^5 branching-paths sweep through the CLI to
+# prove the whole pipeline — graph build, BFS, labelling, route
+# compilation, broadcast — survives six figures with no stack
+# overflow.  Writes BENCH_16384.json and BENCH_65536.json for the
 # bench-check gate above.
 bench-scale:
-	dune exec bench/main.exe -- bench --json --sizes 65536 --mem-budget 3000 --stream
+	dune exec bench/main.exe -- bench --json --sizes 16384,65536 --mem-budget 10000 --stream
 	dune exec bin/futurenet_cli.exe -- bench -s bpaths -n 100000 -r 2 --jobs 1
+
+# The 10^6 smoke (DESIGN.md §15): branching-paths broadcast + election
+# at n=2^20 on the random benchmark graph, timed one-shot, BENCH json
+# streamed through the chunked sink, memory gate armed.  Election at
+# this size carries ~7.1M syscalls and a multi-GiB working set — the
+# budget is sized to its measured ~4.3 KiB/node plus GC headroom.
+bench-million:
+	dune exec bench/main.exe -- bench --json --sizes 1048576 \
+	  --scenarios bpaths,election --mem-budget 8000
 
 # Observability overhead gate (DESIGN.md §13): time each scenario with
 # traces off, with a disabled trace attached, and with a streaming
@@ -81,12 +92,13 @@ chaos:
 # artifacts.  --monitors warn: a streaming trace keeps no ring, so the
 # ring-replaying monitors are skipped (exit 3 under fail, by design).
 query-smoke:
-	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream query-smoke-4096.jsonl
-	dune exec bin/futurenet_cli.exe -- query query-smoke-4096.jsonl --group-by kind > query-smoke-report.txt
-	dune exec bin/futurenet_cli.exe -- query query-smoke-4096.jsonl --kind hop --group-by link >> query-smoke-report.txt
-	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream query-smoke-4096-again.jsonl
-	dune exec bin/futurenet_cli.exe -- diff query-smoke-4096.jsonl query-smoke-4096-again.jsonl > query-diff-report.txt
-	cat query-smoke-report.txt query-diff-report.txt
+	mkdir -p _artifacts
+	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream _artifacts/query-smoke-4096.jsonl
+	dune exec bin/futurenet_cli.exe -- query _artifacts/query-smoke-4096.jsonl --group-by kind > _artifacts/query-smoke-report.txt
+	dune exec bin/futurenet_cli.exe -- query _artifacts/query-smoke-4096.jsonl --kind hop --group-by link >> _artifacts/query-smoke-report.txt
+	dune exec bin/futurenet_cli.exe -- trace -t random -n 4096 --monitors warn --stream _artifacts/query-smoke-4096-again.jsonl
+	dune exec bin/futurenet_cli.exe -- diff _artifacts/query-smoke-4096.jsonl _artifacts/query-smoke-4096-again.jsonl > _artifacts/query-diff-report.txt
+	cat _artifacts/query-smoke-report.txt _artifacts/query-diff-report.txt
 
 experiments:
 	dune exec bench/main.exe -- all

@@ -1010,7 +1010,17 @@ let maintenance_cmd =
            & info [ "f"; "failures" ] ~docv:"K"
                ~doc:"Number of random links to fail mid-run.")
   in
-  let run topology n seed method_ failures =
+  let origins_arg =
+    Arg.(value & opt int 0
+           & info [ "origins" ] ~docv:"K"
+               ~doc:"When positive, only $(docv) evenly spaced nodes run the \
+                     periodic broadcast (the rest record, merge and relay) \
+                     and convergence means every node holds each origin's \
+                     freshest view — the Theta(nk)-per-round scale mode. 0 \
+                     (the default) is the full protocol: every node \
+                     broadcasts.")
+  in
+  let run topology n seed method_ failures origins =
     let graph = build_graph topology n seed in
     let rng = Sim.Rng.create ~seed:(seed + 1) in
     let edges = Array.of_list (Netgraph.Graph.edges graph) in
@@ -1031,23 +1041,41 @@ let maintenance_cmd =
       | Core.Topo_maintenance.Flood -> "flood"
       | Core.Topo_maintenance.Dfs_token -> "dfs"
     in
+    let nodes = Netgraph.Graph.n graph in
+    let origin_list =
+      if origins <= 0 then None
+      else
+        let k = min origins nodes in
+        Some (List.init k (fun i -> i * (nodes / k)))
+    in
     let params =
-      { (Core.Topo_maintenance.default_params ()) with method_; preseed = true }
+      {
+        (Core.Topo_maintenance.default_params ()) with
+        method_;
+        preseed = true;
+        origins = origin_list;
+      }
     in
     let o = Core.Topo_maintenance.run ~params ~graph ~events () in
+    let mode =
+      match origin_list with
+      | None -> ""
+      | Some l -> Printf.sprintf ", %d origins" (List.length l)
+    in
     Printf.printf
-      "topology maintenance (%s) on %s (n=%d), %d link failures:\n\
+      "topology maintenance (%s%s) on %s (n=%d), %d link failures:\n\
       \  converged : %b after %d rounds\n\
       \  syscalls  : %d, hops %d\n\
       \  consistent nodes per round: %s\n"
-      method_name (topology_name topology) (Netgraph.Graph.n graph)
+      method_name mode (topology_name topology) nodes
       (List.length events) o.Core.Topo_maintenance.converged o.rounds
       o.syscalls o.hops
       (String.concat " " (List.map string_of_int o.correct_per_round))
   in
   Cmd.v
     (Cmd.info "maintenance" ~doc:"Run the topology-maintenance protocol.")
-    Term.(const run $ topology_arg $ n_arg $ seed_arg $ method_arg $ failures_arg)
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ method_arg $ failures_arg
+          $ origins_arg)
 
 (* -- tree ----------------------------------------------------------------- *)
 

@@ -6,7 +6,7 @@ type token = {
   torigin : int;  (* the candidate's origin *)
   tsize : int;  (* domain size at tour start: level = (tsize, torigin) *)
   entry : int;  (* o, the OUT node through which the tour entered *)
-  home_walk : int list;  (* walk from [entry] back to [torigin] *)
+  home_walk : int array;  (* walk from [entry] back to [torigin] *)
   hops_used : int;  (* direct messages spent on this tour *)
 }
 
@@ -27,7 +27,7 @@ type origin_state = {
 
 type captured_state = {
   frozen : Inout.t;  (* the INOUT tree as of capture time *)
-  parent_walk : int list;  (* walk from this node to F's origin *)
+  parent_walk : int array;  (* walk from this node to F's origin *)
 }
 
 type role = Unstarted | Origin of origin_state | Captured of captured_state
@@ -111,16 +111,18 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
   let max_route = ref 0 in
 
   let send ctx ~label walk m =
-    max_route := max !max_route (List.length walk - 1);
-    obs_route (List.length walk - 1);
-    Network.send_walk ~label ctx ~walk m
+    max_route := max !max_route (Array.length walk - 1);
+    obs_route (Array.length walk - 1);
+    Network.send_walk_arr ~label ctx ~walk m
   in
 
   (* Route from [v] (currently holding the token) back to the token's
      origin: first to [entry] along the INOUT tree [v] recorded when it
      was (or still is) an origin — the tour reached [v] by climbing
      virtual-tree parents, so [entry] lies in that tree — then along
-     the reverse walk the token carried from its origin. *)
+     the reverse walk the token carried from its origin.  Both pieces
+     are int arrays; splicing them (the walk-home shares [entry]) is
+     two blits into one exact-size array. *)
   let walk_home v token =
     let inout =
       match roles.(v) with
@@ -128,8 +130,12 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
       | Captured cap -> cap.frozen
       | Unstarted -> invalid_arg "Election.walk_home: unstarted node"
     in
-    let to_entry = Inout.route inout ~src:v ~dst:token.entry in
-    to_entry @ List.tl token.home_walk
+    let to_entry = Inout.route_array inout ~src:v ~dst:token.entry in
+    let a = Array.length to_entry and b = Array.length token.home_walk in
+    let walk = Array.make (a + b - 1) 0 in
+    Array.blit to_entry 0 walk 0 a;
+    Array.blit token.home_walk 1 walk a (b - 1);
+    walk
   in
 
   let return_unsuccessful ctx v token =
@@ -158,37 +164,45 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
   in
 
   let choose_target st =
-    let outs = Inout.out_nodes st.inout in
-    match (rng, outs) with
-    | _, [] -> assert false
-    | None, o :: _ -> o
-    | Some r, outs -> Sim.Rng.pick r outs
+    match rng with
+    | None -> (
+        (* deterministic pick = head of the sorted OUT list, obtained
+           with a fold instead of building and sorting the list *)
+        match Inout.out_min st.inout with
+        | Some o -> o
+        | None -> assert false)
+    | Some r -> (
+        match Inout.out_nodes st.inout with
+        | [] -> assert false
+        | outs -> Sim.Rng.pick r outs)
   in
 
   let rec begin_tour ctx v =
     match roles.(v) with
-    | Origin st -> (
-        match Inout.out_nodes st.inout with
-        | [] ->
-            st.cstatus <- `Leader;
-            believed_leader.(v) <- Some v;
-            announce ctx v st
-        | _ :: _ ->
-            let o = choose_target st in
-            let walk = Inout.route st.inout ~src:v ~dst:o in
-            let token =
-              {
-                torigin = v;
-                tsize = Inout.size st.inout;
-                entry = o;
-                home_walk = List.rev walk;
-                hops_used = 1;
-              }
-            in
-            st.cstatus <- `Touring;
-            incr tours;
-            obs_tour ();
-            send ctx ~label:"election" walk (Tour token))
+    | Origin st ->
+        if Inout.out_size st.inout = 0 then begin
+          st.cstatus <- `Leader;
+          believed_leader.(v) <- Some v;
+          announce ctx v st
+        end
+        else begin
+          let o = choose_target st in
+          let walk = Inout.route_array st.inout ~src:v ~dst:o in
+          let len = Array.length walk in
+          let token =
+            {
+              torigin = v;
+              tsize = Inout.size st.inout;
+              entry = o;
+              home_walk = Array.init len (fun i -> walk.(len - 1 - i));
+              hops_used = 1;
+            }
+          in
+          st.cstatus <- `Touring;
+          incr tours;
+          obs_tour ();
+          send ctx ~label:"election" walk (Tour token)
+        end
     | Captured _ | Unstarted -> assert false
 
   and announce ctx v st =
@@ -277,7 +291,9 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
         (match verdict with
         | Unsuccessful -> st.cstatus <- `Inactive
         | Captured_domain { victim_inout; entry; _ } ->
-            st.inout <- Inout.merge ~winner:st.inout ~victim:victim_inout ~entry;
+            (* in-place absorb: Θ(victim) per capture; the victim's
+               structure stays frozen (relays still route through it) *)
+            Inout.merge_into ~winner:st.inout ~victim:victim_inout ~entry;
             if notify_supporters then
               (* the naive variant: tell every member of the captured
                  domain who it now supports (one direct message each) *)
@@ -285,7 +301,7 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
                 (fun u ->
                   if u <> v then
                     send ctx ~label:"notify"
-                      (Inout.route st.inout ~src:v ~dst:u)
+                      (Inout.route_array st.inout ~src:v ~dst:u)
                       (Announce { leader = v }))
                 (Inout.in_nodes victim_inout));
         resolve_waiting ctx v;

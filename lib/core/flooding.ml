@@ -4,14 +4,15 @@ type msg = { origin : int }
 
 let forward ctx ~except m =
   let self = Network.self ctx in
+  let net = Network.network ctx in
   let forwarded = ref 0 in
-  List.iter
-    (fun (peer, up) ->
-      if up && Some peer <> except then begin
+  (* allocation-free scan of the up links; same increasing-peer order
+     as the old [Network.neighbors] list *)
+  Network.iter_active_neighbors net self (fun peer ->
+      if Some peer <> except then begin
         incr forwarded;
         Network.send_walk ~label:"flood" ctx ~walk:[ self; peer ] m
-      end)
-    (Network.neighbors ctx);
+      end);
   if !forwarded > 0 then
     match Network.registry (Network.network ctx) with
     | Some r when Hardware.Registry.enabled r ->

@@ -1,11 +1,61 @@
 module Graph = Netgraph.Graph
 module Tree = Netgraph.Tree
 
+(* Min-heap of candidate OUT nodes with lazy deletion: members moved
+   to IN stay in the heap until they surface at the top and are
+   skimmed against [outset] (the source of truth).  Each entry is
+   pushed and popped at most once, so the deterministic-pick fast path
+   costs amortised O(log S) per tour instead of a Θ(|OUT|) fold. *)
+type heap = { mutable a : int array; mutable len : int }
+
+let heap_create () = { a = Array.make 8 0; len = 0 }
+
+let heap_copy h = { a = Array.copy h.a; len = h.len }
+
+let heap_push h x =
+  if h.len = Array.length h.a then begin
+    let bigger = Array.make (2 * h.len) 0 in
+    Array.blit h.a 0 bigger 0 h.len;
+    h.a <- bigger
+  end;
+  let a = h.a in
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  a.(!i) <- x;
+  while !i > 0 && a.((!i - 1) / 2) > a.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = a.(p) in
+    a.(p) <- a.(!i);
+    a.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop h =
+  h.len <- h.len - 1;
+  let a = h.a in
+  a.(0) <- a.(h.len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && a.(l) < a.(!smallest) then smallest := l;
+    if r < h.len && a.(r) < a.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = a.(!smallest) in
+      a.(!smallest) <- a.(!i);
+      a.(!i) <- tmp;
+      i := !smallest
+    end
+  done
+
 type t = {
   origin : int;
   parents : (int, int) Hashtbl.t;  (* member (/= origin) -> tree parent *)
   inset : (int, unit) Hashtbl.t;
   outset : (int, unit) Hashtbl.t;
+  out_heap : heap;  (* superset of outset members, lazily skimmed *)
 }
 
 let origin t = t.origin
@@ -18,31 +68,77 @@ let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sor
 let in_nodes t = sorted_keys t.inset
 let out_nodes t = sorted_keys t.outset
 let size t = Hashtbl.length t.inset
+let out_size t = Hashtbl.length t.outset
+
+let out_min t =
+  let h = t.out_heap in
+  while h.len > 0 && not (Hashtbl.mem t.outset h.a.(0)) do
+    heap_pop h
+  done;
+  if h.len = 0 then None else Some h.a.(0)
 
 let singleton ~graph v =
   let parents = Hashtbl.create 8 in
   let inset = Hashtbl.create 4 in
   let outset = Hashtbl.create 8 in
+  let out_heap = heap_create () in
   Hashtbl.replace inset v ();
-  List.iter
+  Graph.iter_neighbors
     (fun peer ->
       Hashtbl.replace outset peer ();
+      heap_push out_heap peer;
       Hashtbl.replace parents peer v)
-    (Graph.neighbors graph v);
-  { origin = v; parents; inset; outset }
+    graph v;
+  { origin = v; parents; inset; outset; out_heap }
 
 let as_tree t =
   Tree.of_parents ~root:t.origin
     ~parents:(Hashtbl.fold (fun v p acc -> (v, p) :: acc) t.parents [])
 
-let route t ~src ~dst =
+let depth t v =
+  let rec up v d =
+    match Hashtbl.find_opt t.parents v with
+    | None -> d
+    | Some p -> up p (d + 1)
+  in
+  up v 0
+
+(* The unique tree walk between two recorded nodes, by climbing the
+   parent map directly: no Tree is materialised and the only
+   allocation is the exact-size result array.  Both endpoints climb to
+   their LCA — first levelled to equal depth, then in lockstep — and
+   the two half-paths are written into the array from its ends. *)
+let route_array t ~src ~dst =
   if not (mem t src) then
     invalid_arg (Printf.sprintf "Inout.route: %d is not recorded" src);
   if not (mem t dst) then
     invalid_arg (Printf.sprintf "Inout.route: %d is not recorded" dst);
-  match Tree.path_between (as_tree t) src dst with
-  | Some walk -> walk
-  | None -> invalid_arg "Inout.route: endpoints in different trees"
+  let parent v = Hashtbl.find t.parents v in
+  let dsrc = depth t src and ddst = depth t dst in
+  let rec lift v k = if k = 0 then v else lift (parent v) (k - 1) in
+  let rec meet u v d = if u = v then d else meet (parent u) (parent v) (d - 1) in
+  let dlca =
+    if dsrc >= ddst then meet (lift src (dsrc - ddst)) dst ddst
+    else meet src (lift dst (ddst - dsrc)) dsrc
+  in
+  let up_len = dsrc - dlca in
+  let len = up_len + (ddst - dlca) + 1 in
+  let arr = Array.make len 0 in
+  let rec fill_up v i =
+    arr.(i) <- v;
+    if i < up_len then fill_up (parent v) (i + 1)
+  in
+  fill_up src 0;
+  let rec fill_down v i =
+    if i > up_len then begin
+      arr.(i) <- v;
+      fill_down (parent v) (i - 1)
+    end
+  in
+  fill_down dst (len - 1);
+  arr
+
+let route t ~src ~dst = Array.to_list (route_array t ~src ~dst)
 
 (* Parent map of [t]'s tree re-rooted at member [r]: edges along the
    path from [r] up to the old root are reversed. *)
@@ -59,26 +155,55 @@ let rerooted_parents t r =
   Hashtbl.remove parents r;
   parents
 
-let merge ~winner ~victim ~entry =
+(* In-place capture: graft the (re-rooted) victim into the winner.
+   Only the victim's members are visited — Θ(victim) per capture, so a
+   candidate that doubles its domain each phase does O(n log n) total
+   merge work instead of re-copying its own tables every time.  The
+   victim is read-only throughout (frozen election structures alias
+   it). *)
+let merge_into ~winner ~victim ~entry =
   if not (mem_out winner entry) then
     invalid_arg "Inout.merge: entry is not an OUT node of the winner";
   if not (mem_in victim entry) then
     invalid_arg "Inout.merge: entry is not an IN node of the victim";
-  let parents = Hashtbl.copy winner.parents in
   let victim_parents = rerooted_parents victim entry in
   (* Graft victim members not already recorded by the winner; their
      (re-rooted) parent chains terminate at [entry], which the winner
-     already holds. *)
+     already holds.  Must run before the set updates below so the
+     membership test sees the winner's pre-merge state. *)
   Hashtbl.iter
-    (fun v p -> if not (mem winner v) then Hashtbl.replace parents v p)
+    (fun v p -> if not (mem winner v) then Hashtbl.replace winner.parents v p)
     victim_parents;
-  let inset = Hashtbl.copy winner.inset in
-  Hashtbl.iter (fun v () -> Hashtbl.replace inset v ()) victim.inset;
-  let outset = Hashtbl.create 16 in
-  let add_out v () = if not (Hashtbl.mem inset v) then Hashtbl.replace outset v () in
-  Hashtbl.iter add_out winner.outset;
-  Hashtbl.iter add_out victim.outset;
-  { origin = winner.origin; parents; inset; outset }
+  Hashtbl.iter
+    (fun v () ->
+      Hashtbl.replace winner.inset v ();
+      Hashtbl.remove winner.outset v)
+    victim.inset;
+  Hashtbl.iter
+    (fun v () ->
+      if not (Hashtbl.mem winner.inset v) then begin
+        Hashtbl.replace winner.outset v ();
+        heap_push winner.out_heap v
+      end)
+    victim.outset
+
+let merge ~winner ~victim ~entry =
+  (* validate first so a bad capture raises before any copying *)
+  if not (mem_out winner entry) then
+    invalid_arg "Inout.merge: entry is not an OUT node of the winner";
+  if not (mem_in victim entry) then
+    invalid_arg "Inout.merge: entry is not an IN node of the victim";
+  let copy =
+    {
+      origin = winner.origin;
+      parents = Hashtbl.copy winner.parents;
+      inset = Hashtbl.copy winner.inset;
+      outset = Hashtbl.copy winner.outset;
+      out_heap = heap_copy winner.out_heap;
+    }
+  in
+  merge_into ~winner:copy ~victim ~entry;
+  copy
 
 let spanning_tree t = as_tree t
 
@@ -101,7 +226,10 @@ let is_valid ~graph t =
   let out_frontier =
     Hashtbl.fold
       (fun v () acc ->
-        acc && List.exists (fun u -> mem_in t u) (Graph.neighbors graph v))
+        acc
+        && Graph.fold_neighbors
+             (fun u found -> found || mem_in t u)
+             graph v false)
       t.outset true
   in
   disjoint && origin_in && edges_physical && tree_ok && out_frontier

@@ -30,15 +30,34 @@ val out_nodes : t -> int list
 val size : t -> int
 (** [|IN|] — the domain size S that defines level and phase. *)
 
+val out_size : t -> int
+(** [|OUT|]; zero exactly when the domain spans the network. *)
+
+val out_min : t -> int option
+(** The smallest OUT node, or [None] when OUT is empty — equal to the
+    head of {!out_nodes} without building or sorting the list. *)
+
 val route : t -> src:int -> dst:int -> int list
 (** The walk between two recorded nodes along the tree; length is at
     most the number of recorded nodes (the "linear length ANR").
     @raise Invalid_argument if either endpoint is not recorded. *)
 
+val route_array : t -> src:int -> dst:int -> int array
+(** {!route} as a preallocated int array: the parent map is climbed
+    directly (no tree materialisation) and the only allocation is the
+    exact-size result.  Same walk, element for element. *)
+
 val merge : winner:t -> victim:t -> entry:int -> t
 (** Combine after a capture through [entry].  [entry] must be an OUT
     node of [winner] and an IN node of [victim].
     @raise Invalid_argument otherwise. *)
+
+val merge_into : winner:t -> victim:t -> entry:int -> unit
+(** In-place {!merge}: the winner absorbs the victim, visiting only
+    the victim's members — Θ(victim) per capture, so the winner's
+    growing tables are never re-copied.  The victim is not modified
+    (election freezes and aliases captured structures).
+    @raise Invalid_argument (before any mutation) on a bad capture. *)
 
 val spanning_tree : t -> Netgraph.Tree.t
 (** The internal tree over all recorded nodes (IN and OUT), rooted at

@@ -19,6 +19,7 @@ type params = {
   trace : Sim.Trace.t option;
   registry : Hardware.Registry.t option;
   reset_on_recover : bool;
+  origins : int list option;
 }
 
 let default_params () =
@@ -35,6 +36,7 @@ let default_params () =
     trace = None;
     registry = None;
     reset_on_recover = false;
+    origins = None;
   }
 
 type event = { at : float; edge : int * int; up : bool }
@@ -51,28 +53,45 @@ type outcome = {
   dbs : Topology.db array;
 }
 
+(* The branching-paths relay needs the broadcast's decomposition; the
+   origin computes it once on its believed graph and the message
+   carries it, so relays reuse it instead of rebuilding the tree and
+   labelling per delivery (the same carried-labelling shape as
+   {!Branching_paths.msg}). *)
 type msg = {
   origin : int;
   seq : int;
   views : Topology.local_view list;
-  tree_edges : (int * int) list;
+  labelling : Labels.t option;
 }
 
+(* Per-node link state, indexed by the local link index (1..deg) of
+   the CSR layout: one byte per incident link, updated in O(1) by the
+   data-link notification — nothing is re-materialised per round. *)
 type node_state = {
   mutable db : Topology.db;
   mutable seq : int;
-  mutable local_links : (int * bool) list;
+  local_up : Bytes.t;  (* byte [i-1] = link [i] believed up *)
   relayed : (int * int, unit) Hashtbl.t;
 }
 
+type tour_item = Visit of int | Emit of int
+
 (* Depth-first tour with a configurable child order, truncated after
-   the last first-visit (see {!Walks}). *)
+   the last first-visit (see {!Walks}); iterative worklist, so a deep
+   tree costs Θ(n), not Θ(n·depth). *)
 let tour_with_order tree order =
-  let rec visit v =
-    let kids = order ~self:v ~children:(Tree.children tree v) in
-    v :: List.concat_map (fun c -> visit c @ [ v ]) kids
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Visit v :: rest ->
+        let kids = order ~self:v ~children:(Tree.children tree v) in
+        let rest =
+          List.fold_right (fun c work -> Visit c :: Emit v :: work) kids rest
+        in
+        go (v :: acc) rest
+    | Emit v :: rest -> go (v :: acc) rest
   in
-  let tour = visit (Tree.root tree) in
+  let tour = go [] [ Visit (Tree.root tree) ] in
   let seen = Hashtbl.create 16 in
   let last_new = ref 0 in
   List.iteri
@@ -115,17 +134,59 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
   let n = Graph.n graph in
   let engine = Engine.create ~queue_capacity:n () in
   let states =
-    Array.init n (fun _ ->
+    Array.init n (fun v ->
         {
           db = Topology.create ();
           seq = 0;
-          local_links = [];
+          local_up = Bytes.make (Graph.degree graph v) '\001';
           relayed = Hashtbl.create 16;
         })
   in
+  let origin_list =
+    match params.origins with
+    | None -> None
+    | Some [] -> invalid_arg "Topo_maintenance.run: origins must be non-empty"
+    | Some l ->
+        List.iter
+          (fun o ->
+            if o < 0 || o >= n then
+              invalid_arg "Topo_maintenance.run: origin out of range")
+          l;
+        Some l
+  in
+  let is_origin =
+    match origin_list with
+    | None -> fun _ -> true
+    | Some l ->
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun o -> Hashtbl.replace tbl o ()) l;
+        fun v -> Hashtbl.mem tbl v
+  in
+  (* The node's own view as a delta: collect the down local links into
+     an exact-size sorted array (local indices ascend with peer id in
+     the CSR layout).  Healthy nodes share {!Topology.no_downs}. *)
   let own_view v =
     let st = states.(v) in
-    { Topology.origin = v; seq = st.seq; links = st.local_links }
+    let deg = Graph.degree graph v in
+    let count = ref 0 in
+    for i = 0 to deg - 1 do
+      if Bytes.get st.local_up i = '\000' then incr count
+    done;
+    let downs =
+      if !count = 0 then Topology.no_downs
+      else begin
+        let arr = Array.make !count 0 in
+        let j = ref 0 in
+        for i = 1 to deg do
+          if Bytes.get st.local_up (i - 1) = '\000' then begin
+            arr.(!j) <- Graph.edge_target graph (Graph.edge_id graph v i);
+            incr j
+          end
+        done;
+        arr
+      end
+    in
+    { Topology.origin = v; seq = st.seq; downs }
   in
   let obs_broadcasts =
     match params.registry with
@@ -134,6 +195,18 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
           (Hardware.Registry.counter r "maint.broadcasts"
              ~help:"periodic topology broadcasts initiated")
     | _ -> None
+  in
+  (* send over each believed-up local link, in increasing peer order —
+     iterates the byte vector, allocating only the 2-node walks *)
+  let send_local_links ctx v st ~except m ~label =
+    let deg = Graph.degree graph v in
+    for i = 1 to deg do
+      if Bytes.get st.local_up (i - 1) = '\001' then begin
+        let peer = Graph.edge_target graph (Graph.edge_id graph v i) in
+        if Some peer <> except then
+          Network.send_walk ~label ctx ~walk:[ v; peer ] m
+      end
+    done
   in
   let broadcast ctx =
     (match obs_broadcasts with
@@ -146,26 +219,16 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
     let views =
       if params.full_view then Topology.all_views st.db else [ own_view v ]
     in
-    let believed = Topology.believed_graph st.db ~n in
+    let believed = Topology.believed_graph st.db ~graph in
     match params.method_ with
     | Flood ->
-        let m = { origin = v; seq = st.seq; views; tree_edges = [] } in
+        let m = { origin = v; seq = st.seq; views; labelling = None } in
         Hashtbl.replace st.relayed (v, st.seq) ();
-        List.iter
-          (fun (peer, up) ->
-            if up then Network.send_walk ~label:"topo-flood" ctx ~walk:[ v; peer ] m)
-          st.local_links
+        send_local_links ctx v st ~except:None m ~label:"topo-flood"
     | Branching ->
         let tree = Netgraph.Spanning.bfs_tree believed ~root:v in
         let labelling = Labels.compute tree in
-        let m =
-          {
-            origin = v;
-            seq = st.seq;
-            views;
-            tree_edges = List.map (fun (p, c) -> (c, p)) (Tree.edges tree);
-          }
-        in
+        let m = { origin = v; seq = st.seq; views; labelling = Some labelling } in
         Hashtbl.replace st.relayed (v, st.seq) ();
         List.iter
           (fun path ->
@@ -182,7 +245,7 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
         match tour_with_order tree order with
         | [] | [ _ ] -> ()
         | tour ->
-            let m = { origin = v; seq = st.seq; views; tree_edges = [] } in
+            let m = { origin = v; seq = st.seq; views; labelling = None } in
             let marked = Walks.mark_first_visits tour in
             let route =
               Anr.of_walk_marked (Network.graph (Network.network ctx)) marked
@@ -203,24 +266,33 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
       Network.on_start =
         (fun ctx ->
           let st = states.(v) in
-          st.local_links <- Network.neighbors ctx;
+          (* links that failed before the start (preset faults) *)
+          let net = Network.network ctx in
+          let deg = Graph.degree graph v in
+          for i = 1 to deg do
+            let peer = Graph.edge_target graph (Graph.edge_id graph v i) in
+            if not (Network.link_is_up net v peer) then
+              Bytes.set st.local_up (i - 1) '\000'
+          done;
           Topology.set_own st.db (own_view v);
-          let rec rearm () =
-            Network.set_timer ~label:"topo-period" ctx ~delay:params.period
-              (fun () ->
-                broadcast ctx;
-                rearm ())
-          in
-          (match params.stagger with
-          | None ->
-              broadcast ctx;
-              rearm ()
-          | Some rng ->
-              (* first broadcast at a random phase within the period *)
-              Network.set_timer ~label:"topo-stagger" ctx
-                ~delay:(Sim.Rng.float rng params.period) (fun () ->
+          if is_origin v then begin
+            let rec rearm () =
+              Network.set_timer ~label:"topo-period" ctx ~delay:params.period
+                (fun () ->
                   broadcast ctx;
-                  rearm ())));
+                  rearm ())
+            in
+            match params.stagger with
+            | None ->
+                broadcast ctx;
+                rearm ()
+            | Some rng ->
+                (* first broadcast at a random phase within the period *)
+                Network.set_timer ~label:"topo-stagger" ctx
+                  ~delay:(Sim.Rng.float rng params.period) (fun () ->
+                    broadcast ctx;
+                    rearm ())
+          end);
       on_message =
         (fun ctx ~via m ->
           let st = states.(v) in
@@ -229,32 +301,24 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
           | Dfs_token -> ()
           | Flood ->
               if relay ctx m then
-                List.iter
-                  (fun (peer, up) ->
-                    if up && Some peer <> via then
-                      Network.send_walk ~label:"topo-flood" ctx
-                        ~walk:[ v; peer ] m)
-                  st.local_links
-          | Branching ->
-              if relay ctx m && m.tree_edges <> [] then begin
-                let tree =
-                  Tree.of_parents ~root:m.origin ~parents:m.tree_edges
-                in
-                if Tree.mem tree v then
-                  let labelling = Labels.compute tree in
-                  List.iter
-                    (fun path ->
-                      Network.send_walk ~label:"topo-bpaths"
-                        ~copy_at:(fun _ -> true) ctx ~walk:path m)
-                    (Labels.paths_from labelling v)
-              end);
+                send_local_links ctx v st ~except:via m ~label:"topo-flood"
+          | Branching -> (
+              if relay ctx m then
+                match m.labelling with
+                | None -> ()
+                | Some labelling ->
+                    if Tree.mem (Labels.tree labelling) v then
+                      List.iter
+                        (fun path ->
+                          Network.send_walk ~label:"topo-bpaths"
+                            ~copy_at:(fun _ -> true) ctx ~walk:path m)
+                        (Labels.paths_from labelling v)));
       on_link_change =
         (fun _ctx ~peer ~up ->
           let st = states.(v) in
-          st.local_links <-
-            List.map
-              (fun (p, s) -> if p = peer then (p, up) else (p, s))
-              st.local_links;
+          Bytes.set st.local_up
+            (Graph.link_index graph v peer - 1)
+            (if up then '\001' else '\000');
           Topology.set_own st.db (own_view v));
     }
   in
@@ -263,18 +327,15 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
       ?dmax:params.dmax ~dmax_policy:`Drop ~engine ~cost:params.cost ~graph
       ~handlers ()
   in
-  if params.preseed then
-    Array.iteri
-      (fun v st ->
-        ignore v;
-        Graph.iter_nodes
-          (fun o ->
-            let links = List.map (fun p -> (p, true)) (Graph.neighbors graph o) in
-            ignore
-              (Topology.update st.db { Topology.origin = o; seq = 0; links }
-                : bool))
-          graph)
-      states;
+  if params.preseed then begin
+    (* full pre-failure knowledge at every node, as ONE shared seq-0
+       base array — Θ(n) total, not Θ(n²) hashtable entries *)
+    let base =
+      Array.init n (fun o ->
+          { Topology.origin = o; seq = 0; downs = Topology.no_downs })
+    in
+    Array.iter (fun st -> Topology.attach_base st.db base) states
+  end;
   (* the legacy event/node_event lists and the chaos plan all flow
      through the same Fault_plan arming, so every injection path gets
      the recovery hook below *)
@@ -307,13 +368,34 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
     Graph.of_edges ~n
       (List.filter (fun (u, v) -> Network.link_is_up net u v) (Graph.edges graph))
   in
-  let correct_count () =
-    let actual = actual_graph () in
-    Graph.fold_nodes
-      (fun v acc ->
-        if Topology.consistent_with states.(v).db ~actual ~node:v then acc + 1
-        else acc)
-      graph 0
+  let correct_count =
+    match origin_list with
+    | None ->
+        fun () ->
+          let actual = actual_graph () in
+          Graph.fold_nodes
+            (fun v acc ->
+              if Topology.consistent_with states.(v).db ~graph ~actual ~node:v
+              then acc + 1
+              else acc)
+            graph 0
+    | Some origins ->
+        (* dissemination check for the restricted-origin mode: a node
+           is correct when it holds every origin's freshest view —
+           Θ(n·k) per round instead of n believed-graph rebuilds *)
+        fun () ->
+          Graph.fold_nodes
+            (fun v acc ->
+              let covered =
+                List.for_all
+                  (fun o ->
+                    match Topology.find states.(v).db o with
+                    | Some view -> view.Topology.seq >= states.(o).seq
+                    | None -> false)
+                  origins
+              in
+              if covered then acc + 1 else acc)
+            graph 0
   in
   let epsilon = 1e-6 in
   let rec rounds_loop k progress =

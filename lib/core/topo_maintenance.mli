@@ -58,11 +58,20 @@ type params = {
           broadcast outranks any stale view of it held elsewhere.
           Default [false] (the historical behaviour: a revived node
           resumes with its stale pre-failure database). *)
+  origins : int list option;
+      (** when set, only these nodes run the periodic broadcast (the
+          others still record link state, merge views and relay).
+          Convergence then means dissemination: every node holds each
+          origin's freshest view — checked in Θ(n·k) per round instead
+          of n believed-graph rebuilds, which is what lets the scaling
+          bench run maintenance rounds at n=65536 and beyond.  [None]
+          (default) is the full protocol: every node broadcasts and
+          convergence is the [T77] consistency check. *)
 }
 
 val default_params : unit -> params
 (** Branching method, period 64, 64 max rounds, own-view only, no
-    preseed, C=0/P=1 cost, no reset on recovery. *)
+    preseed, C=0/P=1 cost, no reset on recovery, all nodes broadcast. *)
 
 type event = { at : float; edge : int * int; up : bool }
 (** A scheduled link transition. *)

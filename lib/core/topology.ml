@@ -1,65 +1,109 @@
 module Graph = Netgraph.Graph
 
-type local_view = { origin : int; seq : int; links : (int * bool) list }
+(* A local view is a delta against the physical adjacency: the origin
+   has reported, and every incident link is believed up except the
+   peers listed in [downs].  Healthy nodes all share [no_downs], so a
+   steady-state view costs four words regardless of degree — the
+   Θ(deg) [(peer * bool) list] payloads this replaces dominated a
+   maintenance round's allocation. *)
+type local_view = { origin : int; seq : int; downs : int array }
 
-type db = (int, local_view) Hashtbl.t
+let no_downs : int array = [||]
 
-let create () = Hashtbl.create 16
+let view_of_downs ~origin ~seq downs =
+  let downs =
+    if Array.length downs = 0 then no_downs
+    else begin
+      let d = Array.copy downs in
+      Array.sort compare d;
+      d
+    end
+  in
+  { origin; seq; downs }
+
+(* membership in the sorted [downs] array *)
+let reports_down view peer =
+  let d = view.downs in
+  let rec bs lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if d.(mid) = peer then true
+      else if d.(mid) < peer then bs (mid + 1) hi
+      else bs lo mid
+  in
+  bs 0 (Array.length d)
+
+(* A database is an overlay hashtable over an optional shared [base]:
+   preseeding n nodes with full topology knowledge installs ONE
+   seq-0 view array shared by every database (Θ(n) total instead of
+   Θ(n²) per-node entries), and received views shadow it in the
+   overlay. *)
+type db = {
+  mutable base : local_view array option;  (* indexed by origin *)
+  tbl : (int, local_view) Hashtbl.t;
+}
+
+let create () = { base = None; tbl = Hashtbl.create 16 }
+
+let attach_base db views = db.base <- Some views
+
+let find db origin =
+  match Hashtbl.find_opt db.tbl origin with
+  | Some _ as v -> v
+  | None -> (
+      match db.base with
+      | Some b when origin >= 0 && origin < Array.length b -> Some b.(origin)
+      | _ -> None)
 
 let update db view =
-  match Hashtbl.find_opt db view.origin with
+  match find db view.origin with
   | Some stored when stored.seq >= view.seq -> false
   | _ ->
-      Hashtbl.replace db view.origin view;
+      Hashtbl.replace db.tbl view.origin view;
       true
 
 let update_all db views =
   List.fold_left (fun acc v -> update db v || acc) false views
 
-let set_own db view = Hashtbl.replace db view.origin view
-
-let find db origin = Hashtbl.find_opt db origin
+let set_own db view = Hashtbl.replace db.tbl view.origin view
 
 let all_views db =
-  Hashtbl.fold (fun _ v acc -> v :: acc) db []
-  |> List.sort (fun a b -> compare a.origin b.origin)
+  match db.base with
+  | None ->
+      Hashtbl.fold (fun _ v acc -> v :: acc) db.tbl []
+      |> List.sort (fun a b -> compare a.origin b.origin)
+  | Some b ->
+      (* the base covers every origin densely; the overlay shadows *)
+      Array.to_list
+        (Array.mapi
+           (fun o bv ->
+             match Hashtbl.find_opt db.tbl o with Some v -> v | None -> bv)
+           b)
 
 let known_nodes db = List.map (fun v -> v.origin) (all_views db)
 
-let believed_graph db ~n =
-  (* Gather directed reports, then apply the both-endpoints rule. *)
-  let reports = Hashtbl.create 32 in
-  Hashtbl.iter
-    (fun origin view ->
-      List.iter
-        (fun (peer, up) ->
-          if peer >= 0 && peer < n && origin < n then
-            Hashtbl.replace reports (origin, peer) up)
-        view.links)
-    db;
-  let edges = ref [] in
-  Hashtbl.iter
-    (fun (u, v) up_uv ->
-      if u < v then begin
-        let believed_up =
-          match Hashtbl.find_opt reports (v, u) with
-          | Some up_vu -> up_uv && up_vu
-          | None -> up_uv
-        in
-        if believed_up then edges := (u, v) :: !edges
-      end)
-    reports;
-  (* Symmetric singletons: v reported (v, u) but u never reported. *)
-  Hashtbl.iter
-    (fun (u, v) up_uv ->
-      if u > v && not (Hashtbl.mem reports (v, u)) && up_uv then
-        edges := (v, u) :: !edges)
-    reports;
-  Graph.of_edges ~n !edges
+(* An edge of the physical graph is believed active iff at least one
+   endpoint has reported and no reporting endpoint lists the other as
+   down (the ARPANET AND rule; a single report is trusted).  Views are
+   deltas, so the enumeration runs over the physical edge set — the
+   believed graph is a subgraph of the real one by construction. *)
+let believed_edge db u v =
+  match (find db u, find db v) with
+  | None, None -> false
+  | Some vu, None -> not (reports_down vu v)
+  | None, Some vv -> not (reports_down vv u)
+  | Some vu, Some vv -> not (reports_down vu v) && not (reports_down vv u)
 
-let consistent_with db ~actual ~node =
+let believed_graph db ~graph =
+  let edges =
+    List.filter (fun (u, v) -> believed_edge db u v) (Graph.edges graph)
+  in
+  Graph.of_edges ~n:(Graph.n graph) edges
+
+let consistent_with db ~graph ~actual ~node =
   let n = Graph.n actual in
-  let believed = believed_graph db ~n in
+  let believed = believed_graph db ~graph in
   let actual_component = Netgraph.Traversal.component_of actual node in
   let believed_component = Netgraph.Traversal.component_of believed node in
   actual_component = believed_component

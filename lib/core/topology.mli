@@ -4,17 +4,43 @@
     — stamped with a sequence number incremented at every broadcast
     (as in the ARPANET).  A node's picture of the network is a
     database of the freshest local view it has received from each
-    origin; the believed topology is assembled from those views. *)
+    origin; the believed topology is assembled from those views.
+
+    A view is stored and shipped as a {e delta} against the physical
+    adjacency: only the peers whose link the origin believes down are
+    listed.  A healthy node's view is four words (the empty delta is
+    shared), so steady-state maintenance payloads no longer carry
+    Θ(degree) link lists. *)
 
 type local_view = {
   origin : int;
   seq : int;
-  links : (int * bool) list;  (** (neighbour, link-is-up) *)
+  downs : int array;  (** sorted peers whose link the origin believes down *)
 }
+
+val no_downs : int array
+(** The shared empty delta — the view body of a node with all links
+    up.  Physically equal across all healthy views. *)
+
+val view_of_downs : origin:int -> seq:int -> int array -> local_view
+(** Build a view from an unsorted down-peer array (copied and sorted;
+    the empty array is replaced by {!no_downs}). *)
+
+val reports_down : local_view -> int -> bool
+(** Does the view list this peer as down?  Binary search, no
+    allocation. *)
 
 type db
 
 val create : unit -> db
+
+val attach_base : db -> local_view array -> unit
+(** Install a shared base layer: a dense by-origin view array the
+    database falls back to for origins its overlay has not shadowed.
+    Preseeding every node with full topology knowledge shares ONE
+    seq-0 array across all databases — Θ(n) total instead of Θ(n²)
+    per-node entries.  Received views shadow base entries by the usual
+    freshness rule. *)
 
 val update : db -> local_view -> bool
 (** Absorb a view if it is strictly fresher than the stored one (or no
@@ -35,17 +61,20 @@ val all_views : db -> local_view list
 
 val known_nodes : db -> int list
 
-val believed_graph : db -> n:int -> Netgraph.Graph.t
-(** The topology the database describes: an edge (u, v) is believed
-    active iff both endpoints' stored views say so; if only one
-    endpoint has reported, its word is taken.  Since views only ever
-    mention physically adjacent nodes, the believed graph is a
-    subgraph of the real one, so routes computed on it are
-    well-formed ANR walks. *)
+val believed_edge : db -> int -> int -> bool
+(** Is a physical edge believed active: at least one endpoint has
+    reported and no reporting endpoint lists the other as down (the
+    ARPANET AND rule; a single report is trusted). *)
+
+val believed_graph : db -> graph:Netgraph.Graph.t -> Netgraph.Graph.t
+(** The topology the database describes, enumerated over the physical
+    edge set (views are deltas, so the believed graph is a subgraph of
+    the real one by construction — routes computed on it are
+    well-formed ANR walks). *)
 
 val consistent_with :
-  db -> actual:Netgraph.Graph.t -> node:int -> bool
+  db -> graph:Netgraph.Graph.t -> actual:Netgraph.Graph.t -> node:int -> bool
 (** Eventual-consistency check of [T77]: does the believed topology
-    agree with [actual] (the currently-active subgraph) on [node]'s
-    actual connected component — same reachable node set and same
-    edge set within it? *)
+    agree with [actual] (the currently-active subgraph of the physical
+    [graph]) on [node]'s actual connected component — same reachable
+    node set and same edge set within it? *)

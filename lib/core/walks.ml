@@ -1,13 +1,23 @@
 module Tree = Netgraph.Tree
 
+(* Iterative worklist with explicit re-emit items: same order as the
+   recursive [visit v = v :: concat (visit c @ [v])], but linear — the
+   recursive form re-appends each child tour, Θ(n·depth) on paths. *)
+type tour_item = Visit of int | Emit of int
+
 let euler_tour tree =
-  let rec visit v =
-    v
-    :: List.concat_map
-         (fun c -> visit c @ [ v ])
-         (Tree.children tree v)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Visit v :: rest ->
+        let rest =
+          List.fold_right
+            (fun c work -> Visit c :: Emit v :: work)
+            (Tree.children tree v) rest
+        in
+        go (v :: acc) rest
+    | Emit v :: rest -> go (v :: acc) rest
   in
-  visit (Tree.root tree)
+  go [] [ Visit (Tree.root tree) ]
 
 let euler_tour_truncated tree =
   let tour = euler_tour tree in

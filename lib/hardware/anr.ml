@@ -74,6 +74,25 @@ let compile_walk ?(copy_at = fun _ -> false) g walk =
       fill 0 walk;
       codes
 
+(* Array-walk variant of {!compile_walk}: the walk arrives as the int
+   array an {!Inout.route_array} climb produced, so compiling the
+   route touches no list at all. *)
+let compile_walk_arr ?(copy_at = fun _ -> false) g walk =
+  let len = Array.length walk in
+  if len = 0 then invalid_arg "Anr.compile_walk_arr: empty walk"
+  else if len = 1 then [||]
+  else begin
+    let first = walk.(0) in
+    let codes = Array.make len 0 in
+    for i = 0 to len - 2 do
+      let u = walk.(i) and v = walk.(i + 1) in
+      let link = Netgraph.Graph.link_index g u v in
+      let copy = u <> first && copy_at u in
+      codes.(i) <- (link lsl 1) lor (if copy then 1 else 0)
+    done;
+    codes
+  end
+
 let concat a b =
   match List.rev a with
   | { link = 0; copy = false } :: rev_prefix -> List.rev_append rev_prefix b

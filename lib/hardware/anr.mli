@@ -86,6 +86,12 @@ val compile_walk :
     without the intermediate list — for compiling route tables ahead
     of time (see {!Network.send_compiled}). *)
 
+val compile_walk_arr :
+  ?copy_at:(int -> bool) -> Netgraph.Graph.t -> int array -> route
+(** {!compile_walk} over an int-array walk — the form the election's
+    array-based route bookkeeping produces — so building the route
+    allocates nothing beyond the result. *)
+
 val concat : t -> t -> t
 (** [concat a b] splices two headers: [a]'s terminating NCU element is
     dropped and [b] is appended, so a packet follows [a]'s walk and

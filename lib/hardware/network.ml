@@ -187,6 +187,27 @@ let active_neighbors t u =
   done;
   !acc
 
+(* Allocation-free variants of [active_neighbors] for hot paths:
+   same increasing-peer order, no intermediate list. *)
+let iter_active_neighbors t u f =
+  let g = t.graph in
+  let deg = Graph.degree g u in
+  for i = 1 to deg do
+    let e = Graph.edge_id g u i in
+    if t.link_state.(Graph.edge_uid g e).up then f (Graph.edge_target g e)
+  done
+
+let fold_active_neighbors t u f acc =
+  let g = t.graph in
+  let deg = Graph.degree g u in
+  let acc = ref acc in
+  for i = 1 to deg do
+    let e = Graph.edge_id g u i in
+    if t.link_state.(Graph.edge_uid g e).up then
+      acc := f (Graph.edge_target g e) !acc
+  done;
+  !acc
+
 (* -- NCU activations: single-server FIFO queue per node ------------- *)
 
 (* Run [f] on node [v]'s NCU: the activation starts when both the
@@ -422,6 +443,12 @@ let send_walk ?label ?copy_at ctx ~walk payload =
   | _ -> invalid_arg "Network.send_walk: walk must start at the sender");
   let route = Anr.of_walk ?copy_at ctx.net.graph walk in
   send ?label ctx ~route payload
+
+let send_walk_arr ?label ?copy_at ctx ~walk payload =
+  if Array.length walk = 0 || walk.(0) <> ctx.node then
+    invalid_arg "Network.send_walk_arr: walk must start at the sender";
+  let route = Anr.compile_walk_arr ?copy_at ctx.net.graph walk in
+  send_compiled ?label ctx ~route payload
 
 let neighbors ctx =
   let t = ctx.net in

@@ -120,6 +120,16 @@ val preset_link : 'msg t -> int -> int -> up:bool -> unit
 val link_is_up : 'msg t -> int -> int -> bool
 val active_neighbors : 'msg t -> int -> int list
 
+val iter_active_neighbors : 'msg t -> int -> (int -> unit) -> unit
+(** [iter_active_neighbors t u f] applies [f] to each neighbour of [u]
+    whose link is currently up, in increasing peer order — the same
+    sequence as {!active_neighbors} without materialising the list.
+    For hot paths (per-hop relay decisions) that must not allocate. *)
+
+val fold_active_neighbors : 'msg t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the currently-up neighbours of a node in increasing peer
+    order; the allocation-free companion of {!iter_active_neighbors}. *)
+
 val fail_node : 'msg t -> int -> unit
 (** An inactive node is modelled by a node all of whose links are
     inactive (Section 2): deactivate every incident link (with the
@@ -161,6 +171,19 @@ val send_walk :
   unit
 (** Convenience: build the header with {!Anr.of_walk} (the walk must
     begin at this node) and send.
+    @raise Invalid_argument if the walk does not start here. *)
+
+val send_walk_arr :
+  ?label:string ->
+  ?copy_at:(int -> bool) ->
+  'msg context ->
+  walk:int array ->
+  'msg ->
+  unit
+(** {!send_walk} over an int-array walk (compiled directly with
+    {!Anr.compile_walk_arr}); behaviourally identical to sending the
+    same walk as a list — same header length, dmax check, metrics and
+    switching.
     @raise Invalid_argument if the walk does not start here. *)
 
 val neighbors : 'msg context -> (int * bool) list

@@ -1,4 +1,4 @@
-(* Tests for Core.Topology: view databases and the believed graph. *)
+(* Tests for Core.Topology: delta-view databases and the believed graph. *)
 
 module T = Core.Topology
 module G = Netgraph.Graph
@@ -7,31 +7,29 @@ module B = Netgraph.Builders
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let view origin seq links = { T.origin; seq; links }
+let view origin seq downs = T.view_of_downs ~origin ~seq (Array.of_list downs)
 
 let test_update_freshness () =
   let db = T.create () in
-  check_bool "first absorbed" true (T.update db (view 0 1 [ (1, true) ]));
-  check_bool "stale rejected" false (T.update db (view 0 1 [ (1, false) ]));
+  check_bool "first absorbed" true (T.update db (view 0 1 []));
+  check_bool "stale rejected" false (T.update db (view 0 1 [ 1 ]));
   check_bool "older rejected" false (T.update db (view 0 0 []));
-  check_bool "fresher absorbed" true (T.update db (view 0 2 [ (1, false) ]));
+  check_bool "fresher absorbed" true (T.update db (view 0 2 [ 1 ]));
   match T.find db 0 with
   | Some v -> check_int "latest seq" 2 v.T.seq
   | None -> Alcotest.fail "missing entry"
 
 let test_update_all () =
   let db = T.create () in
-  check_bool "any fresh" true
-    (T.update_all db [ view 0 1 []; view 1 1 [] ]);
-  check_bool "none fresh" false
-    (T.update_all db [ view 0 1 []; view 1 0 [] ])
+  check_bool "any fresh" true (T.update_all db [ view 0 1 []; view 1 1 [] ]);
+  check_bool "none fresh" false (T.update_all db [ view 0 1 []; view 1 0 [] ])
 
 let test_set_own_overrides () =
   let db = T.create () in
-  ignore (T.update db (view 0 5 [ (1, true) ]) : bool);
-  T.set_own db (view 0 5 [ (1, false) ]);
+  ignore (T.update db (view 0 5 []) : bool);
+  T.set_own db (view 0 5 [ 1 ]);
   match T.find db 0 with
-  | Some v -> check_bool "overridden same seq" true (v.T.links = [ (1, false) ])
+  | Some v -> check_bool "overridden same seq" true (T.reports_down v 1)
   | None -> Alcotest.fail "missing"
 
 let test_all_views_sorted () =
@@ -39,70 +37,107 @@ let test_all_views_sorted () =
   ignore (T.update_all db [ view 2 1 []; view 0 1 []; view 1 1 [] ] : bool);
   Alcotest.(check (list int)) "sorted origins" [ 0; 1; 2 ] (T.known_nodes db)
 
+let test_no_downs_shared () =
+  (* healthy views share the empty delta physically *)
+  let a = view 0 1 [] and b = view 1 1 [] in
+  check_bool "shared empty delta" true (a.T.downs == b.T.downs);
+  check_bool "is no_downs" true (a.T.downs == T.no_downs)
+
+let test_reports_down_search () =
+  let v = view 0 1 [ 7; 3; 11 ] in
+  check_bool "member" true (T.reports_down v 3);
+  check_bool "member" true (T.reports_down v 7);
+  check_bool "member" true (T.reports_down v 11);
+  check_bool "non-member" false (T.reports_down v 5);
+  check_bool "non-member" false (T.reports_down v 0)
+
 let test_believed_graph_and_rule () =
+  let g = B.path 3 in
+  (* edges 0-1, 1-2 *)
   let db = T.create () in
   (* both say up -> edge up *)
-  ignore (T.update db (view 0 1 [ (1, true) ]) : bool);
-  ignore (T.update db (view 1 1 [ (0, true) ]) : bool);
-  let g = T.believed_graph db ~n:3 in
-  check_bool "edge believed" true (G.has_edge g 0 1);
+  ignore (T.update db (view 0 1 []) : bool);
+  ignore (T.update db (view 1 1 []) : bool);
+  let bg = T.believed_graph db ~graph:g in
+  check_bool "edge believed" true (G.has_edge bg 0 1);
   (* one side reports down -> edge down *)
-  ignore (T.update db (view 1 2 [ (0, false) ]) : bool);
-  let g = T.believed_graph db ~n:3 in
-  check_bool "AND rule" false (G.has_edge g 0 1)
+  ignore (T.update db (view 1 2 [ 0 ]) : bool);
+  let bg = T.believed_graph db ~graph:g in
+  check_bool "AND rule" false (G.has_edge bg 0 1)
 
 let test_believed_graph_single_report () =
+  let g = B.ring 3 in
   let db = T.create () in
-  ignore (T.update db (view 0 1 [ (2, true) ]) : bool);
-  let g = T.believed_graph db ~n:3 in
-  check_bool "single report trusted" true (G.has_edge g 0 2)
+  ignore (T.update db (view 0 1 []) : bool);
+  let bg = T.believed_graph db ~graph:g in
+  check_bool "single report trusted" true (G.has_edge bg 0 2);
+  check_bool "unreported edge absent" false (G.has_edge bg 1 2)
 
 let test_believed_graph_single_down_report () =
+  let g = B.ring 3 in
   let db = T.create () in
-  ignore (T.update db (view 2 1 [ (0, false) ]) : bool);
-  let g = T.believed_graph db ~n:3 in
-  check_bool "down report means no edge" false (G.has_edge g 0 2)
+  ignore (T.update db (view 2 1 [ 0 ]) : bool);
+  let bg = T.believed_graph db ~graph:g in
+  check_bool "down report means no edge" false (G.has_edge bg 0 2);
+  check_bool "other incident edge trusted" true (G.has_edge bg 1 2)
+
+let test_believed_subgraph_of_physical () =
+  (* views are deltas against the physical adjacency, so the believed
+     graph cannot contain a phantom edge by construction *)
+  let g = B.path 3 in
+  let db = T.create () in
+  ignore (T.update_all db [ view 0 1 []; view 1 1 []; view 2 1 [] ] : bool);
+  let bg = T.believed_graph db ~graph:g in
+  check_bool "no phantom 0-2" false (G.has_edge bg 0 2);
+  check_int "physical edge count" (G.m g) (G.m bg)
 
 let test_consistency_full_knowledge () =
   let g = B.grid ~rows:3 ~cols:3 in
   let db = T.create () in
+  G.iter_nodes (fun v -> ignore (T.update db (view v 1 []) : bool)) g;
   G.iter_nodes
     (fun v ->
-      ignore
-        (T.update db (view v 1 (List.map (fun u -> (u, true)) (G.neighbors g v)))
-          : bool))
-    g;
-  G.iter_nodes
-    (fun v -> check_bool "consistent" true (T.consistent_with db ~actual:g ~node:v))
+      check_bool "consistent" true
+        (T.consistent_with db ~graph:g ~actual:g ~node:v))
     g
 
-let test_consistency_detects_missing_edge () =
+let test_consistency_detects_missing_report () =
   let g = B.ring 4 in
   let db = T.create () in
-  (* node 0 believes only part of the ring *)
-  ignore (T.update db (view 0 1 [ (1, true); (3, true) ]) : bool);
+  (* only node 0 has reported: nodes 1-2 and 2-3 stay unbelieved, so
+     0's believed component misses node 2 *)
+  ignore (T.update db (view 0 1 []) : bool);
   check_bool "incomplete view inconsistent" false
-    (T.consistent_with db ~actual:g ~node:0)
+    (T.consistent_with db ~graph:g ~actual:g ~node:0)
 
 let test_consistency_per_component () =
   (* after a partition, each side needs only its own component *)
+  let g = G.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
   let actual = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
   let db = T.create () in
-  ignore (T.update db (view 0 1 [ (1, true) ]) : bool);
-  ignore (T.update db (view 1 1 [ (0, true) ]) : bool);
-  check_bool "knows own component" true (T.consistent_with db ~actual ~node:0);
-  check_bool "does not know the other" false (T.consistent_with db ~actual ~node:2)
+  ignore (T.update db (view 0 1 [ 3 ]) : bool);
+  ignore (T.update db (view 1 1 [ 2 ]) : bool);
+  check_bool "knows own component" true
+    (T.consistent_with db ~graph:g ~actual ~node:0);
+  check_bool "does not know the other" false
+    (T.consistent_with db ~graph:g ~actual ~node:2)
 
-let test_consistency_rejects_phantom_edge () =
-  let actual = B.path 3 in
+let test_consistency_rejects_stale_up_claim () =
+  (* node 2's stale view still believes its link to 1 is up although
+     the link has failed: believed has 1-2, actual does not *)
+  let g = B.path 3 in
+  let actual = G.of_edges ~n:3 [ (0, 1) ] in
   let db = T.create () in
-  ignore (T.update db (view 0 1 [ (1, true) ]) : bool);
-  ignore (T.update db (view 1 1 [ (0, true); (2, true) ]) : bool);
-  ignore (T.update db (view 2 1 [ (1, true); (0, true) ]) : bool);
-  (* node 2 claims an edge to 0 that does not exist: believed graph has
-     0-2, actual does not *)
-  check_bool "phantom edge detected" false
-    (T.consistent_with db ~actual ~node:0)
+  ignore
+    (T.update_all db [ view 0 1 []; view 1 2 [ 2 ]; view 2 1 [] ] : bool);
+  (* 1 reports the failure but 2 does not: AND rule kills the edge *)
+  check_bool "AND rule covers the stale claim" true
+    (T.consistent_with db ~graph:g ~actual ~node:0);
+  let db2 = T.create () in
+  ignore (T.update_all db2 [ view 0 1 []; view 1 1 []; view 2 1 [] ] : bool);
+  (* nobody reports the failure: believed keeps 1-2, inconsistent *)
+  check_bool "stale up claim detected" false
+    (T.consistent_with db2 ~graph:g ~actual ~node:0)
 
 let suite =
   [
@@ -110,11 +145,17 @@ let suite =
     Alcotest.test_case "update_all" `Quick test_update_all;
     Alcotest.test_case "set_own overrides" `Quick test_set_own_overrides;
     Alcotest.test_case "all_views sorted" `Quick test_all_views_sorted;
+    Alcotest.test_case "no_downs shared" `Quick test_no_downs_shared;
+    Alcotest.test_case "reports_down search" `Quick test_reports_down_search;
     Alcotest.test_case "believed graph AND rule" `Quick test_believed_graph_and_rule;
     Alcotest.test_case "single report trusted" `Quick test_believed_graph_single_report;
     Alcotest.test_case "single down report" `Quick test_believed_graph_single_down_report;
+    Alcotest.test_case "believed subgraph of physical" `Quick
+      test_believed_subgraph_of_physical;
     Alcotest.test_case "consistency full knowledge" `Quick test_consistency_full_knowledge;
-    Alcotest.test_case "consistency missing edge" `Quick test_consistency_detects_missing_edge;
+    Alcotest.test_case "consistency missing report" `Quick
+      test_consistency_detects_missing_report;
     Alcotest.test_case "consistency per component" `Quick test_consistency_per_component;
-    Alcotest.test_case "phantom edge rejected" `Quick test_consistency_rejects_phantom_edge;
+    Alcotest.test_case "stale up claim rejected" `Quick
+      test_consistency_rejects_stale_up_claim;
   ]

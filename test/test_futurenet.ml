@@ -42,6 +42,7 @@ let () =
       ("experiments", Suite_experiments.suite);
       ("parallel", Suite_parallel.suite);
       ("compile", Suite_compile.suite);
+      ("scale_parity", Suite_scale_parity.suite);
       ("chaos", Suite_chaos.suite);
       ("query", Suite_query.suite);
     ]
