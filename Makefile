@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-million bench-obs chaos chaos-smoke query-smoke experiments figures examples clean
+.PHONY: all build test bench bench-smoke bench-json bench-check bench-parallel bench-scale bench-million bench-obs chaos chaos-smoke chaos-liveness query-smoke experiments figures examples clean
 
 all: build
 
@@ -78,6 +78,17 @@ bench-parallel:
 chaos-smoke:
 	dune exec bin/futurenet_cli.exe -- chaos -s all -n 64 -k 32 --seed 7 --jobs 2 \
 	  --heartbeat chaos-heartbeat.jsonl --heartbeat-every 8
+
+# Liveness soak smoke (DESIGN.md §16): healing schedules — every crash
+# recovers, every cut link comes back before the horizon — with the
+# recovery layer on, through the worker pool.  The liveness oracles
+# demand each protocol terminate in the CORRECT state (all nodes
+# reached, exactly one universally-believed leader, every origin
+# finished) within the retry/epoch budget.  Any failure shrinks to a
+# minimal chaos-repro-*.json and exits 10.
+chaos-liveness:
+	dune exec bin/futurenet_cli.exe -- chaos --liveness -s all -n 64 -k 32 --seed 7 --jobs 2 \
+	  --heartbeat chaos-liveness-heartbeat.jsonl --heartbeat-every 8
 
 # Full soak: more schedules, larger networks, all families.
 chaos:

@@ -150,6 +150,40 @@ let maintenance_params ~n =
       max_rounds = maintenance_rounds ~n;
     }
 
+(* -- the recovery-overhead scenario ----------------------------------- *)
+
+(* A branching-paths broadcast that loses one subtree to a mid-wave
+   link cut and must heal it through the DESIGN.md §16 ack/retransmit
+   layer: the link (root, first neighbour) goes down at t=0.5 — after
+   the root's sends but before every delivery completes — and comes
+   back at t=3.0, well inside the first backoff delay, so exactly the
+   retransmit wave(s) the watchdog schedules complete the broadcast.
+   The [recover.*] counters this publishes are deterministic functions
+   of (n, seed 42) and are held exactly by `bench --check`. *)
+let recover_name ~n = Printf.sprintf "recover/bpaths-heal-n%d" n
+
+let recover_plan g =
+  let u = 0 in
+  let v = List.hd (Netgraph.Graph.neighbors g 0) in
+  [
+    Hardware.Fault_plan.Link_set { at = 0.5; u; v; up = false };
+    Hardware.Fault_plan.Link_set { at = 3.0; u; v; up = true };
+  ]
+
+let recover_run ~n ~graph ~labelling ~routes reg =
+  let config =
+    {
+      (Core.Broadcast.default_config ()) with
+      registry = reg;
+      chaos = Some (recover_plan graph);
+      recover = Some (Hardware.Recover.default ~n);
+    }
+  in
+  ignore
+    (Core.Branching_paths.run ~config ~precomputed:labelling ?routes ~graph
+       ~root:0 ()
+      : Core.Broadcast.result)
+
 (* -- classic per-experiment microbenchmarks (fixed small sizes) ------- *)
 
 let classic_tests () =
@@ -269,6 +303,9 @@ let scaling_tests ~n =
              let params = maintenance_params ~n in
              Core.Topo_maintenance.run ~params ~graph:maintenance_graph
                ~events:[] ()));
+      Test.make ~name:(recover_name ~n)
+        (Staged.stage (fun () ->
+             recover_run ~n ~graph:g ~labelling ~routes None));
     ]
   @ setup
 
@@ -277,7 +314,8 @@ let scaling_tests ~n =
 (* The scenario keys `--scenarios` filters on.  Only the one-shot path
    consults the filter: below the threshold every scenario is cheap
    enough that subsetting would just fragment the baselines. *)
-let one_shot_keys = [ "flood"; "bpaths"; "election"; "maintenance"; "setup" ]
+let one_shot_keys =
+  [ "flood"; "bpaths"; "election"; "maintenance"; "recover"; "setup" ]
 
 let scenario_enabled ~scenarios key =
   match scenarios with None -> true | Some keys -> List.mem key keys
@@ -305,8 +343,12 @@ let one_shot_timed run =
     | None -> 0
   in
   ( wall,
-    (v "net.syscalls", v "net.hops", v "net.drops", v "net.dropped_in_flight")
-  )
+    ( v "net.syscalls",
+      v "net.hops",
+      v "net.drops",
+      v "net.dropped_in_flight",
+      v "recover.retransmits",
+      v "recover.restarts" ) )
 
 (* Returns (timing rows, workload rows) for one size.  Skipped
    scenarios are printed, not silently absent. *)
@@ -358,12 +400,15 @@ let one_shot_rows ~scenarios ~n =
                  ~graph:(Compile.Topology.graph (maintenance_art ~n))
                  ~events:[] ()
                 : Core.Topo_maintenance.outcome) );
+        ( "recover",
+          recover_name ~n,
+          fun reg -> recover_run ~n ~graph:g ~labelling ~routes (Some reg) );
       ]
   in
   let timed, workloads =
     List.fold_left
       (fun (timed, workloads) (name, run) ->
-        let best = ref infinity and counters = ref (0, 0, 0, 0) in
+        let best = ref infinity and counters = ref (0, 0, 0, 0, 0, 0) in
         for _ = 1 to repeats do
           let wall, c = one_shot_timed run in
           if wall < !best then best := wall;
@@ -505,7 +550,12 @@ let semantic_rows ~n =
       | Some c -> Hardware.Registry.counter_value c
       | None -> 0
     in
-    (v "net.syscalls", v "net.hops", v "net.drops", v "net.dropped_in_flight")
+    ( v "net.syscalls",
+      v "net.hops",
+      v "net.drops",
+      v "net.dropped_in_flight",
+      v "recover.retransmits",
+      v "recover.restarts" )
   in
   let bcast_config reg =
     { (Core.Broadcast.default_config ()) with registry = Some reg }
@@ -540,6 +590,9 @@ let semantic_rows ~n =
               (Core.Topo_maintenance.run ~params ~graph:maintenance_graph
                  ~events:[] ()
                 : Core.Topo_maintenance.outcome)) );
+      ( recover_name ~n,
+        counters (fun reg ->
+            recover_run ~n ~graph:g ~labelling ~routes (Some reg)) );
     ]
 
 (* -- parallel sweep section (bench --jobs) ---------------------------- *)
@@ -1125,11 +1178,15 @@ let bw_results w rows =
 
 let bw_workloads w rows =
   bw_section w ~header:"  \"workloads\": [" ~footer:"  ]," rows
-    (fun (name, (syscalls, hops, drops, dropped_in_flight)) sep ->
+    (fun (name, (syscalls, hops, drops, dropped_in_flight, retransmits,
+                 restarts))
+         sep ->
       Printf.sprintf
         "    { \"name\": \"%s\", \"syscalls\": %d, \"hops\": %d, \"drops\": \
-         %d, \"dropped_in_flight\": %d }%s"
-        (json_escape name) syscalls hops drops dropped_in_flight sep)
+         %d, \"dropped_in_flight\": %d, \"retransmits\": %d, \"restarts\": \
+         %d }%s"
+        (json_escape name) syscalls hops drops dropped_in_flight retransmits
+        restarts sep)
 
 let bw_profile w profiles =
   bw_section w ~header:"  \"profile\": [" ~footer:"  ]," profiles
@@ -1311,6 +1368,96 @@ let latency_entries json =
                         (String.index_from_opt obj (q1 + 1) '"')))
             (collect [] 0))
 
+(* The "workloads" section: flat objects keyed "name" carrying the
+   semantic counters.  Same single-level extraction as the latency
+   section. *)
+let workload_entries json =
+  match find_sub json "\"workloads\"" 0 with
+  | None -> []
+  | Some li -> (
+      match String.index_from_opt json li '[' with
+      | None -> []
+      | Some start ->
+          let stop =
+            match String.index_from_opt json start ']' with
+            | Some i -> i
+            | None -> String.length json
+          in
+          let section = String.sub json start (stop - start) in
+          let rec collect acc i =
+            match String.index_from_opt section i '{' with
+            | None -> List.rev acc
+            | Some o -> (
+                match String.index_from_opt section o '}' with
+                | None -> List.rev acc
+                | Some c ->
+                    collect (String.sub section o (c - o + 1) :: acc) (c + 1))
+          in
+          List.filter_map
+            (fun obj ->
+              match find_sub obj "\"name\"" 0 with
+              | None -> None
+              | Some si ->
+                  Option.bind
+                    (String.index_from_opt obj (si + 6) '"')
+                    (fun q1 ->
+                      Option.map
+                        (fun q2 ->
+                          (String.sub obj (q1 + 1) (q2 - q1 - 1), obj))
+                        (String.index_from_opt obj (q1 + 1) '"')))
+            (collect [] 0))
+
+(* Semantic counters are deterministic functions of (scenario, n,
+   seed) — the recover.* tallies included — so the gate holds them to
+   exact equality.  A field absent from the baseline (a seed written
+   before that counter existed) is skipped, not failed, so baselines
+   age gracefully across schema-compatible additions. *)
+let workload_check_fields =
+  [
+    "\"syscalls\"";
+    "\"hops\"";
+    "\"drops\"";
+    "\"dropped_in_flight\"";
+    "\"retransmits\"";
+    "\"restarts\"";
+  ]
+
+let check_workloads ~baseline_path ~current_path baseline current =
+  match workload_entries baseline with
+  | [] -> true (* baseline predates the workloads section *)
+  | base_entries ->
+      let cur_entries = workload_entries current in
+      List.fold_left
+        (fun ok (name, bobj) ->
+          match List.assoc_opt name cur_entries with
+          | None ->
+              Printf.printf "  workload/%-36s MISSING from %s\n" name
+                current_path;
+              false
+          | Some cobj ->
+              let field obj key = number_after obj key 0 (String.length obj) in
+              let bad =
+                List.filter_map
+                  (fun key ->
+                    match (field bobj key, field cobj key) with
+                    | Some bv, Some cv when bv = cv -> None
+                    | Some bv, Some cv ->
+                        Some (Printf.sprintf "%s %.0f -> %.0f" key bv cv)
+                    | Some _, None -> Some (key ^ " missing")
+                    | None, _ -> None (* field absent from the baseline *))
+                  workload_check_fields
+              in
+              if bad = [] then begin
+                Printf.printf "  workload/%-36s ok\n" name;
+                ok
+              end
+              else begin
+                Printf.printf "  workload/%-36s DRIFTED vs %s: %s\n" name
+                  baseline_path (String.concat ", " bad);
+                false
+              end)
+        true base_entries
+
 (* The fields the latency gate holds to equality.  Simulated time is a
    deterministic function of (scenario, n, seed), so any drift here is
    a semantic change, not noise — unlike ns_per_run there is no
@@ -1456,7 +1603,10 @@ let check_baseline ~tolerance baseline_path =
                 let lat_ok =
                   check_latency ~baseline_path ~current_path baseline current
                 in
-                ns_ok && lat_ok))
+                let wl_ok =
+                  check_workloads ~baseline_path ~current_path baseline current
+                in
+                ns_ok && lat_ok && wl_ok))
 
 (* -- memory accounting (bench --mem-budget) --------------------------- *)
 

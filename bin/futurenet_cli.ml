@@ -147,6 +147,15 @@ let timeline_cmd =
 
 (* -- broadcast ----------------------------------------------------------- *)
 
+let recover_flag =
+  Arg.(value & flag
+         & info [ "recover" ]
+             ~doc:"Enable the self-healing layer (DESIGN.md §16): \
+                   deterministic per-node watchdogs with capped \
+                   exponential backoff, ack/retransmit for broadcasts, \
+                   epoch restarts for election, round resumption for \
+                   maintenance.")
+
 let algo_conv =
   Arg.enum
     [
@@ -195,7 +204,7 @@ let broadcast_cmd =
   let root_arg =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Broadcaster.")
   in
-  let run topology n seed algo root json =
+  let run topology n seed algo root recover json =
     let art = build_artifact topology n seed in
     let graph = Compile.Topology.graph art in
     let precomputed, routes =
@@ -203,7 +212,19 @@ let broadcast_cmd =
       | `Bpaths -> bpaths_precomputed art ~root
       | _ -> (None, None)
     in
-    let result = run_broadcast algo ?precomputed ?routes ~graph ~root () in
+    let config =
+      if not recover then None
+      else
+        Some
+          {
+            (Core.Broadcast.default_config ()) with
+            Core.Broadcast.recover =
+              Some (Hardware.Recover.default ~n:(Netgraph.Graph.n graph));
+          }
+    in
+    let result =
+      run_broadcast algo ?config ?precomputed ?routes ~graph ~root ()
+    in
     if json then
       print_endline (broadcast_json ~algo ~topology ~graph ~root result)
     else
@@ -223,7 +244,7 @@ let broadcast_cmd =
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Run one topology broadcast.")
     Term.(const run $ topology_arg $ n_arg $ seed_arg $ algo_arg $ root_arg
-          $ json_flag)
+          $ recover_flag $ json_flag)
 
 (* -- election ------------------------------------------------------------ *)
 
@@ -251,9 +272,13 @@ let election_json ~topology ~n (o : Core.Election.outcome) =
     ]
 
 let election_cmd =
-  let run topology n seed json =
+  let run topology n seed recover json =
     let graph = build_graph topology n seed in
-    let o = Core.Election.run ~graph () in
+    let recover =
+      if recover then Some (Hardware.Recover.default ~n:(Netgraph.Graph.n graph))
+      else None
+    in
+    let o = Core.Election.run ?recover ~graph () in
     let n = Netgraph.Graph.n graph in
     if json then print_endline (election_json ~topology ~n o)
     else
@@ -273,7 +298,8 @@ let election_cmd =
   in
   Cmd.v
     (Cmd.info "election" ~doc:"Run one leader election.")
-    Term.(const run $ topology_arg $ n_arg $ seed_arg $ json_flag)
+    Term.(const run $ topology_arg $ n_arg $ seed_arg $ recover_flag
+          $ json_flag)
 
 (* -- trace ---------------------------------------------------------------- *)
 
@@ -720,6 +746,17 @@ let chaos_cmd =
                ~doc:"Beat every $(docv) completed schedules or shrink \
                      probes (the final completion always beats).")
   in
+  let liveness_arg =
+    Arg.(value & flag
+           & info [ "liveness" ]
+               ~doc:"Liveness mode: soak $(i,healing) schedules (every \
+                     fault heals before the horizon) with the \
+                     self-healing layer enabled, and require correct \
+                     termination within the retry budget.  Exit 10 when \
+                     a liveness oracle fails.  Supports $(b,bpaths), \
+                     $(b,flood), $(b,election) and $(b,maintenance) \
+                     ($(b,all) restricts itself to those four).")
+  in
   let replay_file json path =
     match Chaos.Runner.replay path with
     | Error msg ->
@@ -733,17 +770,30 @@ let chaos_cmd =
              match Chaos.Runner.baseline_divergence v with
              | Ok report -> print_string report
              | Error msg -> Printf.printf "(no baseline diff: %s)\n" msg);
-          exit 6
+          exit (if v.Chaos.Runner.liveness then 10 else 6)
         end
   in
-  let run n seed scenario schedules jobs json replay out_dir hb_path hb_every =
+  let liveness_scenarios =
+    [ Parallel.Sweep.Bpaths; Parallel.Sweep.Flood; Parallel.Sweep.Election;
+      Parallel.Sweep.Maintenance ]
+  in
+  let run n seed scenario schedules jobs json liveness replay out_dir hb_path
+      hb_every =
     match replay with
     | Some path -> replay_file json path
     | None ->
         let scenarios =
           match scenario with
+          | Some s when liveness && not (List.mem s liveness_scenarios) ->
+              Printf.eprintf
+                "chaos --liveness: %s has no recovery layer (use bpaths, \
+                 flood, election or maintenance)\n"
+                (Parallel.Sweep.scenario_name s);
+              exit 2
           | Some s -> [ s ]
-          | None -> Parallel.Sweep.all_scenarios
+          | None ->
+              if liveness then liveness_scenarios
+              else Parallel.Sweep.all_scenarios
         in
         let hb =
           match hb_path with
@@ -759,12 +809,13 @@ let chaos_cmd =
                     ~fields:
                       [ ("n", string_of_int n);
                         ("seed", string_of_int seed);
-                        ("schedules", string_of_int schedules) ]
+                        ("schedules", string_of_int schedules);
+                        ("liveness", string_of_bool liveness) ]
                     sink )
         in
         let heartbeat = Option.map (fun (_, _, h) -> h) hb in
         let soak pool sc =
-          Chaos.Runner.soak ?pool ?heartbeat sc ~n ~seed ~schedules ()
+          Chaos.Runner.soak ?pool ?heartbeat ~liveness sc ~n ~seed ~schedules ()
         in
         let soaks =
           if jobs <= 1 then List.map (soak None) scenarios
@@ -827,7 +878,7 @@ let chaos_cmd =
               end)
             failing;
           close_hb ();
-          exit 6
+          exit (if liveness then 10 else 6)
         end
         else close_hb ()
   in
@@ -837,10 +888,11 @@ let chaos_cmd =
              (link flaps, crashes, partitions, in-flight drops, delay \
              jitter), check safety oracles after quiescence, and shrink \
              any failing schedule to a minimal JSON repro.  Exit 6 when \
-             an oracle fails.")
+             a safety oracle fails, 10 when a $(b,--liveness) oracle \
+             fails.")
     Term.(const run $ chaos_n_arg $ seed_arg $ scenario_arg $ schedules_arg
-          $ chaos_jobs_arg $ json_flag $ replay_arg $ out_dir_arg
-          $ heartbeat_arg $ heartbeat_every_arg)
+          $ chaos_jobs_arg $ json_flag $ liveness_arg $ replay_arg
+          $ out_dir_arg $ heartbeat_arg $ heartbeat_every_arg)
 
 (* -- query (offline trace analytics) ----------------------------------- *)
 
@@ -1020,7 +1072,7 @@ let maintenance_cmd =
                      (the default) is the full protocol: every node \
                      broadcasts.")
   in
-  let run topology n seed method_ failures origins =
+  let run topology n seed method_ failures origins recover =
     let graph = build_graph topology n seed in
     let rng = Sim.Rng.create ~seed:(seed + 1) in
     let edges = Array.of_list (Netgraph.Graph.edges graph) in
@@ -1054,6 +1106,8 @@ let maintenance_cmd =
         method_;
         preseed = true;
         origins = origin_list;
+        recover =
+          (if recover then Some (Hardware.Recover.default ~n:nodes) else None);
       }
     in
     let o = Core.Topo_maintenance.run ~params ~graph ~events () in
@@ -1075,7 +1129,7 @@ let maintenance_cmd =
   Cmd.v
     (Cmd.info "maintenance" ~doc:"Run the topology-maintenance protocol.")
     Term.(const run $ topology_arg $ n_arg $ seed_arg $ method_arg $ failures_arg
-          $ origins_arg)
+          $ origins_arg $ recover_flag)
 
 (* -- tree ----------------------------------------------------------------- *)
 

@@ -165,3 +165,100 @@ let convergence ~converged ~rounds =
 let fifo_per_link trace =
   let report = Monitor.fifo_per_link trace in
   { report with Monitor.monitor = "fifo-per-link" }
+
+(* -- Liveness oracles (healing schedules only) ------------------------- *)
+
+let liveness_all_reached ~reached =
+  let missing = ref 0 in
+  let first = ref None in
+  Array.iteri
+    (fun v r ->
+      if not r then begin
+        incr missing;
+        if !first = None then first := Some v
+      end)
+    reached;
+  match !first with
+  | None ->
+      {
+        Monitor.monitor = "liveness-all-reached";
+        ok = true;
+        detail = "every node accepted the payload";
+      }
+  | Some v ->
+      {
+        Monitor.monitor = "liveness-all-reached";
+        ok = false;
+        detail =
+          Printf.sprintf
+            "%d node(s) never accepted the payload (first: %d) despite the \
+             schedule healing"
+            !missing v;
+      }
+
+let liveness_unique_leader ~leaders ~believed =
+  match leaders with
+  | [ leader ] ->
+      let dissent = ref None in
+      Array.iteri
+        (fun v b -> if b <> Some leader && !dissent = None then dissent := Some v)
+        believed;
+      (match !dissent with
+      | None ->
+          {
+            Monitor.monitor = "liveness-unique-leader";
+            ok = true;
+            detail =
+              Printf.sprintf "leader %d elected and universally believed"
+                leader;
+          }
+      | Some v ->
+          {
+            Monitor.monitor = "liveness-unique-leader";
+            ok = false;
+            detail =
+              Printf.sprintf
+                "leader %d elected but node %d believes %s" leader v
+                (match believed.(v) with
+                | None -> "nobody"
+                | Some l -> string_of_int l);
+          })
+  | [] ->
+      {
+        Monitor.monitor = "liveness-unique-leader";
+        ok = false;
+        detail = "no leader declared despite the schedule healing";
+      }
+  | leaders ->
+      {
+        Monitor.monitor = "liveness-unique-leader";
+        ok = false;
+        detail =
+          Printf.sprintf "%d leaders declared: %s" (List.length leaders)
+            (String.concat ", " (List.map string_of_int leaders));
+      }
+
+let election_budget_recovering ~n ~restarts ~deliveries =
+  let budget = 6 * n * (1 + restarts) in
+  {
+    Monitor.monitor = "election-recovery-budget";
+    ok = deliveries <= budget;
+    detail =
+      Printf.sprintf
+        "%d tour/return deliveries against 6n(1+restarts) = %d (n=%d, %d \
+         restart(s))"
+        deliveries budget n restarts;
+  }
+
+let retry_budget_respected ~give_ups =
+  {
+    Monitor.monitor = "retry-budget";
+    ok = give_ups = 0;
+    detail =
+      (if give_ups = 0 then "no watchdog exhausted its retry budget"
+       else
+         Printf.sprintf
+           "%d watchdog(s) gave up after exhausting the retry budget — the \
+            healed run should have recovered sooner"
+           give_ups);
+  }

@@ -63,3 +63,32 @@ val convergence : converged:bool -> rounds:int -> report
 val fifo_per_link : Sim.Trace.t -> report
 (** Re-export of the §2 monitor: delay jitter must never reorder a
     directed link ({!Hardware.Monitor.fifo_per_link}). *)
+
+(** {1 Liveness oracles}
+
+    Applicable only to {e healing} schedules ({!Schedule.heals}): once
+    every fault heals before the quiescence horizon, the self-healing
+    layer of DESIGN.md §16 turns the safety properties above into
+    termination guarantees — the run must reach the correct terminal
+    state within its retry/time budget, not merely avoid the incorrect
+    ones. *)
+
+val liveness_all_reached : reached:bool array -> report
+(** Broadcast liveness: every node accepted the payload — the
+    retransmit layer must have healed any fault-truncated wave. *)
+
+val liveness_unique_leader :
+  leaders:int list -> believed:int option array -> report
+(** Election liveness: exactly one leader declared {e and} universally
+    believed — unlike {!at_most_one_leader}, forfeiting to faults is a
+    failure here. *)
+
+val election_budget_recovering : n:int -> restarts:int -> deliveries:int -> report
+(** Theorem 5's budget with the recovery allowance: each epoch restart
+    re-runs at most one full election, so tour/return deliveries are
+    bounded by [6n * (1 + restarts)]. *)
+
+val retry_budget_respected : give_ups:int -> report
+(** No watchdog exhausted its retry budget ([recover.give_ups] = 0):
+    with all faults healed well inside the first backoff delay, every
+    recovery must succeed before the cap. *)

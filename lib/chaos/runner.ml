@@ -9,12 +9,15 @@ let trace_capacity = 262_144
 type verdict = {
   scenario : scenario;
   schedule : Schedule.t;
+  liveness : bool;
   oracles : Monitor.report list;
   ok : bool;
   syscalls : int;
   hops : int;
   drops : int;
   dropped_in_flight : int;
+  retransmits : int;
+  restarts : int;
   time : float;
 }
 
@@ -46,9 +49,10 @@ let broadcast_algo ?precomputed scenario ~config ~graph ~root () =
   | Sweep.Layered -> Core.Layered_broadcast.run ~config ~graph ~root ()
   | Sweep.Election | Sweep.Maintenance -> assert false
 
-let run_broadcast scenario (s : Schedule.t) graph =
+let run_broadcast ~liveness scenario (s : Schedule.t) graph =
   let trace = Sim.Trace.create ~capacity:trace_capacity () in
   let registry = Registry.create () in
+  let n = s.Schedule.n in
   let config =
     {
       (Core.Broadcast.default_config ()) with
@@ -56,6 +60,7 @@ let run_broadcast scenario (s : Schedule.t) graph =
       trace = Some trace;
       registry = Some registry;
       chaos = Some (Schedule.compile s);
+      recover = (if liveness then Some (Hardware.Recover.default ~n) else None);
     }
   in
   let precomputed =
@@ -64,51 +69,75 @@ let run_broadcast scenario (s : Schedule.t) graph =
     | _ -> None
   in
   let r = broadcast_algo ?precomputed scenario ~config ~graph ~root:0 () in
-  let n = s.Schedule.n in
   let deliveries = Oracle.deliveries_per_node ~n trace in
   let oracles =
     [ Oracle.trace_complete trace; Oracle.fifo_per_link trace ]
-    @ (match scenario with
-      | Sweep.Flood -> [ Oracle.degree_bounded_delivery ~graph ~deliveries ]
-      | _ -> [ Oracle.at_most_once_delivery ~deliveries ])
-    @
-    if Schedule.is_static s then
-      [
-        Oracle.static_component_scope ~graph ~schedule:s ~root:0 ~deliveries
-          ~reached:r.Core.Broadcast.reached;
-      ]
-    else []
+    @ (if liveness then
+         (* retransmission waves legitimately re-deliver, so the
+            at-most-once delivery-count oracles don't apply — acceptance
+            idempotency is the protocols' own dedup; what must hold is
+            termination: everyone reached, no retry budget exhausted *)
+         [
+           Oracle.liveness_all_reached ~reached:r.Core.Broadcast.reached;
+           Oracle.retry_budget_respected
+             ~give_ups:(counter_value registry "recover.give_ups");
+         ]
+       else
+         (match scenario with
+         | Sweep.Flood -> [ Oracle.degree_bounded_delivery ~graph ~deliveries ]
+         | _ -> [ Oracle.at_most_once_delivery ~deliveries ])
+         @
+         if Schedule.is_static s then
+           [
+             Oracle.static_component_scope ~graph ~schedule:s ~root:0
+               ~deliveries ~reached:r.Core.Broadcast.reached;
+           ]
+         else [])
   in
   ( oracles,
     r.Core.Broadcast.syscalls,
     r.hops,
     r.drops,
     counter_value registry "net.dropped_in_flight",
+    Hardware.Recover.counters (Some registry),
     r.time,
     Some trace )
 
-let run_election (s : Schedule.t) graph =
+let run_election ~liveness (s : Schedule.t) graph =
   let trace = Sim.Trace.create ~capacity:trace_capacity () in
   let registry = Registry.create () in
+  let n = s.Schedule.n in
+  let recover = if liveness then Some (Hardware.Recover.default ~n) else None in
   let o =
-    Core.Election.run_chaos ~cost:(Schedule.cost s) ~trace ~registry
+    Core.Election.run_chaos ~cost:(Schedule.cost s) ?recover ~trace ~registry
       ~chaos:(Schedule.compile s) ~graph ()
   in
   let oracles =
-    [
-      Oracle.trace_complete trace;
-      Oracle.fifo_per_link trace;
-      Oracle.at_most_one_leader ~leaders:o.Core.Election.leaders;
-      Oracle.believed_consistent ~leaders:o.leaders ~believed:o.believed;
-      Oracle.election_budget_held ~n:s.Schedule.n
-        ~deliveries:o.election_deliveries;
-    ]
+    [ Oracle.trace_complete trace; Oracle.fifo_per_link trace ]
+    @
+    if liveness then
+      [
+        Oracle.liveness_unique_leader ~leaders:o.Core.Election.leaders
+          ~believed:o.believed;
+        Oracle.election_budget_recovering ~n
+          ~restarts:(counter_value registry "recover.restarts")
+          ~deliveries:o.election_deliveries;
+        Oracle.retry_budget_respected
+          ~give_ups:(counter_value registry "recover.give_ups");
+      ]
+    else
+      [
+        Oracle.at_most_one_leader ~leaders:o.Core.Election.leaders;
+        Oracle.believed_consistent ~leaders:o.leaders ~believed:o.believed;
+        Oracle.election_budget_held ~n ~deliveries:o.election_deliveries;
+      ]
   in
   ( oracles,
     o.chaos_syscalls,
     o.chaos_hops,
     o.chaos_drops,
     counter_value registry "net.dropped_in_flight",
+    Hardware.Recover.counters (Some registry),
     o.chaos_time,
     Some trace )
 
@@ -128,17 +157,19 @@ let run_election (s : Schedule.t) graph =
 let maintenance_period n = 2.0 *. float_of_int n
 let maintenance_rounds = 12
 
-let run_maintenance (s : Schedule.t) graph =
+let run_maintenance ~liveness (s : Schedule.t) graph =
   let registry = Registry.create () in
+  let n = s.Schedule.n in
   let params =
     {
       (Core.Topo_maintenance.default_params ()) with
-      period = maintenance_period s.Schedule.n;
+      period = maintenance_period n;
       max_rounds = maintenance_rounds;
       preseed = true;
       reset_on_recover = true;
       cost = Schedule.cost s;
       registry = Some registry;
+      recover = (if liveness then Some (Hardware.Recover.default ~n) else None);
     }
   in
   let o =
@@ -156,35 +187,53 @@ let run_maintenance (s : Schedule.t) graph =
     o.hops,
     counter_value registry "net.drops",
     counter_value registry "net.dropped_in_flight",
+    Hardware.Recover.counters (Some registry),
     o.time,
     None )
 
-let run_schedule_full scenario (s : Schedule.t) =
+let liveness_scenarios =
+  [ Sweep.Bpaths; Sweep.Flood; Sweep.Election; Sweep.Maintenance ]
+
+let run_schedule_full ?(liveness = false) scenario (s : Schedule.t) =
+  if liveness && not (List.mem scenario liveness_scenarios) then
+    invalid_arg
+      "Runner: liveness mode supports bpaths, flood, election and maintenance";
   let graph = Schedule.graph_of s in
-  let oracles, syscalls, hops, drops, dropped_in_flight, time, trace =
+  let ( oracles,
+        syscalls,
+        hops,
+        drops,
+        dropped_in_flight,
+        (retransmits, restarts),
+        time,
+        trace ) =
     match scenario with
     | Sweep.Bpaths | Sweep.Flood | Sweep.Dfs | Sweep.Direct | Sweep.Layered ->
-        run_broadcast scenario s graph
-    | Sweep.Election -> run_election s graph
-    | Sweep.Maintenance -> run_maintenance s graph
+        run_broadcast ~liveness scenario s graph
+    | Sweep.Election -> run_election ~liveness s graph
+    | Sweep.Maintenance -> run_maintenance ~liveness s graph
   in
   ( {
       scenario;
       schedule = s;
+      liveness;
       oracles;
       ok = List.for_all (fun r -> r.Monitor.ok) oracles;
       syscalls;
       hops;
       drops;
       dropped_in_flight;
+      retransmits;
+      restarts;
       time;
     },
     trace )
 
-let run_schedule scenario s = fst (run_schedule_full scenario s)
+let run_schedule ?liveness scenario s =
+  fst (run_schedule_full ?liveness scenario s)
 
-let run_schedule_traced scenario s =
-  match run_schedule_full scenario s with
+let run_schedule_traced ?liveness scenario s =
+  match run_schedule_full ?liveness scenario s with
   | v, Some trace -> (v, Some (Sim.Trace.events trace))
   | v, None -> (v, None)
 
@@ -197,8 +246,8 @@ let run_schedule_traced scenario s =
 let baseline_divergence ?window v =
   let healthy = { v.schedule with Schedule.faults = [] } in
   match
-    (run_schedule_traced v.scenario healthy,
-     run_schedule_traced v.scenario v.schedule)
+    (run_schedule_traced ~liveness:v.liveness v.scenario healthy,
+     run_schedule_traced ~liveness:v.liveness v.scenario v.schedule)
   with
   | (_, Some baseline), (_, Some candidate) ->
       let c = (Schedule.cost v.schedule).Hardware.Cost_model.c in
@@ -231,6 +280,8 @@ type heartbeat = {
   hb_mutex : Mutex.t;  (* pool workers beat concurrently *)
   mutable hb_done : int;
   mutable hb_failed : int;
+  mutable hb_retransmits : int;  (* cumulative recovery work, also monotone *)
+  mutable hb_restarts : int;
 }
 
 let heartbeat ?(every = 8) ?(fields = []) sink =
@@ -248,6 +299,8 @@ let heartbeat ?(every = 8) ?(fields = []) sink =
     hb_mutex = Mutex.create ();
     hb_done = 0;
     hb_failed = 0;
+    hb_retransmits = 0;
+    hb_restarts = 0;
   }
 
 let hb_locked hb f =
@@ -258,21 +311,27 @@ let hb_emit hb line =
   ignore (Sim.Sink.emit hb.hb_sink line : bool);
   Sim.Sink.flush hb.hb_sink
 
+(* the recovery tallies come after "failures" so pre-recovery readers
+   (and the pinned substring tests) keep matching their prefix *)
 let hb_soak_record scenario ~n ~seed ~total hb =
   Printf.sprintf
     "{\"type\":\"chaos_heartbeat\",\"scenario\":\"%s\",\"n\":%d,\"seed\":%d,\
-     \"done\":%d,\"total\":%d,\"failures\":%d}"
+     \"done\":%d,\"total\":%d,\"failures\":%d,\"retransmits\":%d,\
+     \"restarts\":%d}"
     (Sweep.scenario_name scenario)
-    n seed hb.hb_done total hb.hb_failed
+    n seed hb.hb_done total hb.hb_failed hb.hb_retransmits hb.hb_restarts
 
-let hb_schedule_done hb scenario ~n ~seed ~total ok =
+let hb_schedule_done hb scenario ~n ~seed ~total v =
   hb_locked hb (fun () ->
       hb.hb_done <- hb.hb_done + 1;
-      if not ok then hb.hb_failed <- hb.hb_failed + 1;
+      if not v.ok then hb.hb_failed <- hb.hb_failed + 1;
+      hb.hb_retransmits <- hb.hb_retransmits + v.retransmits;
+      hb.hb_restarts <- hb.hb_restarts + v.restarts;
       if hb.hb_done mod hb.hb_every = 0 || hb.hb_done = total then
         hb_emit hb (hb_soak_record scenario ~n ~seed ~total hb))
 
-let soak ?pool ?heartbeat:hb scenario ~n ~seed ~schedules () =
+let soak ?pool ?heartbeat:hb ?(liveness = false) scenario ~n ~seed ~schedules
+    () =
   if schedules < 1 then invalid_arg "Runner.soak: schedules must be positive";
   (* a heartbeat is reusable across sequential soaks: progress counts
      restart with each soak, the sink keeps accumulating records *)
@@ -280,14 +339,18 @@ let soak ?pool ?heartbeat:hb scenario ~n ~seed ~schedules () =
   | Some hb ->
       hb_locked hb (fun () ->
           hb.hb_done <- 0;
-          hb.hb_failed <- 0)
+          hb.hb_failed <- 0;
+          hb.hb_retransmits <- 0;
+          hb.hb_restarts <- 0)
   | None -> ());
+  let generate =
+    if liveness then Schedule.generate_healing else Schedule.generate
+  in
   let indices = Array.init schedules Fun.id in
   let task index =
-    let v = run_schedule scenario (Schedule.generate ~n ~seed ~index ()) in
+    let v = run_schedule ~liveness scenario (generate ~n ~seed ~index ()) in
     (match hb with
-    | Some hb ->
-        hb_schedule_done hb scenario ~n ~seed ~total:schedules v.ok
+    | Some hb -> hb_schedule_done hb scenario ~n ~seed ~total:schedules v
     | None -> ());
     v
   in
@@ -300,11 +363,17 @@ let soak ?pool ?heartbeat:hb scenario ~n ~seed ~schedules () =
 
 (* -- Shrinking --------------------------------------------------------- *)
 
-let still_fails scenario s = not (run_schedule scenario s).ok
+let still_fails ~liveness scenario s =
+  (* a liveness failure is only meaningful on a healing schedule: a
+     shrink step that drops a heal partner turns termination loss into
+     a legitimate forfeit, so such candidates are not counterexamples *)
+  (not liveness || Schedule.heals s)
+  && not (run_schedule ~liveness scenario s).ok
 
 let shrink ?heartbeat:hb verdict =
   if verdict.ok then
     invalid_arg "Runner.shrink: the verdict passed, nothing to shrink";
+  let still_fails = still_fails ~liveness:verdict.liveness in
   let index = verdict.schedule.Schedule.index in
   let attempts = ref 0 in
   let predicate =
@@ -330,7 +399,7 @@ let shrink ?heartbeat:hb verdict =
           fails
   in
   let minimal = Shrink.minimize ~still_fails:predicate verdict.schedule in
-  let v = run_schedule verdict.scenario minimal in
+  let v = run_schedule ~liveness:verdict.liveness verdict.scenario minimal in
   (match hb with
   | Some hb ->
       hb_locked hb (fun () ->
@@ -379,15 +448,16 @@ let float_str f = Printf.sprintf "%.12g" f
 
 let verdict_json v =
   Printf.sprintf
-    "{\"scenario\":\"%s\",\"schedule\":%s,\"faults\":%d,\"ok\":%b,\
-     \"oracles\":[%s],\"syscalls\":%d,\"hops\":%d,\"drops\":%d,\
-     \"dropped_in_flight\":%d,\"time\":%s}"
+    "{\"scenario\":\"%s\",\"schedule\":%s,\"faults\":%d,\"liveness\":%b,\
+     \"ok\":%b,\"oracles\":[%s],\"syscalls\":%d,\"hops\":%d,\"drops\":%d,\
+     \"dropped_in_flight\":%d,\"retransmits\":%d,\"restarts\":%d,\"time\":%s}"
     (Sweep.scenario_name v.scenario)
     (Schedule.to_json v.schedule)
     (List.length v.schedule.Schedule.faults)
-    v.ok
+    v.liveness v.ok
     (String.concat "," (List.map oracle_json v.oracles))
-    v.syscalls v.hops v.drops v.dropped_in_flight (float_str v.time)
+    v.syscalls v.hops v.drops v.dropped_in_flight v.retransmits v.restarts
+    (float_str v.time)
 
 (* Byte-identical for a fixed (scenario, n, seed, schedules) whatever
    the job count: verdicts are in submission order and contain only
@@ -414,10 +484,11 @@ let repro_json v =
       v.oracles
   in
   Printf.sprintf
-    "{\"repro\":\"%s\",\"version\":1,\"scenario\":\"%s\",\"schedule\":%s,\
-     \"failed_oracles\":[%s]}"
+    "{\"repro\":\"%s\",\"version\":1,\"scenario\":\"%s\",\"liveness\":%b,\
+     \"schedule\":%s,\"failed_oracles\":[%s]}"
     repro_magic
     (Sweep.scenario_name v.scenario)
+    v.liveness
     (Schedule.to_json v.schedule)
     (String.concat "," failed)
 
@@ -431,7 +502,7 @@ let write_repro ~path v =
 
 let ( let* ) = Result.bind
 
-let read_repro path =
+let read_repro_full path =
   let* contents =
     match In_channel.with_open_text path In_channel.input_all with
     | contents -> Ok contents
@@ -449,23 +520,38 @@ let read_repro path =
     | Some s -> Ok s
     | None -> Error (Printf.sprintf "unknown scenario %S" name)
   in
+  (* pre-recovery repro files carry no liveness key: safety mode *)
+  let* liveness =
+    match Jsonx.member "liveness" doc with
+    | Ok b -> Jsonx.to_bool b
+    | Error _ -> Ok false
+  in
   let* schedule_obj = Jsonx.member "schedule" doc in
   let* schedule = Schedule.of_json_value schedule_obj in
-  Ok (scenario, schedule)
+  Ok (scenario, schedule, liveness)
+
+let read_repro path =
+  Result.map (fun (scenario, schedule, _) -> (scenario, schedule))
+    (read_repro_full path)
 
 let replay path =
-  let* scenario, schedule = read_repro path in
-  Ok (run_schedule scenario schedule)
+  let* scenario, schedule, liveness = read_repro_full path in
+  Ok (run_schedule ~liveness scenario schedule)
 
 (* -- Human-readable summaries ------------------------------------------ *)
 
 let pp_verdict ppf v =
-  Format.fprintf ppf "%s schedule %d (n=%d seed=%d): %s — %d faults, %d syscalls, %d hops, %d drops (%d in flight), time %g@."
+  Format.fprintf ppf "%s%s schedule %d (n=%d seed=%d): %s — %d faults, %d syscalls, %d hops, %d drops (%d in flight)%s, time %g@."
     (Sweep.scenario_name v.scenario)
+    (if v.liveness then "/liveness" else "")
     v.schedule.Schedule.index v.schedule.Schedule.n v.schedule.Schedule.seed
     (if v.ok then "ok" else "FAIL")
     (List.length v.schedule.Schedule.faults)
-    v.syscalls v.hops v.drops v.dropped_in_flight v.time;
+    v.syscalls v.hops v.drops v.dropped_in_flight
+    (if v.liveness then
+       Printf.sprintf ", %d retransmits, %d restarts" v.retransmits v.restarts
+     else "")
+    v.time;
   List.iter
     (fun (r : Monitor.report) ->
       if not r.Monitor.ok then

@@ -13,12 +13,17 @@ type scenario = Parallel.Sweep.scenario
 type verdict = {
   scenario : scenario;
   schedule : Schedule.t;
+  liveness : bool;
+      (** the run executed in liveness mode: recovery enabled
+          ({!Hardware.Recover.default}), liveness oracles in force *)
   oracles : Hardware.Monitor.report list;
   ok : bool;  (** all oracles green *)
   syscalls : int;
   hops : int;
   drops : int;
   dropped_in_flight : int;
+  retransmits : int;  (** [recover.retransmits]; 0 in safety mode *)
+  restarts : int;  (** [recover.restarts]; 0 in safety mode *)
   time : float;  (** simulation time, never wall clock *)
 }
 
@@ -31,11 +36,20 @@ type soak = {
 
 val failures : soak -> int
 
-val run_schedule : scenario -> Schedule.t -> verdict
-(** Deterministic: depends only on the arguments. *)
+val run_schedule : ?liveness:bool -> scenario -> Schedule.t -> verdict
+(** Deterministic: depends only on the arguments.  With
+    [liveness:true] (default false) the scenario runs with the
+    self-healing layer enabled ([Hardware.Recover.default ~n]) and is
+    judged by the liveness oracles: for a schedule that {!Schedule.heals},
+    the protocol must reach its correct terminal state within the
+    retry/time budget — all nodes reached (broadcasts), a unique
+    universally-believed leader within [6n(1+restarts)] deliveries
+    (election), convergence (maintenance), and no watchdog give-ups.
+    Liveness mode supports bpaths, flood, election and maintenance.
+    @raise Invalid_argument for other scenarios in liveness mode. *)
 
 val run_schedule_traced :
-  scenario -> Schedule.t -> verdict * Sim.Trace.event list option
+  ?liveness:bool -> scenario -> Schedule.t -> verdict * Sim.Trace.event list option
 (** Same run, also returning the recorded trace events (in order).
     [None] for scenarios that run untraced by design (maintenance:
     unbounded rounds would overflow any ring and make the delivery
@@ -79,6 +93,7 @@ val heartbeat :
 val soak :
   ?pool:Parallel.Pool.t ->
   ?heartbeat:heartbeat ->
+  ?liveness:bool ->
   scenario ->
   n:int ->
   seed:int ->
@@ -86,12 +101,19 @@ val soak :
   unit ->
   soak
 (** Run schedule indices [0 .. schedules-1], through [pool] when given.
+    With [liveness:true] the schedules come from
+    {!Schedule.generate_healing} (every fault heals before the
+    horizon) and each runs in liveness mode; heartbeat records then
+    carry the cumulative retransmit/restart tallies.
     @raise Invalid_argument if [schedules < 1]. *)
 
 val shrink : ?heartbeat:heartbeat -> verdict -> verdict
 (** Delta-debug then magnitude-shrink the failing verdict's schedule
     ({!Shrink.minimize} with "this scenario's oracles still fail" as
-    the predicate) and re-run the minimal schedule.
+    the predicate) and re-run the minimal schedule.  A liveness verdict
+    shrinks under the predicate "still heals and still fails", so
+    dropping a heal partner (which would merely forfeit liveness)
+    never masquerades as a smaller counterexample.
     @raise Invalid_argument on a passing verdict. *)
 
 val publish : soak -> Hardware.Registry.t -> unit

@@ -171,6 +171,44 @@ let compile t =
           Hardware.Fault_plan.Drop_in_flight { at; u; v })
     t.faults
 
+(* A node_recover is meaningful only strictly after a node_crash of the
+   same node: an orphan recover is at best a silent no-op and at worst
+   (recover-at <= crash-at) a schedule that quietly leaves the node
+   dead while reading as if it healed.  Reject both shapes — generated
+   schedules always pair crash before recover, and the shrinker filters
+   its candidates through this check, so only hand-edited repro files
+   can trip it. *)
+let well_formed t =
+  let crashed = Hashtbl.create 8 in
+  (* node -> earliest crash time *)
+  List.fold_left
+    (fun acc fault ->
+      match (acc, fault) with
+      | Error _, _ -> acc
+      | Ok (), Node_crash { node; at } ->
+          (match Hashtbl.find_opt crashed node with
+          | Some t0 when t0 <= at -> ()
+          | _ -> Hashtbl.replace crashed node at);
+          Ok ()
+      | Ok (), Node_recover { node; at } -> (
+          match Hashtbl.find_opt crashed node with
+          | Some t0 when t0 < at -> Ok ()
+          | Some t0 ->
+              Error
+                (Printf.sprintf
+                   "node_recover for node %d at %g must be strictly later \
+                    than its node_crash at %g"
+                   node at t0)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "node_recover for node %d at %g has no preceding \
+                    node_crash"
+                   node at))
+      | Ok (), (Link_down _ | Link_up _ | Drop_in_flight _) -> Ok ())
+    (Ok ())
+    (by_time t.faults)
+
 let is_static t =
   t.faults <> []
   && List.for_all
@@ -211,6 +249,50 @@ let surviving ~graph t =
     List.filter (fun (u, v) -> Hashtbl.find up (key u v)) (Graph.edges graph)
   in
   (Graph.of_edges ~n edges, Array.map not dead)
+
+(* -- Healing schedules ------------------------------------------------- *)
+
+let edge_key u v = (Stdlib.min u v, Stdlib.max u v)
+
+let heals t =
+  let graph = graph_of t in
+  let surviving_graph, alive = surviving ~graph t in
+  Array.for_all Fun.id alive
+  && List.length (Graph.edges surviving_graph)
+     = List.length (Graph.edges graph)
+
+let generate_healing ?(horizon = default_horizon) ~n ~seed ~index () =
+  let s = generate ~horizon ~n ~seed ~index () in
+  let graph = graph_of s in
+  (* every destructive event is stamped below 0.75 * horizon, so heal
+     events at 0.8 * horizon land after all damage but still strictly
+     before the horizon — the quiescence budget is unchanged *)
+  let heal_at = horizon *. 0.8 in
+  let _, alive = surviving ~graph s in
+  let recovers =
+    List.filter_map
+      (fun v ->
+        if alive.(v) then None
+        else Some (Node_recover { at = heal_at; node = v }))
+      (List.init n Fun.id)
+  in
+  (* recovery re-ups crash-downed links by itself; only edges still
+     missing after every node is back need an explicit Link_up *)
+  let after, _ =
+    surviving ~graph { s with faults = by_time (s.faults @ recovers) }
+  in
+  let up = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace up (edge_key u v) ())
+    (Graph.edges after);
+  let ups =
+    List.filter_map
+      (fun (u, v) ->
+        if Hashtbl.mem up (edge_key u v) then None
+        else Some (Link_up { at = heal_at +. 0.25; u; v }))
+      (Graph.edges graph)
+  in
+  { s with faults = by_time (s.faults @ recovers @ ups) }
 
 (* -- Codec ------------------------------------------------------------- *)
 
@@ -277,7 +359,9 @@ let of_json_value j =
         Ok (f :: acc))
       (Ok []) fault_list
   in
-  Ok { seed; index; n; jitter; faults = List.rev faults }
+  let t = { seed; index; n; jitter; faults = List.rev faults } in
+  let* () = well_formed t in
+  Ok t
 
 let of_json src = Result.bind (Jsonx.parse src) of_json_value
 

@@ -41,6 +41,31 @@ val generate : ?horizon:float -> n:int -> seed:int -> index:int -> unit -> t
     schedules are {e static} — every fault a cut or crash at time 0 —
     the regime where component-scoped budget oracles are sound. *)
 
+val generate_healing :
+  ?horizon:float -> n:int -> seed:int -> index:int -> unit -> t
+(** {!generate}, then append deterministic heal events: a
+    [Node_recover] at [0.8 * horizon] for every node the schedule
+    leaves dead, then a [Link_up] at [0.8 * horizon + 0.25] for every
+    edge still missing once all nodes are back.  All destructive draws
+    land below [0.75 * horizon], so the heal events strictly follow
+    the damage; the result satisfies {!heals} by construction and is
+    still a pure function of [(seed, index)]. *)
+
+val heals : t -> bool
+(** The schedule's final state (per {!surviving}) is fully healed:
+    every node alive and every original edge up.  The liveness oracles
+    only apply to healing schedules — a permanent partition legitimately
+    forfeits termination — and the liveness shrinker keeps this
+    predicate invariant so dropping a heal partner can't fake a
+    failure. *)
+
+val well_formed : t -> (unit, string) result
+(** Every [Node_recover] must strictly follow a [Node_crash] of the
+    same node; an orphan or premature recover is rejected with a
+    message naming it.  {!of_json} applies this check (a bad repro file
+    exits the CLI with code 2) and the shrinker filters its candidates
+    through it. *)
+
 val artifact_of : t -> Compile.Topology.t
 (** The schedule's compiled-topology artifact, from the process-wide
     {!Compile.Cache} keyed [(n, seed, index)]: replaying or shrinking

@@ -92,6 +92,10 @@ let shrink_times ~still_fails (s : Schedule.t) =
   fix s 3
 
 let minimize ~still_fails s =
+  (* never commit (or persist) an ill-formed candidate: dropping a
+     crash but keeping its recover, or shrinking a recover's time below
+     its crash, would produce schedules {!Schedule.of_json} rejects *)
+  let still_fails c = Schedule.well_formed c = Ok () && still_fails c in
   let s =
     let no_jitter = { s with Schedule.jitter = 0.0 } in
     if s.Schedule.jitter > 0.0 && still_fails no_jitter then no_jitter else s

@@ -2,7 +2,11 @@ module Graph = Netgraph.Graph
 module Tree = Netgraph.Tree
 module Network = Hardware.Network
 
-type msg = { origin : int; labelling : Labels.t }
+type msg =
+  | Data of { origin : int; labelling : Labels.t; attempt : int }
+      (** the broadcast payload; [attempt] > 0 marks a retransmission
+          (relays forward once per attempt, acceptance is idempotent) *)
+  | Ack of { src : int }  (** delivery acknowledgement back to the origin *)
 
 let tree_for ~view ~root = Netgraph.Spanning.bfs_tree view ~root
 
@@ -59,8 +63,8 @@ let send_paths ~multicast ctx sends =
       in
       drain rest
 
-let spec ?precomputed ?routes ~multicast ~reached ~view v =
-  let relayed = ref false in
+let spec ?precomputed ?routes ?recovery ~multicast ~reached ~view v =
+  let relayed_attempt = ref (-1) in
   {
     Network.on_start =
       (fun ctx ->
@@ -70,19 +74,46 @@ let spec ?precomputed ?routes ~multicast ~reached ~view v =
           | Some l -> l
           | None -> Labels.compute (tree_for ~view ~root)
         in
-        let m = { origin = root; labelling } in
-        send_paths ~multicast ctx (sends_for ctx ~routes labelling m));
+        let send attempt =
+          let m = Data { origin = root; labelling; attempt } in
+          send_paths ~multicast ctx (sends_for ctx ~routes labelling m)
+        in
+        send 0;
+        match recovery with
+        | None -> ()
+        | Some st ->
+            Broadcast.Recovery.start st ctx
+              ~resend:(fun ~attempt -> send attempt));
     on_message =
       (fun ctx ~via:_ m ->
-        reached.(v) <- true;
-        if not !relayed then begin
-          relayed := true;
-          (* the message shares the root's labelling: every relay would
-             recompute the identical decomposition from the same tree
-             description, so the paper's "tree description in the
-             message" is carried as the decomposition itself *)
-          send_paths ~multicast ctx (sends_for ctx ~routes m.labelling m)
-        end);
+        match m with
+        | Data d ->
+            reached.(v) <- true;
+            if d.attempt > !relayed_attempt then begin
+              relayed_attempt := d.attempt;
+              (* the message shares the root's labelling: every relay
+                 would recompute the identical decomposition from the
+                 same tree description, so the paper's "tree description
+                 in the message" is carried as the decomposition itself *)
+              send_paths ~multicast ctx (sends_for ctx ~routes d.labelling m);
+              match recovery with
+              | None -> ()
+              | Some _ -> (
+                  (* acknowledge this attempt up the broadcast tree; a
+                     lost ack is healed by the next retransmission
+                     re-triggering it *)
+                  match
+                    Broadcast.Recovery.ack_walk (Labels.tree d.labelling) v
+                  with
+                  | Some walk ->
+                      Network.send_walk ~label:"bpaths-ack" ctx ~walk
+                        (Ack { src = v })
+                  | None -> ())
+            end
+        | Ack { src } -> (
+            match recovery with
+            | Some st -> Broadcast.Recovery.ack st ~src
+            | None -> ()));
     on_link_change = (fun _ ~peer:_ ~up:_ -> ());
   }
 
@@ -92,6 +123,7 @@ let run ?(config = Broadcast.default_config ()) ?(multicast = true) ?precomputed
      pre-compiled route table and rebuild headers from walks at send
      time, so chaos never replays routes across the mutation *)
   let routes = if config.Broadcast.chaos <> None then None else routes in
+  let recovery = Broadcast.Recovery.create config ~n:(Graph.n graph) ~root in
   Broadcast.execute ~config ~graph ~root
-    ~spec:(spec ?precomputed ?routes ~multicast)
+    ~spec:(spec ?precomputed ?routes ?recovery ~multicast)
     ()

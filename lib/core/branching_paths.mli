@@ -16,16 +16,26 @@
       so a link failure silently truncates the affected paths and the
       maintenance protocol converges (Theorem 1). *)
 
-type msg = {
-  origin : int;  (** the broadcasting node *)
-  labelling : Labels.t;
-      (** the broadcast tree's labelling and path decomposition — the
-          "tree description" the paper puts in the message so path
-          heads recognise themselves.  Every relay would recompute the
-          identical decomposition from the same tree, so the message
-          shares the root's artifact instead of shipping raw edges and
-          re-labelling at every head (which made setup quadratic). *)
-}
+type msg =
+  | Data of {
+      origin : int;  (** the broadcasting node *)
+      labelling : Labels.t;
+          (** the broadcast tree's labelling and path decomposition —
+              the "tree description" the paper puts in the message so
+              path heads recognise themselves.  Every relay would
+              recompute the identical decomposition from the same tree,
+              so the message shares the root's artifact instead of
+              shipping raw edges and re-labelling at every head (which
+              made setup quadratic). *)
+      attempt : int;
+          (** 0 for the original broadcast; [k > 0] marks the [k]-th
+              retransmission under recovery.  Relays forward once per
+              attempt; acceptance ([reached]) is idempotent, keeping
+              application-level delivery at-most-once. *)
+    }
+  | Ack of { src : int }
+      (** recovery only: [src] acknowledges its acceptance of the
+          current attempt, routed up the broadcast tree to the origin *)
 
 val tree_for : view:Netgraph.Graph.t -> root:int -> Netgraph.Tree.t
 (** The minimum-hop (BFS) spanning tree of the root's component of its
@@ -40,6 +50,7 @@ val predicted_time_units : Netgraph.Tree.t -> int
 val spec :
   ?precomputed:Labels.t ->
   ?routes:Hardware.Anr.route array array ->
+  ?recovery:Broadcast.Recovery.t ->
   multicast:bool ->
   reached:bool array ->
   view:Netgraph.Graph.t ->
@@ -78,4 +89,9 @@ val run :
     When [config.chaos] carries a fault plan, [routes] is ignored: the
     plan mutates topology mid-run, and compiled routes must never be
     replayed across such a mutation (see {!Compile.Topology.routes},
-    which refuses to hand them out in the first place). *)
+    which refuses to hand them out in the first place).
+
+    When [config.recover] is set, the run is self-healing: receivers
+    acknowledge each accepted attempt up the broadcast tree and the
+    root retransmits under capped exponential backoff until everyone
+    acked or the retry budget is spent (DESIGN.md §16). *)

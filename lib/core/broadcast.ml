@@ -24,6 +24,7 @@ type config = {
   trace : Sim.Trace.t option;
   registry : Hardware.Registry.t option;
   chaos : Hardware.Fault_plan.t option;
+  recover : Hardware.Recover.t option;
 }
 
 let default_config () =
@@ -35,7 +36,104 @@ let default_config () =
     trace = None;
     registry = None;
     chaos = None;
+    recover = None;
   }
+
+(* Root-side ack/retransmit state shared by the recovering broadcast
+   algorithms (DESIGN.md §16).  Receivers acknowledge each accepted
+   attempt back to the root; the root's watchdog retransmits the whole
+   broadcast — attempt-tagged, so relays forward once per attempt and
+   acceptance stays at-most-once — under capped exponential backoff
+   until every node acked or the retry budget is spent.  Everything is
+   ordinary engine events and the backoff jitter comes from the root's
+   own split stream, so traces stay byte-identical at any [--jobs]. *)
+module Recovery = struct
+  module Registry = Hardware.Registry
+  module Recover = Hardware.Recover
+
+  type t = {
+    rc : Recover.t;
+    obs : Recover.obs option;
+    acked : bool array;
+    mutable acks : int;
+    mutable attempt : int;
+    mutable dog : Sim.Timer.t option;
+    rng : Sim.Rng.t;  (* the root's jitter stream *)
+  }
+
+  let create config ~n ~root =
+    match config.recover with
+    | None -> None
+    | Some rc ->
+        let acked = Array.make n false in
+        acked.(root) <- true;
+        Some
+          {
+            rc;
+            obs = Recover.obs config.registry;
+            acked;
+            acks = 1;
+            attempt = 0;
+            dog = None;
+            rng = (Recover.streams rc ~n).(root);
+          }
+
+  let complete st = st.acks >= Array.length st.acked
+
+  (* Root side: record one ack, at most once per source; the watchdog
+     is cancelled the instant the last ack lands, so a fault-free
+     recovering run costs exactly the acks — no expiry ever fires. *)
+  let ack st ~src =
+    if src >= 0 && src < Array.length st.acked && not st.acked.(src) then begin
+      st.acked.(src) <- true;
+      st.acks <- st.acks + 1;
+      (match st.obs with Some o -> Registry.incr o.Recover.r_acks | None -> ());
+      if complete st then
+        match st.dog with Some d -> Sim.Timer.cancel d | None -> ()
+    end
+
+  (* Root side, from on_start: arm the watchdog loop.  Expiry [k]
+     (0-based) retransmits as attempt [k+1] and re-arms with the next
+     backoff delay until the budget is spent. *)
+  let start st ctx ~resend =
+    let dog = Network.watchdog ctx in
+    st.dog <- Some dog;
+    let rec arm () =
+      let delay = Recover.delay st.rc ~rng:st.rng ~attempt:st.attempt in
+      (match st.obs with
+      | Some o -> Registry.observe o.Recover.r_backoff delay
+      | None -> ());
+      Network.arm_watchdog ~label:"bcast-watchdog" ctx dog ~delay (fun () ->
+          if not (complete st) then begin
+            (match st.obs with
+            | Some o -> Registry.incr o.Recover.r_timeouts
+            | None -> ());
+            if st.attempt >= st.rc.Recover.max_retries then (
+              match st.obs with
+              | Some o -> Registry.incr o.Recover.r_give_ups
+              | None -> ())
+            else begin
+              st.attempt <- st.attempt + 1;
+              (match st.obs with
+              | Some o -> Registry.incr o.Recover.r_retransmits
+              | None -> ());
+              resend ~attempt:st.attempt;
+              arm ()
+            end
+          end)
+    in
+    arm ()
+
+  (* The ack route: up the broadcast tree from [v] to its root — a
+     path of the static graph, so it is valid again once every fault
+     has healed.  [None] when [v] is the root or outside the tree. *)
+  let ack_walk tree v =
+    if not (Netgraph.Tree.mem tree v) then None
+    else
+      match List.rev (Netgraph.Tree.path_from_root tree v) with
+      | _ :: _ :: _ as walk -> Some walk
+      | _ -> None
+end
 
 type 'msg spec =
   reached:bool array -> view:Graph.t -> int -> 'msg Network.handlers

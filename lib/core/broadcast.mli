@@ -46,11 +46,45 @@ type config = {
       (** timed faults armed before the root starts; unlike [failed]
           these fire mid-run with full notifications and in-flight
           loss (the chaos harness's injection hook) *)
+  recover : Hardware.Recover.t option;
+      (** when given, algorithms that support self-healing (branching
+          paths, flooding) run their ack/retransmit layer under this
+          policy (DESIGN.md §16); [None] — the default — is the exact
+          historical execution, no acks, no watchdogs, byte-identical
+          traces *)
 }
 
 val default_config : unit -> config
 (** [new_model] cost (C=0, P=1), no failures, no [dmax], true view,
-    no external trace or registry, no chaos plan. *)
+    no external trace or registry, no chaos plan, no recovery. *)
+
+(** Shared root-side ack/retransmit machinery for recovering broadcast
+    algorithms; see DESIGN.md §16.  Algorithm modules create one per
+    run (from the config), feed root-side acks in, and arm the
+    watchdog loop from the root's [on_start]. *)
+module Recovery : sig
+  type t
+
+  val create : config -> n:int -> root:int -> t option
+  (** [None] iff [config.recover] is [None]. *)
+
+  val complete : t -> bool
+  (** Every node has acknowledged the payload. *)
+
+  val ack : t -> src:int -> unit
+  (** Root side: record an ack from [src] (at most once per source);
+      cancels the watchdog when the last ack lands. *)
+
+  val start : t -> 'msg Hardware.Network.context -> resend:(attempt:int -> unit) -> unit
+  (** Root side: arm the watchdog loop.  Each expiry with acks still
+      missing and budget left calls [resend] with the next attempt
+      number (1-based) and re-arms under capped exponential backoff;
+      an exhausted budget counts one [recover.give_ups] and stops. *)
+
+  val ack_walk : Netgraph.Tree.t -> int -> int list option
+  (** The walk from a member node up the broadcast tree to its root
+      ([None] at the root itself or off-tree). *)
+end
 
 (** {1 Internal executor used by the algorithm modules} *)
 

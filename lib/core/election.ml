@@ -8,6 +8,7 @@ type token = {
   entry : int;  (* o, the OUT node through which the tour entered *)
   home_walk : int array;  (* walk from [entry] back to [torigin] *)
   hops_used : int;  (* direct messages spent on this tour *)
+  tepoch : int;  (* recovery epoch the token belongs to (0 without recovery) *)
 }
 
 type verdict =
@@ -16,8 +17,8 @@ type verdict =
 
 type msg =
   | Tour of token
-  | Return of { to_origin : int; verdict : verdict }
-  | Announce of { leader : int }
+  | Return of { to_origin : int; verdict : verdict; repoch : int }
+  | Announce of { leader : int; aepoch : int }
 
 type origin_state = {
   mutable cstatus : [ `Touring | `Inactive | `Leader ];
@@ -68,8 +69,25 @@ type chaos_outcome = {
   chaos_time : float;
 }
 
+(* Per-run state of the epoch-restart recovery layer (DESIGN.md §16).
+   An epoch is one attempt at the election: every message carries its
+   sender's epoch, a node receiving a newer epoch forgets its role and
+   re-joins lazily (the [ensure_started] pattern), and a touring origin
+   whose watchdog expires restarts as a fresh singleton candidate in
+   the next epoch.  Stale-epoch messages are dropped on receipt, so at
+   most one token per (origin, epoch) is ever live and each epoch runs
+   the paper's own election among the nodes it recruits. *)
+type recovery_state = {
+  rc : Hardware.Recover.t;
+  robs : Hardware.Recover.obs option;
+  rngs : Sim.Rng.t array;  (* per-node backoff jitter streams *)
+  epochs : int array;
+  restarts_used : int array;  (* watchdog budget consumed per node *)
+  dogs : Sim.Timer.t option array;
+}
+
 let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
-    ?(notify_supporters = false) ?trace ?registry ?chaos ~graph () =
+    ?(notify_supporters = false) ?recover ?trace ?registry ?chaos ~graph () =
   let n = Graph.n graph in
   if not (Graph.is_connected graph) then
     invalid_arg "Election.run: the graph must be connected";
@@ -106,9 +124,35 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
   let engine = Sim.Engine.create ~queue_capacity:n () in
   let roles = Array.make n Unstarted in
   let believed_leader = Array.make n None in
+  (* recovery only: node [v]'s next activation is a post-crash rejoin,
+     not an ordinary start (set by the fault plan's on_node hook) *)
+  let pending_restart = Array.make n false in
   let tours = ref 0 in
   let captures = ref 0 in
   let max_route = ref 0 in
+  let rstate =
+    match recover with
+    | None -> None
+    | Some rc ->
+        Some
+          {
+            rc;
+            robs = Hardware.Recover.obs registry;
+            rngs = Hardware.Recover.streams rc ~n;
+            epochs = Array.make n 0;
+            restarts_used = Array.make n 0;
+            dogs = Array.make n None;
+          }
+  in
+  let epoch_of v =
+    match rstate with None -> 0 | Some rs -> rs.epochs.(v)
+  in
+  let cancel_dog v =
+    match rstate with
+    | None -> ()
+    | Some rs -> (
+        match rs.dogs.(v) with Some d -> Sim.Timer.cancel d | None -> ())
+  in
 
   let send ctx ~label walk m =
     max_route := max !max_route (Array.length walk - 1);
@@ -140,7 +184,12 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
 
   let return_unsuccessful ctx v token =
     send ctx ~label:"election" (walk_home v token)
-      (Return { to_origin = token.torigin; verdict = Unsuccessful })
+      (Return
+         {
+           to_origin = token.torigin;
+           verdict = Unsuccessful;
+           repoch = token.tepoch;
+         })
   in
 
   (* [v] is an origin whose level is below the token's; its whole
@@ -150,6 +199,7 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     | Origin st ->
         incr captures;
         obs_capture ();
+        cancel_dog v;
         let home = walk_home v token in
         roles.(v) <- Captured { frozen = st.inout; parent_walk = home };
         send ctx ~label:"election" home
@@ -159,6 +209,7 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
                verdict =
                  Captured_domain
                    { victim = v; victim_inout = st.inout; entry = token.entry };
+               repoch = token.tepoch;
              })
     | Captured _ | Unstarted -> assert false
   in
@@ -182,6 +233,7 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
     | Origin st ->
         if Inout.out_size st.inout = 0 then begin
           st.cstatus <- `Leader;
+          cancel_dog v;
           believed_leader.(v) <- Some v;
           announce ctx v st
         end
@@ -196,14 +248,93 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
               entry = o;
               home_walk = Array.init len (fun i -> walk.(len - 1 - i));
               hops_used = 1;
+              tepoch = epoch_of v;
             }
           in
           st.cstatus <- `Touring;
           incr tours;
           obs_tour ();
-          send ctx ~label:"election" walk (Tour token)
+          send ctx ~label:"election" walk (Tour token);
+          arm_dog ctx v
         end
     | Captured _ | Unstarted -> assert false
+
+  (* Tour-abandonment watchdog: armed whenever [v] launches a tour,
+     cancelled the moment [v] stops being a touring origin (leader,
+     captured, inactive, or reset into a newer epoch).  An expiry with
+     [v] still touring means the token or its return was lost to a
+     fault; if [v] is alive it restarts as a fresh singleton candidate
+     in the next epoch, under capped exponential backoff and a bounded
+     restart budget so non-healing schedules still quiesce. *)
+  and arm_dog ctx v =
+    match rstate with
+    | None -> ()
+    | Some rs ->
+        let dog =
+          match rs.dogs.(v) with
+          | Some d -> d
+          | None ->
+              let d = Network.watchdog ctx in
+              rs.dogs.(v) <- Some d;
+              d
+        in
+        let attempt = rs.restarts_used.(v) in
+        let delay = Hardware.Recover.delay rs.rc ~rng:rs.rngs.(v) ~attempt in
+        (match rs.robs with
+        | Some o -> Hardware.Registry.observe o.Hardware.Recover.r_backoff delay
+        | None -> ());
+        let armed_epoch = rs.epochs.(v) in
+        Network.arm_watchdog ~label:"election-watchdog" ctx dog ~delay
+          (fun () ->
+            match roles.(v) with
+            | Origin { cstatus = `Touring; _ }
+              when rs.epochs.(v) = armed_epoch -> (
+                (match rs.robs with
+                | Some o ->
+                    Hardware.Registry.incr o.Hardware.Recover.r_timeouts
+                | None -> ());
+                if
+                  rs.restarts_used.(v)
+                  >= rs.rc.Hardware.Recover.max_retries
+                then (
+                  match rs.robs with
+                  | Some o ->
+                      Hardware.Registry.incr o.Hardware.Recover.r_give_ups
+                  | None -> ())
+                else if
+                  not (Network.node_is_alive (Network.network ctx) v)
+                then begin
+                  (* still crashed: wait out the fault on the same
+                     backoff clock; the budget bounds total re-arms *)
+                  rs.restarts_used.(v) <- rs.restarts_used.(v) + 1;
+                  arm_dog ctx v
+                end
+                else restart_node ctx v)
+            | _ -> ())
+
+  (* Restart [v] as a fresh singleton candidate in the next epoch:
+     the shared tail of a watchdog expiry (tour abandoned) and a
+     post-crash rejoin (local state presumed stale, and any announce
+     that passed while [v] was dead is lost for good — only a new
+     epoch re-establishes a universally believed leader). *)
+  and restart_node ctx v =
+    match rstate with
+    | None -> ()
+    | Some rs ->
+        rs.restarts_used.(v) <- rs.restarts_used.(v) + 1;
+        (match rs.robs with
+        | Some o -> Hardware.Registry.incr o.Hardware.Recover.r_restarts
+        | None -> ());
+        rs.epochs.(v) <- rs.epochs.(v) + 1;
+        believed_leader.(v) <- None;
+        roles.(v) <-
+          Origin
+            {
+              cstatus = `Touring;
+              inout = Inout.singleton ~graph v;
+              waiting = None;
+            };
+        begin_tour ctx v
 
   and announce ctx v st =
     match Walks.euler_tour_truncated (Inout.spanning_tree st.inout) with
@@ -213,7 +344,8 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
         let route =
           Anr.of_walk_marked (Network.graph (Network.network ctx)) marked
         in
-        Network.send ~label:"announce" ctx ~route (Announce { leader = v })
+        Network.send ~label:"announce" ctx ~route
+          (Announce { leader = v; aepoch = epoch_of v })
   in
 
   (* The comparison of rules (2.1)-(2.4), performed when [v]'s own
@@ -302,30 +434,78 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
                   if u <> v then
                     send ctx ~label:"notify"
                       (Inout.route_array st.inout ~src:v ~dst:u)
-                      (Announce { leader = v }))
+                      (Announce { leader = v; aepoch = epoch_of v }))
                 (Inout.in_nodes victim_inout));
         resolve_waiting ctx v;
         (* if the waiting candidate captured us, we are no longer an
            origin; otherwise an active candidate tours again *)
         match roles.(v) with
         | Origin st when st.cstatus = `Touring -> begin_tour ctx v
-        | Origin _ | Captured _ | Unstarted -> ())
+        | Origin _ -> cancel_dog v
+        | Captured _ | Unstarted -> ())
     | Captured _ | Unstarted -> assert false
   in
 
   let handlers _v =
     {
-      Network.on_start = (fun ctx -> ensure_started ctx);
+      Network.on_start =
+        (fun ctx ->
+          let v = Network.self ctx in
+          if pending_restart.(v) then begin
+            pending_restart.(v) <- false;
+            restart_node ctx v
+          end
+          else ensure_started ctx);
       on_message =
         (fun ctx ~via:_ m ->
-          ensure_started ctx;
           let v = Network.self ctx in
-          match m with
-          | Tour token -> process_tour ctx v token
-          | Return { to_origin; verdict } ->
-              assert (to_origin = v);
-              process_return ctx v verdict
-          | Announce { leader } -> believed_leader.(v) <- Some leader);
+          (* Epoch gate (recovery only): drop messages from dead epochs;
+             a Tour/Announce from a newer epoch makes [v] forget its
+             role and re-join lazily.  A Return from a newer epoch is
+             impossible — only [v]'s own tours produce Returns to [v],
+             and those carry [v]'s epoch at launch time — so it is
+             dropped too (it can only be stale). *)
+          let stale =
+            match rstate with
+            | None -> false
+            | Some rs -> (
+                let e =
+                  match m with
+                  | Tour t -> t.tepoch
+                  | Return r -> r.repoch
+                  | Announce a -> a.aepoch
+                in
+                if e < rs.epochs.(v) then true
+                else if e = rs.epochs.(v) then false
+                else
+                  match m with
+                  | Return _ -> true
+                  | Tour _ ->
+                      (* recruited into a newer epoch: forget the old
+                         role and re-join as a fresh lazy starter *)
+                      rs.epochs.(v) <- e;
+                      cancel_dog v;
+                      believed_leader.(v) <- None;
+                      roles.(v) <- Unstarted;
+                      false
+                  | Announce _ ->
+                      (* a newer epoch already completed: adopt its
+                         result without launching a doomed candidacy *)
+                      rs.epochs.(v) <- e;
+                      cancel_dog v;
+                      false)
+          in
+          if not stale then begin
+            (match (m, rstate) with
+            | Announce _, Some _ -> ()
+            | _ -> ensure_started ctx);
+            match m with
+            | Tour token -> process_tour ctx v token
+            | Return { to_origin; verdict; _ } ->
+                assert (to_origin = v);
+                process_return ctx v verdict
+            | Announce { leader; _ } -> believed_leader.(v) <- Some leader
+          end);
       on_link_change = (fun _ ~peer:_ ~up:_ -> ());
     }
   in
@@ -337,7 +517,23 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
       ~handlers ()
   in
   (match chaos with
-  | Some plan -> Hardware.Fault_plan.arm net plan
+  | Some plan -> (
+      match rstate with
+      | None -> Hardware.Fault_plan.arm net plan
+      | Some rs ->
+          (* a recovered node rejoins through a fresh activation (one
+             priced syscall) rather than synchronously inside the
+             fault event, so the restart is billed like any start *)
+          Hardware.Fault_plan.arm
+            ~on_node:(fun ~node ~alive ->
+              if
+                alive
+                && rs.restarts_used.(node) < rs.rc.Hardware.Recover.max_retries
+              then begin
+                pending_restart.(node) <- true;
+                Network.start ~label:"recover-restart" net node
+              end)
+            net plan)
   | None -> ());
   List.iter (fun v -> Network.start ~label:"start" net v) starters;
   (match Sim.Engine.run engine with
@@ -346,9 +542,11 @@ let run_core ?(cost = Hardware.Cost_model.new_model ()) ?starters ?rng
   Network.publish_distributions net;
   (roles, believed_leader, net, engine, !tours, !captures, !max_route)
 
-let run ?cost ?starters ?rng ?notify_supporters ?trace ?registry ~graph () =
+let run ?cost ?starters ?rng ?notify_supporters ?recover ?trace ?registry
+    ~graph () =
   let roles, believed_leader, net, engine, tours, captures, max_route =
-    run_core ?cost ?starters ?rng ?notify_supporters ?trace ?registry ~graph ()
+    run_core ?cost ?starters ?rng ?notify_supporters ?recover ?trace ?registry
+      ~graph ()
   in
   let leader =
     let found = ref None in
@@ -387,9 +585,9 @@ let run ?cost ?starters ?rng ?notify_supporters ?trace ?registry ~graph () =
     spanning_tree;
   }
 
-let run_chaos ?cost ?starters ?rng ?trace ?registry ?chaos ~graph () =
+let run_chaos ?cost ?starters ?rng ?recover ?trace ?registry ?chaos ~graph () =
   let roles, believed_leader, net, engine, _tours, _captures, _max_route =
-    run_core ?cost ?starters ?rng ?trace ?registry ?chaos ~graph ()
+    run_core ?cost ?starters ?rng ?recover ?trace ?registry ?chaos ~graph ()
   in
   let leaders = ref [] in
   Array.iteri

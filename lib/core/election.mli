@@ -47,6 +47,7 @@ val run :
   ?starters:int list ->
   ?rng:Sim.Rng.t ->
   ?notify_supporters:bool ->
+  ?recover:Hardware.Recover.t ->
   ?trace:Sim.Trace.t ->
   ?registry:Hardware.Registry.t ->
   graph:Netgraph.Graph.t ->
@@ -98,6 +99,7 @@ val run_chaos :
   ?cost:Hardware.Cost_model.t ->
   ?starters:int list ->
   ?rng:Sim.Rng.t ->
+  ?recover:Hardware.Recover.t ->
   ?trace:Sim.Trace.t ->
   ?registry:Hardware.Registry.t ->
   ?chaos:Hardware.Fault_plan.t ->
@@ -109,4 +111,13 @@ val run_chaos :
     of raising when no (or, would it ever happen, more than one)
     leader emerges, it reports every declared leader so the chaos
     oracles can check at-most-one-leader among survivors.  The graph
-    must be connected at time 0; the plan may disconnect it later. *)
+    must be connected at time 0; the plan may disconnect it later.
+
+    [recover] turns on the epoch-restart layer (DESIGN.md §16): a
+    touring origin arms a per-tour watchdog; an expiry with the tour
+    still outstanding restarts the node as a fresh singleton candidate
+    in the next epoch (capped exponential backoff, bounded restart
+    budget).  Every message carries its epoch; stale-epoch messages
+    are dropped and a newer epoch makes the receiver re-join.  With
+    recovery on, [election_deliveries] is bounded by
+    [6n * (1 + restarts)] rather than the fault-free [6n]. *)

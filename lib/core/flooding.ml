@@ -1,6 +1,9 @@
 module Network = Hardware.Network
+module Graph = Netgraph.Graph
 
-type msg = { origin : int }
+type msg =
+  | Data of { origin : int; attempt : int }
+  | Ack of { src : int }
 
 let forward ctx ~except m =
   let self = Network.self ctx in
@@ -20,20 +23,53 @@ let forward ctx ~except m =
           (Hardware.Registry.counter r "flood.forwards") !forwarded
     | _ -> ()
 
-let spec ~reached ~view:_ v =
-  let seen = ref false in
+(* [ack_tree] (recovery only) is a BFS tree of the root's view: the
+   fixed routes acks climb to reach the root. *)
+let spec ?recovery ?ack_tree ~reached ~view:_ v =
+  let seen_attempt = ref (-1) in
   {
     Network.on_start =
-      (fun ctx -> forward ctx ~except:None { origin = Network.self ctx });
+      (fun ctx ->
+        let send attempt =
+          forward ctx ~except:None (Data { origin = Network.self ctx; attempt })
+        in
+        send 0;
+        match recovery with
+        | None -> ()
+        | Some st ->
+            Broadcast.Recovery.start st ctx
+              ~resend:(fun ~attempt -> send attempt));
     on_message =
       (fun ctx ~via m ->
-        reached.(v) <- true;
-        if not !seen then begin
-          seen := true;
-          forward ctx ~except:via m
-        end);
+        match m with
+        | Data d ->
+            reached.(v) <- true;
+            if d.attempt > !seen_attempt then begin
+              seen_attempt := d.attempt;
+              forward ctx ~except:via m;
+              match (recovery, ack_tree) with
+              | Some _, Some tree -> (
+                  match Broadcast.Recovery.ack_walk tree v with
+                  | Some walk ->
+                      Network.send_walk ~label:"flood-ack" ctx ~walk
+                        (Ack { src = v })
+                  | None -> ())
+              | _ -> ()
+            end
+        | Ack { src } -> (
+            match recovery with
+            | Some st -> Broadcast.Recovery.ack st ~src
+            | None -> ()));
     on_link_change = (fun _ ~peer:_ ~up:_ -> ());
   }
 
 let run ?(config = Broadcast.default_config ()) ~graph ~root () =
-  Broadcast.execute ~config ~graph ~root ~spec ()
+  let recovery = Broadcast.Recovery.create config ~n:(Graph.n graph) ~root in
+  let ack_tree =
+    match recovery with
+    | None -> None
+    | Some _ ->
+        let view = Option.value ~default:graph config.Broadcast.view in
+        Some (Netgraph.Spanning.bfs_tree view ~root)
+  in
+  Broadcast.execute ~config ~graph ~root ~spec:(spec ?recovery ?ack_tree) ()

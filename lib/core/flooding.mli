@@ -8,14 +8,23 @@
     system-call complexity stays Θ(m) — the paper's motivation for
     the branching-paths scheme. *)
 
-type msg = { origin : int }
+type msg =
+  | Data of { origin : int; attempt : int }
+      (** the flooded payload; [attempt] > 0 marks a retransmission
+          wave (each node floods once per attempt) *)
+  | Ack of { src : int }
+      (** recovery only: acceptance ack, routed up a BFS tree of the
+          root's view *)
 
 val spec :
+  ?recovery:Broadcast.Recovery.t ->
+  ?ack_tree:Netgraph.Tree.t ->
   reached:bool array ->
   view:Netgraph.Graph.t ->
   int ->
   msg Hardware.Network.handlers
-(** Low-level handler factory, for embedding in custom harnesses. *)
+(** Low-level handler factory, for embedding in custom harnesses.
+    [ack_tree] must accompany [recovery]: the fixed tree acks climb. *)
 
 val run :
   ?config:Broadcast.config ->
@@ -23,3 +32,7 @@ val run :
   root:int ->
   unit ->
   Broadcast.result
+(** When [config.recover] is set the flood self-heals: each node acks
+    every accepted attempt to the root along a BFS tree of the view,
+    and the root re-floods under capped exponential backoff until all
+    acked or the retry budget is spent (DESIGN.md §16). *)

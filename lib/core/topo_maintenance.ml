@@ -20,6 +20,7 @@ type params = {
   registry : Hardware.Registry.t option;
   reset_on_recover : bool;
   origins : int list option;
+  recover : Hardware.Recover.t option;
 }
 
 let default_params () =
@@ -37,6 +38,7 @@ let default_params () =
     registry = None;
     reset_on_recover = false;
     origins = None;
+    recover = None;
   }
 
 type event = { at : float; edge : int * int; up : bool }
@@ -196,6 +198,15 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
              ~help:"periodic topology broadcasts initiated")
     | _ -> None
   in
+  let robs =
+    match params.recover with
+    | None -> None
+    | Some _ -> Hardware.Recover.obs params.registry
+  in
+  (* per-origin resume closures, stashed at start so the recovery hook
+     can trigger an immediate out-of-period rebroadcast (DESIGN.md §16);
+     the periodic timer chain itself never stops ticking *)
+  let resumes : (unit -> unit) option array = Array.make n None in
   (* send over each believed-up local link, in increasing peer order —
      iterates the byte vector, allocating only the 2-node walks *)
   let send_local_links ctx v st ~except m ~label =
@@ -276,6 +287,12 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
           done;
           Topology.set_own st.db (own_view v);
           if is_origin v then begin
+            if params.recover <> None then
+              resumes.(v) <-
+                Some
+                  (fun () ->
+                    Network.set_timer ~label:"topo-resume" ctx ~delay:0.0
+                      (fun () -> broadcast ctx));
             let rec rearm () =
               Network.set_timer ~label:"topo-period" ctx ~delay:params.period
                 (fun () ->
@@ -360,7 +377,18 @@ let run ?(params = default_params ()) ?(node_events = []) ?chaos ~graph
       st.db <- Topology.create ();
       Hashtbl.reset st.relayed;
       Topology.set_own st.db (own_view node)
-    end
+    end;
+    if alive then
+      (* round resumption: a recovering origin rebroadcasts now rather
+         than waiting out the rest of its period — re-seeding its own
+         (possibly just reset) view into the network immediately *)
+      match resumes.(node) with
+      | Some resume ->
+          (match robs with
+          | Some o -> Hardware.Registry.incr o.Hardware.Recover.r_resumes
+          | None -> ());
+          resume ()
+      | None -> ()
   in
   Hardware.Fault_plan.arm ~on_node net plan;
   Network.start_all net;

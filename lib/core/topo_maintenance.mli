@@ -67,6 +67,14 @@ type params = {
           bench run maintenance rounds at n=65536 and beyond.  [None]
           (default) is the full protocol: every node broadcasts and
           convergence is the [T77] consistency check. *)
+  recover : Hardware.Recover.t option;
+      (** when set, a recovering origin resumes its round immediately:
+          the node-recovery hook triggers an out-of-period rebroadcast
+          (one extra activation, counted in [recover.resumes]) instead
+          of waiting for the next periodic tick — combined with
+          [reset_on_recover], the node re-seeds its fresh view into
+          the network the moment it revives (DESIGN.md §16).  The
+          periodic timer chain is unaffected.  Default [None]. *)
 }
 
 val default_params : unit -> params

@@ -79,7 +79,8 @@ let broadcast_timeline ~algorithm ~graph ~root =
   | `Branching ->
       execute (fun ~reached ~view v ->
           Core.Branching_paths.spec ~multicast:true ~reached ~view v)
-  | `Flooding -> execute Core.Flooding.spec
+  | `Flooding ->
+      execute (fun ~reached ~view v -> Core.Flooding.spec ~reached ~view v)
 
 let run () =
   let g = Netgraph.Builders.grid ~rows:4 ~cols:4 in

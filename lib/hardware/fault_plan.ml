@@ -14,24 +14,6 @@ let by_time plan =
 let quiescence plan =
   List.fold_left (fun acc f -> Float.max acc (time_of f)) 0.0 plan
 
-let arm ?(on_node = fun ~node:_ ~alive:_ -> ()) net plan =
-  let engine = Network.engine net in
-  List.iter
-    (fun fault ->
-      match fault with
-      | Link_set { at; u; v; up } ->
-          Sim.Engine.schedule_at engine ~time:at (fun () ->
-              Network.set_link net u v ~up)
-      | Node_set { at; node; alive } ->
-          Sim.Engine.schedule_at engine ~time:at (fun () ->
-              (if alive then Network.restore_node net node
-               else Network.fail_node net node);
-              on_node ~node ~alive)
-      | Drop_in_flight { at; u; v } ->
-          Sim.Engine.schedule_at engine ~time:at (fun () ->
-              Network.drop_in_flight net u v))
-    plan
-
 let pp_fault ppf = function
   | Link_set { at; u; v; up } ->
       Format.fprintf ppf "@[link %d-%d %s @@ %g@]" u v
@@ -43,3 +25,39 @@ let pp_fault ppf = function
         at
   | Drop_in_flight { at; u; v } ->
       Format.fprintf ppf "@[drop-in-flight %d-%d @@ %g@]" u v at
+
+(* Canonical identity of a plan: its printed faults in order.  Two
+   structurally equal plans collide by construction, which is exactly
+   what the idempotent-arming guard wants. *)
+let key plan =
+  String.concat "|" (List.map (Format.asprintf "%a" pp_fault) plan)
+
+let arm ?(on_node = fun ~node:_ ~alive:_ -> ()) net plan =
+  (* Idempotent per network: arming the same plan twice schedules its
+     faults — and fires its [?on_node] hooks — exactly once.  Harness
+     layers compose (a protocol arms the plan it was handed, then a
+     wrapper arms the same plan "to be safe"); without the guard every
+     fault and recovery hook would double-fire. *)
+  if not (Network.first_arming net ("fault-plan:" ^ key plan)) then ()
+  else
+  let engine = Network.engine net in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Link_set { at; u; v; up } ->
+          Sim.Engine.schedule_at engine ~time:at (fun () ->
+              Network.set_link net u v ~up)
+      | Node_set { at; node; alive } ->
+          Sim.Engine.schedule_at engine ~time:at (fun () ->
+              (* the hook fires only on an actual transition: a recover
+                 of an alive node (or crash of a dead one) is a full
+                 no-op, so recovery hooks can't be spuriously re-fired
+                 by redundant plan entries *)
+              let changed = Network.node_is_alive net node = not alive in
+              (if alive then Network.restore_node net node
+               else Network.fail_node net node);
+              if changed then on_node ~node ~alive)
+      | Drop_in_flight { at; u; v } ->
+          Sim.Engine.schedule_at engine ~time:at (fun () ->
+              Network.drop_in_flight net u v))
+    plan

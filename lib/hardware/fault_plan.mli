@@ -42,6 +42,12 @@ val arm :
     simulation instant), letting protocol harnesses react to
     crash/recovery — e.g. topology maintenance resetting a recovering
     node's database.
+
+    Arming is {e idempotent per network}: a second [arm] of a
+    structurally equal plan on the same network is a complete no-op —
+    no fault is scheduled twice and no [?on_node] hook double-fires
+    (guarded through {!Network.first_arming}).  Distinct plans still
+    compose; only exact duplicates are absorbed.
     @raise Invalid_argument (when the event fires) if a fault names an
     edge absent from the graph. *)
 

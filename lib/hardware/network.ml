@@ -42,6 +42,9 @@ type 'msg t = {
   dead : bool array;
   mutable contexts : 'msg context array;  (* one preallocated per node *)
   mutable next_msg_id : int;
+  armed_keys : (string, unit) Hashtbl.t;
+      (* arming guards: {!Fault_plan.arm} and friends register a
+         canonical key here so re-arming the same plan is a no-op *)
 }
 
 and 'msg context = { net : 'msg t; node : int }
@@ -109,6 +112,7 @@ let create ?trace ?registry ?dmax ?(dmax_policy = `Raise)
       dead = Array.make n false;
       contexts = [||];
       next_msg_id = 0;
+      armed_keys = Hashtbl.create 4;
     }
   in
   t.contexts <- Array.init n (fun node -> { net = t; node });
@@ -466,3 +470,21 @@ let set_timer ?(label = "timer") ctx ~delay f =
   let t = ctx.net in
   Sim.Engine.schedule t.engine ~delay (fun () ->
       activate t ctx.node ~label ~msg_id:(-1) f)
+
+let first_arming t key =
+  if Hashtbl.mem t.armed_keys key then false
+  else begin
+    Hashtbl.add t.armed_keys key ();
+    true
+  end
+
+let watchdog ctx = Sim.Timer.create ctx.net.engine
+
+let arm_watchdog ?(label = "watchdog") ctx timer ~delay f =
+  let t = ctx.net in
+  let node = ctx.node in
+  (* the generation check runs at engine level: a cancelled or
+     superseded watchdog never touches the NCU, so it costs no syscall
+     and leaves no trace event — only a watchdog that actually expires
+     is priced (one software activation, like any timer) *)
+  Sim.Timer.arm timer ~delay (fun () -> activate t node ~label ~msg_id:(-1) f)

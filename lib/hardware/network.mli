@@ -196,3 +196,27 @@ val set_timer :
 (** Schedule a software activation of this NCU after [delay]; charged
     as a system call when it fires (it occupies the processor like any
     activation). *)
+
+val watchdog : 'msg context -> Sim.Timer.t
+(** A fresh, unarmed watchdog bound to this network's engine (see
+    {!Sim.Timer} and DESIGN.md §16). *)
+
+val arm_watchdog :
+  ?label:string ->
+  'msg context ->
+  Sim.Timer.t ->
+  delay:float ->
+  (unit -> unit) ->
+  unit
+(** Re-arm [timer] to expire [delay] from now.  An expiry activates
+    this node's NCU (charged as one system call, like {!set_timer});
+    a watchdog cancelled or re-armed before expiry never touches the
+    NCU — no syscall, no trace event — so recovery-disabled runs and
+    runs whose watchdogs never fire are byte-identical to a build
+    without the recovery layer. *)
+
+val first_arming : 'msg t -> string -> bool
+(** [first_arming t key] returns [true] the first time [key] is seen
+    on this network and [false] thereafter.  {!Fault_plan.arm} uses it
+    to make arming idempotent; any layer that must attach a once-only
+    side effect to a network can claim its own key. *)

@@ -1,0 +1,54 @@
+(** Recovery policy shared by the self-healing protocol layers
+    (DESIGN.md §16): how long a node waits before suspecting loss, how
+    retries back off, and how many it may spend before giving up.
+
+    Everything here is deterministic: watchdog expiries are ordinary
+    engine events, and the backoff jitter for node [v] is drawn from
+    child [v] of one {!Sim.Rng.split_n} family keyed by [seed] — a pure
+    function of [(seed, v, attempt)], independent of scheduling or
+    [--jobs]. *)
+
+type t = {
+  backoff : Sim.Timer.backoff;
+      (** retry [k] waits [backoff_delay ~attempt:k]; the base delay is
+          the initial watchdog timeout *)
+  max_retries : int;  (** retries (timeouts acted on) per node before giving up *)
+  seed : int;  (** keys the per-node jitter streams *)
+}
+
+val default : n:int -> t
+(** A policy sized for an [n]-node network under the paper's cost
+    model: the base timeout dominates a full protocol round trip
+    including serial ack absorption at one NCU (Θ(n·P)), doubling per
+    retry up to 16×, 25% jitter, 8 retries. *)
+
+val streams : t -> n:int -> Sim.Rng.t array
+(** The per-node jitter streams: child [v] drives node [v]'s backoff
+    draws and nothing else. *)
+
+val delay : t -> rng:Sim.Rng.t -> attempt:int -> float
+(** Backoff delay before retry [attempt] (0-based), jittered from the
+    node's own stream. *)
+
+(** {1 recover.* instruments}
+
+    Pre-registered handles, one option match per event on the hot path
+    (same pattern as the [net.*] family). *)
+
+type obs = {
+  r_timeouts : Registry.counter;  (** watchdog expiries acted upon *)
+  r_retransmits : Registry.counter;  (** broadcast re-sends *)
+  r_restarts : Registry.counter;  (** election epoch restarts *)
+  r_resumes : Registry.counter;  (** maintenance rounds resumed on recover *)
+  r_acks : Registry.counter;  (** delivery acknowledgements received *)
+  r_give_ups : Registry.counter;  (** retry budgets exhausted *)
+  r_backoff : Registry.histogram;  (** chosen backoff delays *)
+}
+
+val obs : Registry.t option -> obs option
+(** Register (or retrieve) the [recover.*] instruments; [None] when the
+    registry is absent or disabled. *)
+
+val counters : Registry.t option -> int * int
+(** [(retransmits, restarts)] read back from the registry, [(0, 0)]
+    when absent — what the chaos runner and soak heartbeat surface. *)

@@ -44,5 +44,6 @@ let () =
       ("compile", Suite_compile.suite);
       ("scale_parity", Suite_scale_parity.suite);
       ("chaos", Suite_chaos.suite);
+      ("chaos.recover", Suite_recover.suite);
       ("query", Suite_query.suite);
     ]
